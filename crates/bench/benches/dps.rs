@@ -1,0 +1,56 @@
+//! Throughput of differentiable progressive sampling (DESIGN.md §5.2
+//! ablation: dense region masks make DPS batched; cost scales with S).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uae_core::dps::{dps_selectivities, qerror_loss, DpsConfig};
+use uae_core::{ResMade, ResMadeConfig, VirtualQuery, VirtualSchema};
+use uae_query::{Predicate, Query};
+use uae_tensor::rng::seeded_rng;
+use uae_tensor::{GradStore, ParamStore, Tape};
+
+type Setup = (uae_data::Table, VirtualSchema, ParamStore, ResMade, Vec<VirtualQuery>);
+
+fn setup() -> Setup {
+    let table = uae_data::census_like(2000, 3);
+    let schema = VirtualSchema::build(&table, usize::MAX);
+    let mut store = ParamStore::new();
+    let model =
+        ResMade::new(&mut store, &schema, &ResMadeConfig { hidden: 64, blocks: 1, seed: 1 });
+    let queries: Vec<VirtualQuery> = (0..8)
+        .map(|i| {
+            let q = Query::new(vec![
+                Predicate::le(0, 40 + i as i64),
+                Predicate::ge(11, 10i64),
+                Predicate::eq(7, 1i64),
+            ]);
+            VirtualQuery::build(&table, &schema, &q)
+        })
+        .collect();
+    (table, schema, store, model, queries)
+}
+
+fn bench_dps(c: &mut Criterion) {
+    let (_t, schema, store, model, queries) = setup();
+    let mut g = c.benchmark_group("dps_forward_backward");
+    g.sample_size(20);
+    for &s in &[4usize, 16, 64] {
+        let cfg = DpsConfig { tau: 1.0, samples: s };
+        g.bench_with_input(BenchmarkId::from_parameter(s), &(), |b, ()| {
+            b.iter(|| {
+                let mut rng = seeded_rng(9);
+                let mut grads = GradStore::zeros_like(&store);
+                let mut tape = Tape::new(&store);
+                let sel =
+                    dps_selectivities(&mut tape, &model, &schema, &queries, &cfg, &mut rng);
+                let loss = qerror_loss(&mut tape, sel, &vec![0.05; queries.len()]);
+                tape.backward(loss, &mut grads);
+                black_box(grads.l2_norm())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dps);
+criterion_main!(benches);

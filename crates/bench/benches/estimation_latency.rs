@@ -1,0 +1,70 @@
+//! Figure 5(2) as a Criterion bench: per-query estimation latency of every
+//! estimator on a DMV-like table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use uae_core::Uae;
+use uae_estimators::{
+    BayesNetEstimator, HistogramEstimator, KdeEstimator, LinearRegressionEstimator, MscnConfig,
+    MscnEstimator, SamplingEstimator, SpnConfig, SpnEstimator,
+};
+use uae_query::{
+    default_bounded_column, generate_workload, CardinalityEstimator, LabeledQuery, WorkloadSpec,
+};
+
+struct Setup {
+    queries: Vec<LabeledQuery>,
+    estimators: Vec<Box<dyn CardinalityEstimator>>,
+}
+
+fn setup() -> Setup {
+    let table = uae_data::dmv_like(6000, 0xBE4C);
+    let col = default_bounded_column(&table);
+    let train = generate_workload(&table, &WorkloadSpec::in_workload(col, 60, 1), &HashSet::new());
+    let queries =
+        generate_workload(&table, &WorkloadSpec::in_workload(col, 20, 2), &HashSet::new());
+
+    let mut uae_cfg = uae_core::UaeConfig::default();
+    uae_cfg.model.hidden = 128;
+    uae_cfg.estimate_samples = 100;
+    let mut naru = Uae::new(&table, uae_cfg).with_name("Naru");
+    naru.train_data(1);
+
+    let estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(LinearRegressionEstimator::new(&table, &train, 1e-3)),
+        Box::new(HistogramEstimator::new(&table, 64)),
+        Box::new(MscnEstimator::new(
+            &table,
+            &train,
+            &MscnConfig { epochs: 3, ..MscnConfig::default() },
+        )),
+        Box::new(SamplingEstimator::new(&table, 0.05, 3)),
+        Box::new(BayesNetEstimator::new(&table, 128)),
+        Box::new(KdeEstimator::new(&table, 0.05, 4)),
+        Box::new(SpnEstimator::new(&table, &SpnConfig::default())),
+        Box::new(naru),
+    ];
+    Setup { queries, estimators }
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("estimation_latency");
+    g.sample_size(10);
+    for est in &s.estimators {
+        g.bench_function(est.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for lq in &s.queries {
+                    acc += est.estimate_card(&lq.query);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the autodiff substrate (ablation for DESIGN.md §5.1:
+//! flat-arena tape + cache-friendly matmul kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uae_tensor::rng::seeded_rng;
+use uae_tensor::{GradStore, ParamStore, Tape, Tensor};
+
+fn random_tensor(seed: u64, r: usize, c: usize) -> Tensor {
+    use rand::RngExt;
+    let mut rng = seeded_rng(seed);
+    Tensor::from_vec(r, c, (0..r * c).map(|_| rng.random_range(-1.0..1.0f32)).collect())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 128, 128), (256, 128, 2048)] {
+        let a = random_tensor(1, m, k);
+        let b = random_tensor(2, k, n);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(), |bch, ()| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let t = random_tensor(3, 256, 2101);
+    c.bench_function("softmax_rows_256x2101", |b| {
+        b.iter(|| black_box(t.softmax_rows()));
+    });
+}
+
+fn bench_mlp_forward_backward(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let w1 = store.add("w1", random_tensor(4, 64, 128));
+    let w2 = store.add("w2", random_tensor(5, 128, 128));
+    let w3 = store.add("w3", random_tensor(6, 128, 512));
+    let x = random_tensor(7, 256, 64);
+    c.bench_function("mlp_forward_backward_256", |b| {
+        b.iter(|| {
+            let mut grads = GradStore::zeros_like(&store);
+            let mut tape = Tape::new(&store);
+            let xn = tape.input(x.clone());
+            let w1n = tape.param(w1);
+            let h = tape.matmul(xn, w1n);
+            let h = tape.relu(h);
+            let w2n = tape.param(w2);
+            let h = tape.matmul(h, w2n);
+            let h = tape.relu(h);
+            let w3n = tape.param(w3);
+            let y = tape.matmul(h, w3n);
+            let sq = tape.mul(y, y);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss, &mut grads);
+            black_box(grads.l2_norm())
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_mlp_forward_backward);
+criterion_main!(benches);

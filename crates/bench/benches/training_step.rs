@@ -1,0 +1,57 @@
+//! Cost of one training epoch under each of UAE's three modes (data-only,
+//! query-only, hybrid) — the wall-clock trade-off behind the paper's §5.5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, Uae, UaeConfig};
+use uae_query::{default_bounded_column, generate_workload, LabeledQuery, WorkloadSpec};
+
+fn setup() -> (uae_data::Table, Vec<LabeledQuery>, UaeConfig) {
+    let table = uae_data::census_like(2000, 0x7417);
+    let col = default_bounded_column(&table);
+    let workload =
+        generate_workload(&table, &WorkloadSpec::in_workload(col, 48, 1), &HashSet::new());
+    let cfg = UaeConfig {
+        model: ResMadeConfig { hidden: 64, blocks: 1, seed: 2 },
+        factor_threshold: usize::MAX,
+        order: uae_core::ColumnOrder::Natural,
+        encoding: uae_core::encoding::EncodingMode::Binary,
+        train: TrainConfig {
+            batch_size: 256,
+            query_batch: 8,
+            dps: DpsConfig { tau: 1.0, samples: 8 },
+            ..TrainConfig::default()
+        },
+        estimate_samples: 50,
+    };
+    (table, workload, cfg)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (table, workload, cfg) = setup();
+    let mut g = c.benchmark_group("training_epoch");
+    g.sample_size(10);
+    g.bench_function("data_only", |b| {
+        b.iter(|| {
+            let mut uae = Uae::new(&table, cfg.clone());
+            black_box(uae.train_data(1))
+        });
+    });
+    g.bench_function("query_only", |b| {
+        b.iter(|| {
+            let mut uae = Uae::new(&table, cfg.clone());
+            black_box(uae.train_queries(&workload, 1))
+        });
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let mut uae = Uae::new(&table, cfg.clone());
+            black_box(uae.train_hybrid(&workload, 1))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Reproduces **Figure 3** of the paper: the selectivity distributions of
+//! the in-workload and random test workloads on all three datasets.
+
+use uae_bench::{prepare_single_table, BenchScale};
+use uae_query::report::SelectivityHistogram;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    for dataset in ["dmv", "census", "kddcup98"] {
+        let bench = prepare_single_table(dataset, &scale, 0xF16);
+        println!("\n=== {dataset}: selectivity distribution ===");
+        for (label, workload) in
+            [("in-workload", &bench.test_in), ("random", &bench.test_random)]
+        {
+            let h = SelectivityHistogram::from_workload(workload);
+            println!("\n[{label} queries, n = {}]", h.total);
+            print!("{}", h.render());
+            println!("(spectrum spans {} decades)", h.spectrum_width());
+        }
+    }
+}

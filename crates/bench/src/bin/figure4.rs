@@ -1,0 +1,72 @@
+//! Reproduces **Figure 4** of the paper: hyper-parameter studies on DMV.
+//!
+//! * (a) the Gumbel-Softmax temperature τ and the number of DPS training
+//!   samples S — following the paper's protocol, a data-pretrained model
+//!   is refined by UAE-Q under each setting and evaluated on in-workload
+//!   queries;
+//! * (b) the trade-off λ — full hybrid training per candidate value,
+//!   evaluated on in-workload *and* random queries.
+
+use std::time::Instant;
+
+use uae_bench::{prepare_single_table, BenchScale};
+use uae_core::Uae;
+use uae_query::evaluate;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    // Figure 4 runs many trainings; halve the dataset to stay tractable.
+    let mut small = scale.clone();
+    small.dmv_rows /= 2;
+    small.train_queries /= 2;
+    let t0 = Instant::now();
+    eprintln!("[figure4] preparing dataset + workloads…");
+    let bench = prepare_single_table("dmv", &small, 0xF14);
+
+    // Shared data-pretrained base model.
+    eprintln!("[figure4] pretraining the shared UAE-D base…");
+    let cfg = small.uae_config(0x414);
+    let mut base = Uae::new(&bench.table, cfg);
+    base.train_data(small.data_epochs);
+
+    println!("\n=== Figure 4(a): temperature τ (UAE-Q refinement of a UAE-D base) ===");
+    println!("{:<8} {:>12} {:>12}", "tau", "mean q-err", "max q-err");
+    for tau in [0.5f32, 0.75, 1.0, 1.25] {
+        let mut m = base.clone();
+        m.train_config_mut().dps.tau = tau;
+        m.train_queries(&bench.train, small.query_epochs);
+        let ev = evaluate(&m, &bench.test_in);
+        println!("{tau:<8} {:>12.3} {:>12.3}", ev.errors.mean, ev.errors.max);
+    }
+
+    println!("\n=== Figure 4(a): DPS training samples S ===");
+    println!("{:<8} {:>12} {:>12}", "S", "mean q-err", "max q-err");
+    let s_base = small.dps_samples;
+    for s in [s_base / 2, s_base, s_base * 2, s_base * 4] {
+        let s = s.max(1);
+        let mut m = base.clone();
+        m.train_config_mut().dps.samples = s;
+        m.train_queries(&bench.train, small.query_epochs);
+        let ev = evaluate(&m, &bench.test_in);
+        println!("{s:<8} {:>12.3} {:>12.3}", ev.errors.mean, ev.errors.max);
+    }
+
+    println!("\n=== Figure 4(b): trade-off λ (hybrid training from scratch) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "lambda", "in mean", "in max", "rand mean", "rand max"
+    );
+    for lambda in [1e-6f32, 1e-5, 1e-4, 1e-3, 1e-2] {
+        let mut m = Uae::new(&bench.table, small.uae_config(0x414));
+        m.train_config_mut().lambda = lambda;
+        m.train_hybrid(&bench.train, small.hybrid_epochs);
+        let ein = evaluate(&m, &bench.test_in);
+        let ernd = evaluate(&m, &bench.test_random);
+        println!(
+            "{lambda:<10.0e} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            ein.errors.mean, ein.errors.max, ernd.errors.mean, ernd.errors.max
+        );
+    }
+
+    println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
+}

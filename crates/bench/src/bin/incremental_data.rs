@@ -1,0 +1,74 @@
+//! Incremental **data** ingestion (§4.5 / §5.4): the paper defers this
+//! experiment to Naru's evaluation ("the ability of autoregressive models
+//! to incorporate incremental data has been demonstrated in previous
+//! work") — this binary runs it anyway on our substrate, completing the
+//! §4.5 story: after a distribution-shifting batch of new rows arrives, a
+//! stale model misestimates; a few unsupervised epochs on the appended
+//! rows recover accuracy without retraining.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use uae_bench::BenchScale;
+use uae_core::Uae;
+use uae_query::{evaluate, generate_workload, CardinalityEstimator, WorkloadSpec};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let t0 = Instant::now();
+    // "Old" data: the first 60% of a DMV-like table; "new" data: the rest,
+    // drawn from a different seed region so marginals shift.
+    let rows = scale.dmv_rows;
+    let full = uae_data::dmv_like(rows, 0x1CD);
+    let old_idx: Vec<usize> = (0..rows * 3 / 5).collect();
+    let new_idx: Vec<usize> = (rows * 3 / 5..rows).collect();
+    let old = full.take_rows(&old_idx);
+    let new_rows = full.take_rows(&new_idx);
+
+    eprintln!(
+        "[incremental-data] {} old rows, {} incremental rows",
+        old.num_rows(),
+        new_rows.num_rows()
+    );
+
+    // Queries are evaluated against the FULL table (post-ingest truth).
+    let test = generate_workload(&full, &WorkloadSpec::random(scale.test_queries, 7), &HashSet::new());
+
+    let mut stale = Uae::new(&old, scale.uae_config(0x1CE)).with_name("stale");
+    stale.train_data(scale.data_epochs);
+    // The stale model still believes the table has `old` rows; scale its
+    // cardinalities to the full table for a fair comparison.
+    let stale_scale = full.num_rows() as f64 / old.num_rows() as f64;
+    let stale_errs: Vec<f64> = test
+        .iter()
+        .map(|lq| {
+            let est = stale.estimate_card(&lq.query) * stale_scale;
+            uae_query::q_error(lq.cardinality as f64, est)
+        })
+        .collect();
+    let stale_sum = uae_query::ErrorSummary::from_errors(&stale_errs);
+
+    let mut refreshed = Uae::new(&old, scale.uae_config(0x1CE)).with_name("refreshed");
+    refreshed.train_data(scale.data_epochs);
+    refreshed.set_learning_rate(1e-3);
+    refreshed.ingest_data(&new_rows, (scale.data_epochs / 2).max(2));
+    let refreshed_sum = evaluate(&refreshed, &test).errors;
+
+    let mut retrained = Uae::new(&full, scale.uae_config(0x1CE)).with_name("retrained");
+    retrained.train_data(scale.data_epochs);
+    let retrained_sum = evaluate(&retrained, &test).errors;
+
+    println!("\n=== Incremental data (random queries on the updated table) ===");
+    println!("{:<34} {:>10} {:>10} {:>10}", "Model", "mean", "median", "max");
+    for (name, s) in [
+        ("stale (old data only, rescaled)", &stale_sum),
+        ("ingest_data (no retraining)", &refreshed_sum),
+        ("full retrain (upper bound)", &retrained_sum),
+    ] {
+        println!(
+            "{:<34} {:>10.3} {:>10.3} {:>10.3}",
+            name, s.mean, s.median, s.max
+        );
+    }
+    println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,9 @@
+//! Reproduces **Table 2** of the paper: estimation errors of all eleven
+//! estimators on the DMV(-like) dataset, in-workload and random queries.
+
+use uae_bench::{run_single_table_experiment, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    run_single_table_experiment("dmv", &scale, 0xD34);
+}

@@ -1,0 +1,9 @@
+//! Reproduces **Table 3** of the paper: estimation errors on the
+//! Census(-like) dataset.
+
+use uae_bench::{run_single_table_experiment, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    run_single_table_experiment("census", &scale, 0xCE2);
+}

@@ -1,0 +1,10 @@
+//! Reproduces **Table 4** of the paper: estimation errors on the
+//! Kddcup98(-like) dataset (100 columns — the high-dimensional stress
+//! test behind the paper's finding (6)).
+
+use uae_bench::{run_single_table_experiment, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    run_single_table_experiment("kddcup98", &scale, 0x0D4D);
+}

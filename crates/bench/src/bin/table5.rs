@@ -1,0 +1,139 @@
+//! Reproduces **Table 5** of the paper: estimation errors for join queries
+//! on the IMDB(-like) star schema — DeepDB, MSCN+sampling, NeuroCard and
+//! UAE on JOB-light-ranges-focused (in-workload) and JOB-light-style
+//! (random, subset joins) test queries.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use uae_bench::BenchScale;
+use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, UaeConfig};
+use uae_estimators::{MscnConfig, SpnConfig};
+use uae_join::workload::fingerprints;
+use uae_join::{
+    generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinMscn,
+    JoinSpn, JoinUae, JoinWorkloadSpec, LabeledJoinQuery,
+};
+use uae_query::estimator::format_size;
+use uae_query::metrics::{format_err, percentile, q_error};
+
+fn summarize(est: &dyn JoinCardinalityEstimator, workload: &[LabeledJoinQuery]) -> String {
+    let mut errs: Vec<f64> = workload
+        .iter()
+        .map(|lq| q_error(lq.cardinality as f64, est.estimate_join_card(&lq.query)))
+        .collect();
+    errs.sort_by(f64::total_cmp);
+    format!(
+        "{:>10} {:>10} {:>10}",
+        format_err(percentile(&errs, 0.50)),
+        format_err(percentile(&errs, 0.95)),
+        format_err(*errs.last().expect("nonempty workload"))
+    )
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let t0 = Instant::now();
+    let titles = scale.dmv_rows / 4;
+    eprintln!("[imdb] generating star schema ({titles} titles) + join sample…");
+    let schema = imdb_like(titles, 0x1BDB);
+
+    let train = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec::focused(0, scale.train_queries / 2, 11),
+        &HashSet::new(),
+    );
+    let excl = fingerprints(&train);
+    let test_focused = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec::focused(0, scale.test_queries / 2, 12),
+        &excl,
+    );
+    let test_random = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec::random(scale.test_queries / 2, 13),
+        &HashSet::new(),
+    );
+    eprintln!(
+        "[imdb] outer join size {}, {} train / {} focused / {} random queries ({:.1}s)",
+        schema.outer_join_size(),
+        train.len(),
+        test_focused.len(),
+        test_random.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let sample_rows = (scale.dmv_rows / 2).max(2000);
+    let uae_cfg = UaeConfig {
+        model: ResMadeConfig { hidden: 128, blocks: 1, seed: 5 },
+        factor_threshold: usize::MAX,
+        order: uae_core::ColumnOrder::Natural,
+        encoding: uae_core::encoding::EncodingMode::Binary,
+        train: TrainConfig {
+            // The paper uses λ = 10 on IMDB.
+            lambda: 10.0,
+            dps: DpsConfig { tau: 1.0, samples: scale.dps_samples },
+            ..TrainConfig::default()
+        },
+        estimate_samples: scale.estimate_samples,
+    };
+
+    println!("\n=== Estimation errors on IMDB (join queries) ===");
+    println!(
+        "{:<15} {:>8} | {:>32} | {:>32}",
+        "Model", "Size", "JOB-light-ranges-focused (med/95/max)", "JOB-light (med/95/max)"
+    );
+    println!("{}", "-".repeat(100));
+
+    // DeepDB over the join sample.
+    let sample = sample_outer_join(&schema, sample_rows, 32, 21);
+    let spn = JoinSpn::new(sample, &SpnConfig::default());
+    println!(
+        "{:<15} {:>8} | {} | {}",
+        spn.name(),
+        format_size(spn.size_bytes()),
+        summarize(&spn, &test_focused),
+        summarize(&spn, &test_random)
+    );
+
+    // MSCN+sampling.
+    let sample = sample_outer_join(&schema, sample_rows, 32, 22);
+    let mscn = JoinMscn::new(
+        sample,
+        &train,
+        &MscnConfig { sample_rows: 512, ..MscnConfig::default() },
+    );
+    println!(
+        "{:<15} {:>8} | {} | {}",
+        mscn.name(),
+        format_size(mscn.size_bytes()),
+        summarize(&mscn, &test_focused),
+        summarize(&mscn, &test_random)
+    );
+
+    // NeuroCard: data-only autoregressive model over the join sample.
+    let sample = sample_outer_join(&schema, sample_rows, 32, 23);
+    let mut nc = JoinUae::new(sample, uae_cfg.clone()).with_name("NeuroCard");
+    nc.train_data(scale.data_epochs);
+    println!(
+        "{:<15} {:>8} | {} | {}",
+        nc.name(),
+        format_size(nc.size_bytes()),
+        summarize(&nc, &test_focused),
+        summarize(&nc, &test_random)
+    );
+
+    // UAE: hybrid training on the same sample + the focused workload.
+    let sample = sample_outer_join(&schema, sample_rows, 32, 23);
+    let mut uae = JoinUae::new(sample, uae_cfg).with_name("UAE");
+    uae.train_hybrid(&train, scale.hybrid_epochs);
+    println!(
+        "{:<15} {:>8} | {} | {}",
+        uae.name(),
+        format_size(uae.size_bytes()),
+        summarize(&uae, &test_focused),
+        summarize(&uae, &test_random)
+    );
+
+    println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
+}

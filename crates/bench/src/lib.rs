@@ -1,0 +1,353 @@
+//! # uae-bench — the harness regenerating every table and figure
+//!
+//! One binary per experiment (see `DESIGN.md` §4):
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `table2` | Table 2 — estimation errors on DMV |
+//! | `table3` | Table 3 — estimation errors on Census |
+//! | `table4` | Table 4 — estimation errors on Kddcup98 |
+//! | `table5` | Table 5 — estimation errors on IMDB join queries |
+//! | `table6` | Table 6 — incremental query-workload ingestion |
+//! | `figure3` | Figure 3 — workload selectivity distributions |
+//! | `figure4` | Figure 4 — τ / S / λ hyper-parameter studies |
+//! | `figure5` | Figure 5 — training convergence & estimation latency |
+//! | `figure6` | Figure 6 — query-optimizer impact |
+//! | `ablations` | §4.2 / §4.3 / §4.6 design-choice ablations |
+//! | `dmv_large` | §5.1.1 large-NDV sensitivity check |
+//! | `incremental_data` | §4.5 incremental data ingestion |
+//!
+//! All binaries accept the `UAE_SCALE` environment variable (default `1`):
+//! row counts, workload sizes and epochs scale linearly, so `UAE_SCALE=4`
+//! approaches the paper's setup at the cost of wall-clock time.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, Uae, UaeConfig};
+use uae_data::Table;
+use uae_estimators::{
+    BayesNetEstimator, FeedbackKdeEstimator, HistogramEstimator, KdeEstimator,
+    LinearRegressionEstimator, MscnConfig, MscnEstimator, SamplingEstimator, SpnConfig,
+    SpnEstimator,
+};
+use uae_query::estimator::{evaluate, format_size, Evaluation};
+use uae_query::{
+    default_bounded_column, fingerprints, generate_workload, CardinalityEstimator, LabeledQuery,
+    WorkloadSpec,
+};
+
+/// Experiment scale knobs, derived from `UAE_SCALE`.
+#[derive(Debug, Clone)]
+pub struct BenchScale {
+    /// Rows for the DMV-like dataset (others derive from it).
+    pub dmv_rows: usize,
+    /// Rows for the Census-like dataset.
+    pub census_rows: usize,
+    /// Rows for the Kddcup98-like dataset.
+    pub kdd_rows: usize,
+    /// Training workload size.
+    pub train_queries: usize,
+    /// Test workload size (each of in-workload and random).
+    pub test_queries: usize,
+    /// Data-only training epochs (Naru / UAE-D).
+    pub data_epochs: usize,
+    /// Hybrid training epochs (UAE).
+    pub hybrid_epochs: usize,
+    /// Query-only training epochs (UAE-Q).
+    pub query_epochs: usize,
+    /// Progressive samples at estimation time.
+    pub estimate_samples: usize,
+    /// DPS samples S during training.
+    pub dps_samples: usize,
+}
+
+impl BenchScale {
+    /// Read `UAE_SCALE` (a positive float; 1.0 default).
+    pub fn from_env() -> Self {
+        let s: f64 = std::env::var("UAE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+        Self::with_factor(s)
+    }
+
+    /// Explicit scale factor.
+    pub fn with_factor(s: f64) -> Self {
+        let f = |base: usize| ((base as f64 * s).round() as usize).max(1);
+        BenchScale {
+            dmv_rows: f(20_000),
+            census_rows: f(12_000),
+            kdd_rows: f(8_000),
+            train_queries: f(600),
+            test_queries: f(160),
+            data_epochs: f(10).min(40),
+            hybrid_epochs: f(10).min(40),
+            query_epochs: f(12).min(60),
+            estimate_samples: f(100).min(1000),
+            dps_samples: f(8).min(200),
+        }
+    }
+
+    /// The UAE configuration used across experiments (paper: 2 x 128
+    /// hidden units, τ = 1, λ = 1e-4).
+    pub fn uae_config(&self, seed: u64) -> UaeConfig {
+        UaeConfig {
+            model: ResMadeConfig { hidden: 128, blocks: 1, seed },
+            factor_threshold: usize::MAX,
+            order: uae_core::ColumnOrder::Natural,
+        encoding: uae_core::encoding::EncodingMode::Binary,
+            train: TrainConfig {
+                dps: DpsConfig { tau: 1.0, samples: self.dps_samples },
+                seed,
+                ..TrainConfig::default()
+            },
+            estimate_samples: self.estimate_samples,
+        }
+    }
+}
+
+/// A prepared single-table experiment: dataset + labeled workloads.
+pub struct SingleTableBench {
+    /// Dataset name as in the paper.
+    pub dataset: String,
+    /// The table.
+    pub table: Table,
+    /// Bounded column of in-workload queries.
+    pub bounded_col: usize,
+    /// Training workload (in-workload distribution).
+    pub train: Vec<LabeledQuery>,
+    /// In-workload test queries.
+    pub test_in: Vec<LabeledQuery>,
+    /// Random (out-of-workload) test queries.
+    pub test_random: Vec<LabeledQuery>,
+}
+
+/// Generate a dataset and its three workloads.
+pub fn prepare_single_table(dataset: &str, scale: &BenchScale, seed: u64) -> SingleTableBench {
+    let table = match dataset {
+        "dmv" => uae_data::dmv_like(scale.dmv_rows, seed),
+        "census" => uae_data::census_like(scale.census_rows, seed),
+        "kddcup98" => uae_data::kddcup_like(scale.kdd_rows, 100, seed),
+        other => panic!("unknown dataset {other}"),
+    };
+    let col = default_bounded_column(&table);
+    let train = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(col, scale.train_queries, seed ^ 0x11),
+        &HashSet::new(),
+    );
+    let excl = fingerprints(&train);
+    let test_in = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(col, scale.test_queries, seed ^ 0x22),
+        &excl,
+    );
+    let test_random = generate_workload(
+        &table,
+        &WorkloadSpec::random(scale.test_queries, seed ^ 0x33),
+        &HashSet::new(),
+    );
+    SingleTableBench {
+        dataset: dataset.to_owned(),
+        table,
+        bounded_col: col,
+        train,
+        test_in,
+        test_random,
+    }
+}
+
+/// One result row of Tables 2–4.
+pub struct TableRow {
+    /// Estimator name.
+    pub name: String,
+    /// Size string.
+    pub size: String,
+    /// In-workload evaluation.
+    pub in_workload: Evaluation,
+    /// Random-workload evaluation.
+    pub random: Evaluation,
+}
+
+/// Evaluate one estimator on both test workloads.
+pub fn eval_estimator(
+    est: &dyn CardinalityEstimator,
+    bench: &SingleTableBench,
+) -> TableRow {
+    let in_workload = evaluate(est, &bench.test_in);
+    let random = evaluate(est, &bench.test_random);
+    TableRow {
+        name: est.name().to_owned(),
+        size: format_size(est.size_bytes()),
+        in_workload,
+        random,
+    }
+}
+
+/// Print the header shared by Tables 2–4.
+pub fn print_table_header(dataset: &str) {
+    println!("\n=== Estimation errors on {dataset} ===");
+    println!(
+        "{:<15} {:>8} | {:>43} | {:>43}",
+        "Model", "Size", "In-workload (mean/median/95th/max)", "Random (mean/median/95th/max)"
+    );
+    println!("{}", "-".repeat(118));
+}
+
+/// Print one row of Tables 2–4.
+pub fn print_table_row(row: &TableRow) {
+    println!(
+        "{:<15} {:>8} | {} | {}",
+        row.name,
+        row.size,
+        row.in_workload.errors.row(),
+        row.random.errors.row()
+    );
+}
+
+/// Run the full Tables-2/3/4 protocol on a dataset: all eleven estimators,
+/// both workloads. This is the body of the `table2`–`table4` binaries.
+pub fn run_single_table_experiment(dataset: &str, scale: &BenchScale, seed: u64) {
+    let t0 = Instant::now();
+    eprintln!("[{dataset}] generating data + workloads…");
+    let bench = prepare_single_table(dataset, scale, seed);
+    eprintln!(
+        "[{dataset}] {} rows x {} cols; {} train / {} in-test / {} random-test queries ({:.1}s)",
+        bench.table.num_rows(),
+        bench.table.num_cols(),
+        bench.train.len(),
+        bench.test_in.len(),
+        bench.test_random.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    print_table_header(&bench.dataset);
+    let mut rows: Vec<TableRow> = Vec::new();
+
+    // Sampling/KDE budgets: the paper matches them to the model's memory
+    // budget, which on the full-size datasets works out to 0.2% (DMV),
+    // 9% (Census) and 4.6% (Kddcup98). Our datasets are row-scaled while
+    // the model is constant-size, so we use the paper's ratios directly.
+    let uae_cfg = scale.uae_config(seed ^ 0x777);
+    let sample_ratio = match dataset {
+        "dmv" => 0.002_f64.max(400.0 / bench.table.num_rows() as f64),
+        "census" => 0.09,
+        "kddcup98" => 0.046,
+        _ => 0.02,
+    }
+    .min(1.0);
+
+    // --- query-driven -----------------------------------------------------
+    run_and_print(&bench, &mut rows, "LR", || {
+        Box::new(LinearRegressionEstimator::new(&bench.table, &bench.train, 1e-3))
+    });
+    run_and_print(&bench, &mut rows, "MSCN-base", || {
+        Box::new(MscnEstimator::new(
+            &bench.table,
+            &bench.train,
+            &MscnConfig { sample_rows: 0, ..MscnConfig::default() },
+        ))
+    });
+    run_and_print(&bench, &mut rows, "UAE-Q", || {
+        let mut uae = Uae::new(&bench.table, uae_cfg.clone()).with_name("UAE-Q");
+        uae.train_queries(&bench.train, scale.query_epochs);
+        Box::new(uae)
+    });
+
+    // --- data-driven -------------------------------------------------------
+    run_and_print(&bench, &mut rows, "Sampling", || {
+        Box::new(SamplingEstimator::new(&bench.table, sample_ratio, seed ^ 1))
+    });
+    run_and_print(&bench, &mut rows, "BayesNet", || {
+        Box::new(BayesNetEstimator::new(&bench.table, 128))
+    });
+    run_and_print(&bench, &mut rows, "KDE", || {
+        Box::new(KdeEstimator::new(&bench.table, sample_ratio, seed ^ 2))
+    });
+    run_and_print(&bench, &mut rows, "DeepDB", || {
+        Box::new(SpnEstimator::new(&bench.table, &SpnConfig::default()))
+    });
+    run_and_print(&bench, &mut rows, "Naru", || {
+        let mut uae = Uae::new(&bench.table, uae_cfg.clone()).with_name("Naru");
+        uae.train_data(scale.data_epochs);
+        Box::new(uae)
+    });
+
+    // --- hybrid ------------------------------------------------------------
+    run_and_print(&bench, &mut rows, "MSCN+sampling", || {
+        // Bitmap width is capped so the feature dimension stays proportional
+        // to the (scaled-down) training workload; an uncapped budget-matched
+        // bitmap would dominate the 22 base features and overfit.
+        let bitmap = ((bench.table.num_rows() as f64 * sample_ratio) as usize).clamp(64, 256);
+        Box::new(MscnEstimator::new(
+            &bench.table,
+            &bench.train,
+            &MscnConfig { sample_rows: bitmap, ..MscnConfig::default() },
+        ))
+    });
+    run_and_print(&bench, &mut rows, "Feedback-KDE", || {
+        Box::new(FeedbackKdeEstimator::new(
+            KdeEstimator::new(&bench.table, sample_ratio, seed ^ 2),
+            &bench.train,
+            15,
+            0.3,
+        ))
+    });
+    run_and_print(&bench, &mut rows, "UAE", || {
+        let mut uae = Uae::new(&bench.table, uae_cfg.clone());
+        uae.train_hybrid(&bench.train, scale.hybrid_epochs);
+        Box::new(uae)
+    });
+
+    println!(
+        "\n(total {:.0}s; dataset skewness {:.2}, NCIE {:.3})",
+        t0.elapsed().as_secs_f64(),
+        uae_data::stats::dataset_skewness(&bench.table),
+        uae_data::stats::ncie(&bench.table, 8),
+    );
+}
+
+fn run_and_print<'a>(
+    bench: &SingleTableBench,
+    rows: &mut Vec<TableRow>,
+    label: &str,
+    build: impl FnOnce() -> Box<dyn CardinalityEstimator + 'a>,
+) {
+    let t0 = Instant::now();
+    let est = build();
+    let train_secs = t0.elapsed().as_secs_f64();
+    let row = eval_estimator(est.as_ref(), bench);
+    eprintln!(
+        "[{}] {label}: trained {train_secs:.1}s, eval {:.2}ms/query",
+        bench.dataset, row.in_workload.mean_latency_ms
+    );
+    print_table_row(&row);
+    rows.push(row);
+}
+
+/// The histogram estimator (Postgres-like), exposed for Figure 5's latency
+/// comparison.
+pub fn histogram_for(table: &Table) -> HistogramEstimator {
+    HistogramEstimator::new(table, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_factor() {
+        let s = BenchScale::with_factor(0.5);
+        assert_eq!(s.dmv_rows, 10_000);
+        assert_eq!(s.train_queries, 300);
+        let big = BenchScale::with_factor(100.0);
+        assert_eq!(big.data_epochs, 40, "epochs must cap");
+    }
+
+    #[test]
+    fn prepare_census_bench() {
+        let scale = BenchScale::with_factor(0.05);
+        let b = prepare_single_table("census", &scale, 5);
+        assert_eq!(b.table.num_cols(), 14);
+        assert_eq!(b.train.len(), scale.train_queries);
+        assert!(b.test_in.iter().all(|q| q.cardinality >= 1));
+    }
+}

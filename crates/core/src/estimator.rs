@@ -1,0 +1,532 @@
+//! The public UAE estimator: construction, the three training modes
+//! (UAE-D ≡ Naru, UAE-Q, hybrid UAE), incremental ingestion (§4.5), and
+//! progressive-sampling estimation.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_data::Table;
+use uae_query::{CardinalityEstimator, LabeledQuery, Query};
+use uae_tensor::{Adam, GradStore, Optimizer, ParamStore, Tape};
+
+use crate::encoding::VirtualSchema;
+use crate::infer::progressive_sample;
+use crate::model::{RawModel, ResMade, ResMadeConfig};
+use crate::train::{data_loss, query_loss, TrainConfig, TrainQuery};
+use crate::vquery::VirtualQuery;
+
+/// Full configuration of a UAE estimator.
+#[derive(Debug, Clone)]
+pub struct UaeConfig {
+    /// Network architecture.
+    pub model: ResMadeConfig,
+    /// Factorize columns with more distinct values than this (§4.6;
+    /// `usize::MAX` disables factorization — the single-table default).
+    pub factor_threshold: usize,
+    /// Autoregressive column ordering (§4.2; the paper uses the natural
+    /// left-to-right order).
+    pub order: crate::ordering::ColumnOrder,
+    /// Input encoding: binary bits (paper default) or learnable embeddings
+    /// for very large NDVs (§4.6).
+    pub encoding: crate::encoding::EncodingMode,
+    /// Training hyper-parameters (λ, τ, S, …).
+    pub train: TrainConfig,
+    /// Progressive samples used at estimation time (paper: 200–1000).
+    pub estimate_samples: usize,
+}
+
+impl Default for UaeConfig {
+    fn default() -> Self {
+        UaeConfig {
+            model: ResMadeConfig::default(),
+            factor_threshold: usize::MAX,
+            order: crate::ordering::ColumnOrder::Natural,
+            encoding: crate::encoding::EncodingMode::Binary,
+            train: TrainConfig::default(),
+            estimate_samples: 200,
+        }
+    }
+}
+
+struct EstCache {
+    raw: Option<RawModel>,
+    rng: StdRng,
+}
+
+/// The unified deep autoregressive estimator.
+///
+/// * `train_data` alone reproduces **Naru / UAE-D**;
+/// * `train_queries` alone is **UAE-Q** (the first supervised deep
+///   *generative* cardinality estimator);
+/// * `train_hybrid` is the full **UAE** of Algorithm 3.
+pub struct Uae {
+    name: String,
+    /// The (possibly column-permuted) training table.
+    table: Table,
+    /// `col_remap[original column] = position in `table``.
+    col_remap: Vec<usize>,
+    schema: VirtualSchema,
+    model: ResMade,
+    store: ParamStore,
+    /// Virtual codes of the training rows (row-major).
+    rows: Vec<Vec<u32>>,
+    cfg: UaeConfig,
+    opt: Adam,
+    rng: StdRng,
+    est: Mutex<EstCache>,
+}
+
+impl Uae {
+    /// Build an untrained estimator over a table.
+    pub fn new(table: &Table, cfg: UaeConfig) -> Self {
+        let perm = crate::ordering::compute_order(table, cfg.order);
+        let mut col_remap = vec![0usize; table.num_cols()];
+        for (pos, &orig) in perm.iter().enumerate() {
+            col_remap[orig] = pos;
+        }
+        let table = table.select_columns(&perm);
+        let schema =
+            VirtualSchema::build_with_mode(&table, cfg.factor_threshold, cfg.encoding);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &schema, &cfg.model);
+        let rows =
+            (0..table.num_rows()).map(|r| schema.to_virtual_codes(&table.row_codes(r))).collect();
+        let seed = cfg.train.seed;
+        Uae {
+            name: "UAE".to_owned(),
+            table,
+            col_remap,
+            schema,
+            model,
+            store,
+            rows,
+            opt: Adam::new(cfg.train.lr),
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            est: Mutex::new(EstCache { raw: None, rng: StdRng::seed_from_u64(seed ^ 0xe57) }),
+        }
+    }
+
+    /// Rename (for result tables: "Naru", "UAE-Q", …).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The virtual schema (for inspection and tests).
+    pub fn schema(&self) -> &VirtualSchema {
+        &self.schema
+    }
+
+    /// The training table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Mutable training configuration (λ, τ, S, …) — hyper-parameter
+    /// studies adjust these between training phases (Figure 4).
+    pub fn train_config_mut(&mut self) -> &mut TrainConfig {
+        &mut self.cfg.train
+    }
+
+    /// Override the number of progressive samples used at estimation time.
+    pub fn set_estimate_samples(&mut self, samples: usize) {
+        self.cfg.estimate_samples = samples.max(1);
+    }
+
+    /// Change the optimizer learning rate (e.g. a smaller rate for
+    /// incremental refinement than for initial training).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.cfg.train.lr = lr;
+        self.opt.set_lr(lr);
+    }
+
+    /// Translate labeled queries into training queries.
+    pub fn prepare_queries(&self, workload: &[LabeledQuery]) -> Vec<TrainQuery> {
+        workload
+            .iter()
+            .map(|lq| TrainQuery {
+                vquery: self.translate(&lq.query),
+                selectivity: lq.selectivity,
+            })
+            .collect()
+    }
+
+    /// Unsupervised training on data only (UAE-D / Naru). Returns the mean
+    /// data loss of each epoch.
+    pub fn train_data(&mut self, epochs: usize) -> Vec<f32> {
+        (0..epochs).map(|_| self.epoch(true, None)).collect()
+    }
+
+    /// Supervised training on queries only (UAE-Q). Returns the mean query
+    /// loss of each epoch.
+    pub fn train_queries(&mut self, workload: &[LabeledQuery], epochs: usize) -> Vec<f32> {
+        let tqs = self.prepare_queries(workload);
+        (0..epochs).map(|_| self.epoch(false, Some(&tqs))).collect()
+    }
+
+    /// Hybrid training (Algorithm 3): each step minimizes
+    /// `L = L_data + λ·L_query` (Eq. 11). Returns per-epoch mean loss.
+    pub fn train_hybrid(&mut self, workload: &[LabeledQuery], epochs: usize) -> Vec<f32> {
+        let tqs = self.prepare_queries(workload);
+        (0..epochs).map(|_| self.epoch(true, Some(&tqs))).collect()
+    }
+
+    /// Query-only training from pre-translated queries (used by the join
+    /// estimator, whose queries carry fanout-scaling weights that a plain
+    /// [`Query`] cannot express).
+    pub fn train_queries_prepared(&mut self, queries: &[TrainQuery], epochs: usize) -> Vec<f32> {
+        (0..epochs).map(|_| self.epoch(false, Some(queries))).collect()
+    }
+
+    /// Hybrid training from pre-translated queries.
+    pub fn train_hybrid_prepared(&mut self, queries: &[TrainQuery], epochs: usize) -> Vec<f32> {
+        (0..epochs).map(|_| self.epoch(true, Some(queries))).collect()
+    }
+
+    /// Translate a query (in *original* column indices) against this
+    /// estimator's — possibly column-reordered — table and schema.
+    pub fn translate(&self, query: &Query) -> VirtualQuery {
+        let remapped = self.remap_query(query);
+        VirtualQuery::build(&self.table, &self.schema, &remapped)
+    }
+
+    fn remap_query(&self, query: &Query) -> Query {
+        if self.col_remap.iter().enumerate().all(|(i, &p)| i == p) {
+            return query.clone();
+        }
+        Query::new(
+            query
+                .predicates
+                .iter()
+                .map(|p| {
+                    let mut p = p.clone();
+                    p.column = self.col_remap[p.column];
+                    p
+                })
+                .collect(),
+        )
+    }
+
+    /// Estimate the selectivity of a pre-translated query (supports
+    /// [`crate::vquery::StepRegion::Weighted`] fanout scaling).
+    pub fn estimate_vquery(&self, vq: &VirtualQuery) -> f64 {
+        let mut est = self.est.lock();
+        if est.raw.is_none() {
+            est.raw = Some(self.model.snapshot(&self.store));
+        }
+        let EstCache { raw, rng } = &mut *est;
+        let raw = raw.as_ref().expect("snapshot just created");
+        progressive_sample(raw, &self.schema, vq, self.cfg.estimate_samples, rng)
+    }
+
+    /// Ingest new rows (incremental data, §4.5): append and refine with the
+    /// unsupervised loss only.
+    pub fn ingest_data(&mut self, new_rows: &Table, epochs: usize) -> Vec<f32> {
+        // New rows arrive in *original* column order; apply this model's
+        // column permutation before appending.
+        let perm: Vec<usize> = {
+            let mut inv = vec![0usize; self.col_remap.len()];
+            for (orig, &pos) in self.col_remap.iter().enumerate() {
+                inv[pos] = orig;
+            }
+            inv
+        };
+        let new_rows = new_rows.select_columns(&perm);
+        self.table.append(&new_rows);
+        for r in 0..new_rows.num_rows() {
+            self.rows.push(self.schema.to_virtual_codes(&new_rows.row_codes(r)));
+        }
+        self.train_data(epochs)
+    }
+
+    /// Ingest a new query workload (incremental queries, §4.5): refine with
+    /// the supervised loss only. The paper finds 10–20 epochs suffice
+    /// without catastrophic forgetting.
+    pub fn ingest_workload(&mut self, workload: &[LabeledQuery], epochs: usize) -> Vec<f32> {
+        self.train_queries(workload, epochs)
+    }
+
+    /// One epoch over the data (and/or workload). Returns the mean loss.
+    fn epoch(&mut self, use_data: bool, queries: Option<&[TrainQuery]>) -> f32 {
+        let tc = self.cfg.train.clone();
+        let steps = if use_data {
+            self.rows.len().div_ceil(tc.batch_size).max(1)
+        } else {
+            queries.map_or(1, |q| q.len().div_ceil(tc.query_batch).max(1))
+        };
+        // Shuffled row order for data batches.
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        if use_data {
+            shuffle(&mut order, &mut self.rng);
+        }
+        let mut total = 0.0f32;
+        for step in 0..steps {
+            let data_batch: Option<Vec<Vec<u32>>> = if use_data && !self.rows.is_empty() {
+                let lo = (step * tc.batch_size) % self.rows.len();
+                let hi = (lo + tc.batch_size).min(self.rows.len());
+                Some(order[lo..hi].iter().map(|&r| self.rows[r].clone()).collect())
+            } else {
+                None
+            };
+            let query_batch: Option<Vec<TrainQuery>> = queries.map(|tqs| {
+                (0..tc.query_batch.min(tqs.len()))
+                    .map(|_| tqs[self.rng.random_range(0..tqs.len())].clone())
+                    .collect()
+            });
+            total += self.step(data_batch.as_deref(), query_batch.as_deref(), &tc);
+        }
+        self.est.lock().raw = None; // invalidate inference snapshot
+        total / steps as f32
+    }
+
+    /// One SGD step; either loss may be absent.
+    fn step(
+        &mut self,
+        data_batch: Option<&[Vec<u32>]>,
+        query_batch: Option<&[TrainQuery]>,
+        tc: &TrainConfig,
+    ) -> f32 {
+        let mut grads = GradStore::zeros_like(&self.store);
+        let loss_value;
+        {
+            let mut tape = Tape::new(&self.store);
+            let mut loss = None;
+            if let Some(rows) = data_batch {
+                if !rows.is_empty() {
+                    loss = Some(data_loss(
+                        &mut tape,
+                        &self.model,
+                        &self.schema,
+                        rows,
+                        tc.wildcard_prob,
+                        &mut self.rng,
+                    ));
+                }
+            }
+            if let Some(batch) = query_batch {
+                if !batch.is_empty() {
+                    let ql = query_loss(
+                        &mut tape,
+                        &self.model,
+                        &self.schema,
+                        batch,
+                        &tc.dps,
+                        tc.qerror_cap,
+                        &mut self.rng,
+                    );
+                    loss = Some(match loss {
+                        // Hybrid: L_data + λ L_query (Eq. 11).
+                        Some(ld) => {
+                            let scaled = tape.mul_scalar(ql, tc.lambda);
+                            tape.add(ld, scaled)
+                        }
+                        // Query-only training (UAE-Q) uses the raw query loss.
+                        None => ql,
+                    });
+                }
+            }
+            let Some(loss) = loss else { return 0.0 };
+            loss_value = tape.value(loss).scalar_value();
+            tape.backward(loss, &mut grads);
+        }
+        if tc.grad_clip > 0.0 {
+            let norm = grads.l2_norm();
+            if norm > tc.grad_clip {
+                grads.scale(tc.grad_clip / norm);
+            }
+        }
+        self.opt.step(&mut self.store, &grads);
+        loss_value
+    }
+
+    /// Serialize the trained weights (format: `UAEW`, see
+    /// [`crate::serialize`]).
+    pub fn save_weights(&self) -> Vec<u8> {
+        crate::serialize::save_params(&self.store)
+    }
+
+    /// Load weights produced by [`Uae::save_weights`] from an estimator
+    /// with the identical architecture.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), crate::serialize::LoadError> {
+        crate::serialize::load_params(&mut self.store, bytes)?;
+        self.est.lock().raw = None;
+        Ok(())
+    }
+
+    /// Estimated selectivity of a query.
+    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
+        let vq = self.translate(query);
+        self.estimate_vquery(&vq)
+    }
+
+    /// Estimated selectivity of a **disjunction** of conjunctive queries
+    /// via inclusion-exclusion (paper §3): `P(∪ q_i) = Σ_{S≠∅} (-1)^{|S|+1}
+    /// P(∧_{i∈S} q_i)`. Exponential in the number of disjuncts; intended
+    /// for the small `OR` lists real predicates produce (≤ ~6).
+    pub fn estimate_disjunction_selectivity(&self, disjuncts: &[Query]) -> f64 {
+        assert!(!disjuncts.is_empty(), "empty disjunction");
+        assert!(disjuncts.len() <= 12, "inclusion-exclusion over too many disjuncts");
+        let mut total = 0.0f64;
+        for mask in 1u32..(1 << disjuncts.len()) {
+            let mut conj = Query::default();
+            for (i, q) in disjuncts.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    conj = conj.and(q);
+                }
+            }
+            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            total += sign * self.estimate_selectivity(&conj);
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    /// Estimated cardinality of a disjunction of conjunctive queries.
+    pub fn estimate_disjunction_card(&self, disjuncts: &[Query]) -> f64 {
+        self.estimate_disjunction_selectivity(disjuncts) * self.table.num_rows() as f64
+    }
+}
+
+impl Clone for Uae {
+    /// Deep copy: the clone trains and estimates independently (fresh
+    /// inference cache). Used by the hyper-parameter studies to branch
+    /// several refinements off one pretrained model.
+    fn clone(&self) -> Self {
+        Uae {
+            name: self.name.clone(),
+            table: self.table.clone(),
+            col_remap: self.col_remap.clone(),
+            schema: self.schema.clone(),
+            model: self.model.clone(),
+            store: self.store.clone(),
+            rows: self.rows.clone(),
+            cfg: self.cfg.clone(),
+            opt: self.opt.clone(),
+            // StdRng is not `Clone` in this rand version; reseed
+            // deterministically instead — the clone is used to branch
+            // *independent* refinements, not to replay streams.
+            rng: StdRng::seed_from_u64(self.cfg.train.seed ^ 0xb4a),
+            est: Mutex::new(EstCache {
+                raw: None,
+                rng: StdRng::seed_from_u64(self.cfg.train.seed ^ 0xc10e),
+            }),
+        }
+    }
+}
+
+fn shuffle(xs: &mut [usize], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+impl CardinalityEstimator for Uae {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate_card(&self, query: &Query) -> f64 {
+        self.estimate_selectivity(query) * self.table.num_rows() as f64
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use uae_data::census_like;
+    use uae_query::{evaluate, generate_workload, WorkloadSpec};
+
+    fn quick_cfg() -> UaeConfig {
+        UaeConfig {
+            model: ResMadeConfig { hidden: 32, blocks: 1, seed: 5 },
+            factor_threshold: usize::MAX,
+            order: crate::ordering::ColumnOrder::Natural,
+            encoding: crate::encoding::EncodingMode::Binary,
+            train: TrainConfig {
+                batch_size: 128,
+                query_batch: 8,
+                dps: crate::dps::DpsConfig { tau: 1.0, samples: 8 },
+                ..TrainConfig::default()
+            },
+            estimate_samples: 100,
+        }
+    }
+
+    #[test]
+    fn uae_d_learns_a_small_table() {
+        let t = census_like(1500, 3);
+        let mut uae = Uae::new(&t, quick_cfg()).with_name("Naru");
+        let losses = uae.train_data(4);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.9),
+            "data loss should drop: {losses:?}"
+        );
+        let w = generate_workload(&t, &WorkloadSpec::random(25, 7), &HashSet::new());
+        let ev = evaluate(&uae, &w);
+        assert!(ev.errors.median < 4.0, "median q-error {}", ev.errors.median);
+        assert_eq!(ev.name, "Naru");
+        assert!(uae.size_bytes() > 1000);
+    }
+
+    #[test]
+    fn hybrid_training_improves_in_workload_accuracy() {
+        let t = census_like(1500, 4);
+        let col = uae_query::default_bounded_column(&t);
+        let train_w =
+            generate_workload(&t, &WorkloadSpec::in_workload(col, 60, 11), &HashSet::new());
+        let excl = uae_query::fingerprints(&train_w);
+        let test_w = generate_workload(&t, &WorkloadSpec::in_workload(col, 20, 12), &excl);
+
+        let mut uae = Uae::new(&t, quick_cfg());
+        uae.train_hybrid(&train_w, 3);
+        let ev = evaluate(&uae, &test_w);
+        // An untrained model is off by orders of magnitude; a briefly
+        // hybrid-trained one should already be in a sane band.
+        assert!(ev.errors.median < 8.0, "median q-error {}", ev.errors.median);
+    }
+
+    #[test]
+    fn uae_q_trains_from_queries_alone() {
+        let t = census_like(1200, 5);
+        let col = uae_query::default_bounded_column(&t);
+        let w = generate_workload(&t, &WorkloadSpec::in_workload(col, 40, 21), &HashSet::new());
+        let mut uae = Uae::new(&t, quick_cfg()).with_name("UAE-Q");
+        let losses = uae.train_queries(&w, 4);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "query loss should drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_data_extends_table() {
+        let t = census_like(600, 6);
+        let extra = t.take_rows(&(0..100).collect::<Vec<_>>());
+        let mut uae = Uae::new(&t, quick_cfg());
+        uae.train_data(1);
+        uae.ingest_data(&extra, 1);
+        assert_eq!(uae.table().num_rows(), 700);
+    }
+
+    #[test]
+    fn estimates_are_nonnegative_and_bounded() {
+        let t = census_like(800, 8);
+        let uae = Uae::new(&t, quick_cfg());
+        let w = generate_workload(&t, &WorkloadSpec::random(10, 3), &HashSet::new());
+        for lq in &w {
+            let card = uae.estimate_card(&lq.query);
+            assert!(card >= 0.0 && card <= t.num_rows() as f64 + 1e-6, "card {card}");
+        }
+    }
+}

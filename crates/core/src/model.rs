@@ -1,0 +1,567 @@
+//! ResMADE — the masked autoregressive MLP used by UAE (paper §4.2,
+//! architecture from Nash & Durkan's Autoregressive Energy Machines).
+//!
+//! Masks enforce the autoregressive property: the logits of virtual column
+//! `i` depend only on the *input blocks* of columns `< i` (left-to-right
+//! order, which the paper adopts). Hidden units carry a degree
+//! `m ∈ [1, n-1]`; connections are allowed from degree `a` to degree `b`
+//! when `a <= b` between hidden layers, `deg(input) <= m` into the first
+//! layer, and `m < deg(output)` into the output layer. Residual blocks
+//! reuse one degree assignment, so identity skips are mask-consistent.
+
+use std::rc::Rc;
+
+use uae_tensor::rng::he_uniform;
+use uae_tensor::{NodeId, ParamId, ParamStore, Tape, Tensor};
+
+use crate::encoding::{EncodingMode, VirtualSchema};
+
+/// Hyper-parameters of the ResMADE network.
+#[derive(Debug, Clone)]
+pub struct ResMadeConfig {
+    /// Hidden width (the paper uses 128).
+    pub hidden: usize,
+    /// Number of residual blocks (the paper's "2 hidden layers" ≈ 1 block
+    /// plus the input layer).
+    pub blocks: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for ResMadeConfig {
+    fn default() -> Self {
+        ResMadeConfig { hidden: 128, blocks: 1, seed: 0x5eed }
+    }
+}
+
+/// The masked autoregressive network. Parameters live in a [`ParamStore`];
+/// the struct itself holds ids, masks and shape metadata only.
+#[derive(Debug, Clone)]
+pub struct ResMade {
+    input_width: usize,
+    logit_width: usize,
+    hidden: usize,
+    w_in: ParamId,
+    b_in: ParamId,
+    blocks: Vec<BlockParams>,
+    w_out: ParamId,
+    b_out: ParamId,
+    mask_in: Rc<Tensor>,
+    mask_hidden: Rc<Tensor>,
+    mask_out: Rc<Tensor>,
+    /// Per-virtual-column logit slices, copied from the schema.
+    logit_slices: Vec<(usize, usize)>,
+    /// Per-virtual-column input encoding tables (`E_v` with
+    /// `E_v[code] = encoded input block`): constant binary matrices or
+    /// learnable embeddings (§4.6).
+    enc: Vec<EncTable>,
+}
+
+#[derive(Debug, Clone)]
+enum EncTable {
+    /// Fixed binary encoding matrix.
+    Const(Rc<Tensor>),
+    /// Learnable embedding parameter.
+    Learned(ParamId),
+}
+
+#[derive(Debug, Clone)]
+struct BlockParams {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+}
+
+impl ResMade {
+    /// Create the network for `schema`, registering parameters in `store`.
+    pub fn new(store: &mut ParamStore, schema: &VirtualSchema, cfg: &ResMadeConfig) -> Self {
+        let (input_deg, logit_deg) = schema.degrees();
+        let input_width = schema.input_width();
+        let logit_width = schema.logit_width();
+        let n = schema.num_virtual();
+        let hidden = cfg.hidden;
+
+        // Hidden degrees cycle over 1..=n-1 (or all 0 for a 1-column table,
+        // where the single output must connect to nothing).
+        let hidden_deg: Vec<usize> = (0..hidden)
+            .map(|h| if n > 1 { (h % (n - 1)) + 1 } else { 0 })
+            .collect();
+
+        let mask_in = {
+            let mut m = Tensor::zeros(input_width, hidden);
+            for (i, &di) in input_deg.iter().enumerate() {
+                for (h, &mh) in hidden_deg.iter().enumerate() {
+                    if di <= mh {
+                        m.set(i, h, 1.0);
+                    }
+                }
+            }
+            Rc::new(m)
+        };
+        let mask_hidden = {
+            let mut m = Tensor::zeros(hidden, hidden);
+            for (a, &ma) in hidden_deg.iter().enumerate() {
+                for (b, &mb) in hidden_deg.iter().enumerate() {
+                    if ma <= mb {
+                        m.set(a, b, 1.0);
+                    }
+                }
+            }
+            Rc::new(m)
+        };
+        let mask_out = {
+            let mut m = Tensor::zeros(hidden, logit_width);
+            for (h, &mh) in hidden_deg.iter().enumerate() {
+                for (o, &dout) in logit_deg.iter().enumerate() {
+                    if mh < dout {
+                        m.set(h, o, 1.0);
+                    }
+                }
+            }
+            Rc::new(m)
+        };
+
+        let mut rng = uae_tensor::rng::seeded_rng(cfg.seed);
+        let w_in = store.add("w_in", he_uniform(&mut rng, input_width, hidden));
+        let b_in = store.add("b_in", Tensor::zeros(1, hidden));
+        let blocks = (0..cfg.blocks)
+            .map(|i| BlockParams {
+                w1: store.add(format!("blk{i}.w1"), he_uniform(&mut rng, hidden, hidden)),
+                b1: store.add(format!("blk{i}.b1"), Tensor::zeros(1, hidden)),
+                w2: store.add(format!("blk{i}.w2"), he_uniform(&mut rng, hidden, hidden)),
+                b2: store.add(format!("blk{i}.b2"), Tensor::zeros(1, hidden)),
+            })
+            .collect();
+        let w_out = store.add("w_out", he_uniform(&mut rng, hidden, logit_width));
+        let b_out = store.add("b_out", Tensor::zeros(1, logit_width));
+
+        let logit_slices = (0..n).map(|v| schema.logit_slice(v)).collect();
+
+        let enc = (0..n)
+            .map(|v| match schema.mode() {
+                EncodingMode::Binary => EncTable::Const(Rc::new(schema.codec(v).soft_matrix())),
+                EncodingMode::Embedding { dim } => {
+                    let domain = schema.codec(v).domain();
+                    EncTable::Learned(
+                        store.add(format!("emb{v}"), he_uniform(&mut rng, domain, dim)),
+                    )
+                }
+            })
+            .collect();
+
+        ResMade {
+            input_width,
+            logit_width,
+            hidden,
+            w_in,
+            b_in,
+            blocks,
+            w_out,
+            b_out,
+            mask_in,
+            mask_hidden,
+            mask_out,
+            logit_slices,
+            enc,
+        }
+    }
+
+    /// Build the model-input node for a batch of virtual-code rows:
+    /// constant binary encodings, or tape-level embedding lookups whose
+    /// gradients train the embedding tables.
+    pub fn input_node(
+        &self,
+        tape: &mut Tape<'_>,
+        schema: &VirtualSchema,
+        rows: &[Vec<u32>],
+        wildcards: Option<&[Vec<bool>]>,
+    ) -> NodeId {
+        match schema.mode() {
+            EncodingMode::Binary => tape.input(schema.encode_batch(rows, wildcards)),
+            EncodingMode::Embedding { .. } => {
+                let blocks: Vec<NodeId> = (0..schema.num_virtual())
+                    .map(|v| {
+                        let idx: Rc<Vec<u32>> = Rc::new(
+                            rows.iter()
+                                .enumerate()
+                                .map(|(r, codes)| {
+                                    if wildcards.is_some_and(|w| w[r][v]) {
+                                        u32::MAX
+                                    } else {
+                                        codes[v]
+                                    }
+                                })
+                                .collect(),
+                        );
+                        let table = self.enc_node(tape, v);
+                        tape.embed_rows(table, idx)
+                    })
+                    .collect();
+                tape.concat_cols(&blocks)
+            }
+        }
+    }
+
+    /// Embed a *soft* one-hot sample into input space: `y @ E_v`
+    /// (differentiable both through `y` and, for learnable encodings,
+    /// through `E_v`).
+    pub fn soft_block(&self, tape: &mut Tape<'_>, v: usize, y: NodeId) -> NodeId {
+        let e = self.enc_node(tape, v);
+        tape.matmul(y, e)
+    }
+
+    fn enc_node(&self, tape: &mut Tape<'_>, v: usize) -> NodeId {
+        match &self.enc[v] {
+            EncTable::Const(t) => tape.input((**t).clone()),
+            EncTable::Learned(id) => tape.param(*id),
+        }
+    }
+
+    /// Model input dimension.
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// Model output (logit) dimension.
+    pub fn logit_width(&self) -> usize {
+        self.logit_width
+    }
+
+    /// Hidden layer width.
+    pub fn hidden_width(&self) -> usize {
+        self.hidden
+    }
+
+    /// Logit slice of a virtual column.
+    pub fn logit_slice(&self, v: usize) -> (usize, usize) {
+        self.logit_slices[v]
+    }
+
+    /// Hidden representation on a tape (shared by all logit heads).
+    pub fn hidden_tape(&self, tape: &mut Tape<'_>, x: NodeId) -> NodeId {
+        let w = tape.param(self.w_in);
+        let b = tape.param(self.b_in);
+        let h = tape.matmul_masked(x, w, Rc::clone(&self.mask_in));
+        let h = tape.add_bias(h, b);
+        let mut h = tape.relu(h);
+        for blk in &self.blocks {
+            let w1 = tape.param(blk.w1);
+            let b1 = tape.param(blk.b1);
+            let w2 = tape.param(blk.w2);
+            let b2 = tape.param(blk.b2);
+            let t = tape.matmul_masked(h, w1, Rc::clone(&self.mask_hidden));
+            let t = tape.add_bias(t, b1);
+            let t = tape.relu(t);
+            let t = tape.matmul_masked(t, w2, Rc::clone(&self.mask_hidden));
+            let t = tape.add_bias(t, b2);
+            h = tape.add(h, t);
+        }
+        tape.relu(h)
+    }
+
+    /// Full logits on a tape (used by the data loss).
+    pub fn forward_tape(&self, tape: &mut Tape<'_>, x: NodeId) -> NodeId {
+        let h = self.hidden_tape(tape, x);
+        let w = tape.param(self.w_out);
+        let b = tape.param(self.b_out);
+        let y = tape.matmul_masked(h, w, Rc::clone(&self.mask_out));
+        tape.add_bias(y, b)
+    }
+
+    /// Logits of a single virtual column on a tape (used by DPS, which
+    /// never needs the full output layer at once).
+    pub fn logits_col_tape(&self, tape: &mut Tape<'_>, hidden: NodeId, v: usize) -> NodeId {
+        let (s, e) = self.logit_slices[v];
+        let w = tape.param(self.w_out);
+        let wv = tape.slice_cols(w, s, e);
+        let b = tape.param(self.b_out);
+        let bv = tape.slice_cols(b, s, e);
+        let mask = Rc::new(self.mask_out.slice_cols(s, e));
+        let y = tape.matmul_masked(hidden, wv, mask);
+        tape.add_bias(y, bv)
+    }
+
+    /// Pre-masked weight snapshot for fast tape-free inference
+    /// (progressive sampling runs many forwards per query).
+    pub fn snapshot(&self, store: &ParamStore) -> RawModel {
+        let masked = |w: ParamId, m: &Tensor| store.get(w).zip(m, |a, b| a * b);
+        RawModel {
+            w_in: masked(self.w_in, &self.mask_in),
+            b_in: store.get(self.b_in).clone(),
+            blocks: self
+                .blocks
+                .iter()
+                .map(|blk| RawBlock {
+                    w1: masked(blk.w1, &self.mask_hidden),
+                    b1: store.get(blk.b1).clone(),
+                    w2: masked(blk.w2, &self.mask_hidden),
+                    b2: store.get(blk.b2).clone(),
+                })
+                .collect(),
+            w_out: masked(self.w_out, &self.mask_out),
+            b_out: store.get(self.b_out).clone(),
+            logit_slices: self.logit_slices.clone(),
+            enc: self
+                .enc
+                .iter()
+                .map(|e| match e {
+                    EncTable::Const(t) => (**t).clone(),
+                    EncTable::Learned(id) => store.get(*id).clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Pre-masked weights for tape-free forwards.
+#[derive(Debug, Clone)]
+pub struct RawModel {
+    w_in: Tensor,
+    b_in: Tensor,
+    blocks: Vec<RawBlock>,
+    w_out: Tensor,
+    b_out: Tensor,
+    logit_slices: Vec<(usize, usize)>,
+    /// Materialized per-column input encodings (`enc[v].row(code)`).
+    enc: Vec<Tensor>,
+}
+
+#[derive(Debug, Clone)]
+struct RawBlock {
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+impl RawModel {
+    /// Hidden representation of a batch (rows = samples).
+    pub fn hidden(&self, x: &Tensor) -> Tensor {
+        let mut h = x.matmul(&self.w_in);
+        add_bias_relu(&mut h, &self.b_in);
+        for blk in &self.blocks {
+            let mut t = h.matmul(&blk.w1);
+            add_bias_relu(&mut t, &blk.b1);
+            let mut t = t.matmul(&blk.w2);
+            add_bias(&mut t, &blk.b2);
+            h.add_assign(&t);
+        }
+        h.map(|v| v.max(0.0))
+    }
+
+    /// Logits of one virtual column given hidden states.
+    pub fn logits_col(&self, hidden: &Tensor, v: usize) -> Tensor {
+        let (s, e) = self.logit_slices[v];
+        let w = self.w_out.slice_cols(s, e);
+        let mut y = hidden.matmul(&w);
+        let b = self.b_out.slice_cols(s, e);
+        add_bias(&mut y, &b);
+        y
+    }
+
+    /// Write the encoded input block of `code` on column `v` into `out`
+    /// (a slice of a model-input row).
+    pub fn encode_into(&self, v: usize, code: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.enc[v].row(code as usize));
+    }
+
+    /// Full logits (all columns).
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        let h = self.hidden(x);
+        let mut y = h.matmul(&self.w_out);
+        add_bias(&mut y, &self.b_out);
+        y
+    }
+}
+
+fn add_bias(t: &mut Tensor, bias: &Tensor) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), t.cols());
+    for r in 0..t.rows() {
+        let b = bias.row(0);
+        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
+            *o += bv;
+        }
+    }
+}
+
+fn add_bias_relu(t: &mut Tensor, bias: &Tensor) {
+    for r in 0..t.rows() {
+        let b = bias.row(0);
+        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
+            *o = (*o + bv).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{Table, Value};
+
+    fn schema(domains: &[usize]) -> (Table, VirtualSchema) {
+        let rows = 16;
+        let cols = domains
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                let vals: Vec<Value> =
+                    (0..rows).map(|r| Value::Int(((r + j) % d) as i64)).collect();
+                (format!("c{j}"), vals)
+            })
+            .collect();
+        let t = Table::from_columns("t", cols);
+        let s = VirtualSchema::build(&t, usize::MAX);
+        (t, s)
+    }
+
+    /// The defining MADE property: logits of column `i` must not change when
+    /// inputs of columns `>= i` change.
+    #[test]
+    fn autoregressive_property_holds() {
+        let (_, s) = schema(&[4, 5, 3]);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 32, blocks: 2, seed: 1 });
+        let raw = model.snapshot(&store);
+
+        let base_rows = vec![vec![1u32, 2, 0]];
+        let x0 = s.encode_batch(&base_rows, None);
+        let y0 = raw.logits(&x0);
+
+        // Perturb column 1 and 2 inputs; column 0's and column 1's logits
+        // must be unaffected by changes at or after their own position.
+        let pert_rows = vec![vec![1u32, 4, 2]];
+        let x1 = s.encode_batch(&pert_rows, None);
+        let y1 = raw.logits(&x1);
+
+        let (s0, e0) = s.logit_slice(0);
+        for c in s0..e0 {
+            assert!((y0.at(0, c) - y1.at(0, c)).abs() < 1e-6, "col 0 logits leaked");
+        }
+        let (s1, e1) = s.logit_slice(1);
+        for c in s1..e1 {
+            assert!((y0.at(0, c) - y1.at(0, c)).abs() < 1e-6, "col 1 logits must ignore col >= 1");
+        }
+        // Column 2's logits SHOULD change when column 1 changes.
+        let (s2, e2) = s.logit_slice(2);
+        let changed = (s2..e2).any(|c| (y0.at(0, c) - y1.at(0, c)).abs() > 1e-6);
+        assert!(changed, "col 2 logits must depend on col 1");
+    }
+
+    #[test]
+    fn first_column_depends_on_nothing() {
+        let (_, s) = schema(&[7, 3]);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 16, blocks: 1, seed: 2 });
+        let raw = model.snapshot(&store);
+        let a = raw.logits(&s.encode_batch(&[vec![0, 0]], None));
+        let b = raw.logits(&s.encode_batch(&[vec![6, 2]], None));
+        let (s0, e0) = s.logit_slice(0);
+        for c in s0..e0 {
+            assert!((a.at(0, c) - b.at(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tape_and_raw_forwards_agree() {
+        let (_, s) = schema(&[4, 6, 3, 5]);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 24, blocks: 2, seed: 3 });
+        let raw = model.snapshot(&store);
+        let x = s.encode_batch(&[vec![1, 5, 2, 0], vec![3, 0, 1, 4]], None);
+
+        let mut tape = Tape::new(&store);
+        let xn = tape.input(x.clone());
+        let yn = model.forward_tape(&mut tape, xn);
+        let y_tape = tape.value(yn).clone();
+        let y_raw = raw.logits(&x);
+        assert!(y_tape.max_abs_diff(&y_raw) < 1e-5);
+
+        // Per-column head matches the slice of the full forward.
+        let mut tape2 = Tape::new(&store);
+        let xn2 = tape2.input(x.clone());
+        let h = model.hidden_tape(&mut tape2, xn2);
+        let l2 = model.logits_col_tape(&mut tape2, h, 2);
+        let (s2, e2) = s.logit_slice(2);
+        assert!(tape2.value(l2).max_abs_diff(&y_raw.slice_cols(s2, e2)) < 1e-5);
+
+        let h_raw = raw.hidden(&x);
+        assert!(raw.logits_col(&h_raw, 2).max_abs_diff(&y_raw.slice_cols(s2, e2)) < 1e-5);
+    }
+
+    #[test]
+    fn wildcard_input_changes_later_logits_only() {
+        let (_, s) = schema(&[4, 5, 3]);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 32, blocks: 1, seed: 4 });
+        let raw = model.snapshot(&store);
+        let full = s.encode_batch(&[vec![1, 2, 0]], None);
+        let wild = s.encode_batch(&[vec![1, 2, 0]], Some(&[vec![false, true, false]]));
+        let yf = raw.logits(&full);
+        let yw = raw.logits(&wild);
+        // Columns 0 and 1 unchanged (they don't see col 1's input).
+        let (s0, e1) = (s.logit_slice(0).0, s.logit_slice(1).1);
+        for c in s0..e1 {
+            assert!((yf.at(0, c) - yw.at(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_mode_keeps_autoregressive_property() {
+        use crate::encoding::EncodingMode;
+        let rows = 16;
+        let cols = [4usize, 5, 3]
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| {
+                let vals: Vec<Value> =
+                    (0..rows).map(|r| Value::Int(((r + j) % d) as i64)).collect();
+                (format!("c{j}"), vals)
+            })
+            .collect();
+        let t = Table::from_columns("t", cols);
+        let s = VirtualSchema::build_with_mode(&t, usize::MAX, EncodingMode::Embedding { dim: 6 });
+        assert_eq!(s.input_width(), 3 * 6);
+        let mut store = ParamStore::new();
+        let model =
+            ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 24, blocks: 1, seed: 13 });
+
+        // Tape-level embedding inputs: logits of column v ignore inputs >= v.
+        let mut tape = Tape::new(&store);
+        let x0 = model.input_node(&mut tape, &s, &[vec![1, 2, 0]], None);
+        let y0 = model.forward_tape(&mut tape, x0);
+        let y0 = tape.value(y0).clone();
+        let mut tape2 = Tape::new(&store);
+        let x1 = model.input_node(&mut tape2, &s, &[vec![1, 4, 2]], None);
+        let y1 = model.forward_tape(&mut tape2, x1);
+        let y1 = tape2.value(y1).clone();
+        let (s0, e1) = (s.logit_slice(0).0, s.logit_slice(1).1);
+        for c in s0..e1 {
+            assert!(
+                (y0.at(0, c) - y1.at(0, c)).abs() < 1e-6,
+                "embedding inputs leaked future columns"
+            );
+        }
+
+        // The raw snapshot agrees with the tape forward.
+        let raw = model.snapshot(&store);
+        let mut xraw = Tensor::zeros(1, s.input_width());
+        for v in 0..3 {
+            let (bs, be) = s.input_slice(v);
+            raw.encode_into(v, [1u32, 2, 0][v], &mut xraw.row_mut(0)[bs..be]);
+        }
+        assert!(raw.logits(&xraw).max_abs_diff(&y0) < 1e-5);
+    }
+
+    #[test]
+    fn single_column_table_is_marginal_only() {
+        let (_, s) = schema(&[9]);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(&mut store, &s, &ResMadeConfig { hidden: 8, blocks: 1, seed: 5 });
+        let raw = model.snapshot(&store);
+        let a = raw.logits(&s.encode_batch(&[vec![0]], None));
+        let b = raw.logits(&s.encode_batch(&[vec![8]], None));
+        assert!(a.max_abs_diff(&b) < 1e-6, "single column logits must be constant");
+    }
+}

@@ -1,0 +1,175 @@
+//! Autoregressive column-ordering strategies.
+//!
+//! The paper uses the left-to-right (natural) order and points to Naru /
+//! MADE for better-ordering heuristics (§4.2). This module implements the
+//! common ones so their effect can be measured (see the `ablations` bench):
+//!
+//! * [`ColumnOrder::Natural`] — table order (the paper's choice);
+//! * [`ColumnOrder::DomainDesc`] / [`ColumnOrder::DomainAsc`] — widest or
+//!   narrowest domains first;
+//! * [`ColumnOrder::GreedyMutualInfo`] — start from the highest-entropy
+//!   column, then repeatedly append the column with the largest mutual
+//!   information to any already-placed column, so strongly dependent
+//!   columns sit close together in the factorization.
+
+use uae_data::Table;
+
+/// Ordering strategy for the autoregressive factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnOrder {
+    /// Table order (paper default).
+    #[default]
+    Natural,
+    /// Largest domains first.
+    DomainDesc,
+    /// Smallest domains first.
+    DomainAsc,
+    /// Greedy maximum-dependence chain.
+    GreedyMutualInfo,
+}
+
+/// Compute the column permutation for a strategy
+/// (`perm[i]` = original index of position `i`).
+pub fn compute_order(table: &Table, order: ColumnOrder) -> Vec<usize> {
+    let n = table.num_cols();
+    match order {
+        ColumnOrder::Natural => (0..n).collect(),
+        ColumnOrder::DomainDesc => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&c| std::cmp::Reverse(table.column(c).domain_size()));
+            idx
+        }
+        ColumnOrder::DomainAsc => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by_key(|&c| table.column(c).domain_size());
+            idx
+        }
+        ColumnOrder::GreedyMutualInfo => greedy_mi_order(table),
+    }
+}
+
+fn greedy_mi_order(table: &Table) -> Vec<usize> {
+    const BINS: usize = 16;
+    let n = table.num_cols();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let rows = table.num_rows().max(1);
+    // Binned codes per column.
+    let binned: Vec<Vec<u32>> = (0..n)
+        .map(|c| {
+            let col = table.column(c);
+            let d = col.domain_size().max(1) as u64;
+            let nb = BINS.min(col.domain_size()) as u64;
+            col.codes().iter().map(|&v| ((v as u64 * nb) / d) as u32).collect()
+        })
+        .collect();
+    let entropy = |c: usize| -> f64 {
+        let mut counts = [0u32; BINS];
+        for &b in &binned[c] {
+            counts[b as usize] += 1;
+        }
+        counts
+            .iter()
+            .filter(|&&x| x > 0)
+            .map(|&x| {
+                let p = x as f64 / rows as f64;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let mi = |a: usize, b: usize| -> f64 {
+        let mut joint = [[0u32; BINS]; BINS];
+        for r in 0..rows {
+            joint[binned[a][r] as usize][binned[b][r] as usize] += 1;
+        }
+        let (mut pa, mut pb) = ([0.0f64; BINS], [0.0f64; BINS]);
+        for (x, row) in joint.iter().enumerate() {
+            for (y, &c) in row.iter().enumerate() {
+                let p = c as f64 / rows as f64;
+                pa[x] += p;
+                pb[y] += p;
+            }
+        }
+        let mut m = 0.0;
+        for (x, row) in joint.iter().enumerate() {
+            for (y, &c) in row.iter().enumerate() {
+                let p = c as f64 / rows as f64;
+                if p > 0.0 && pa[x] > 0.0 && pb[y] > 0.0 {
+                    m += p * (p / (pa[x] * pb[y])).ln();
+                }
+            }
+        }
+        m
+    };
+
+    let first = (0..n)
+        .max_by(|&a, &b| entropy(a).total_cmp(&entropy(b)))
+        .expect("nonempty");
+    let mut order = vec![first];
+    let mut remaining: Vec<usize> = (0..n).filter(|&c| c != first).collect();
+    while !remaining.is_empty() {
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &cand)| {
+                let best_link = order.iter().map(|&p| mi(cand, p)).fold(0.0f64, f64::max);
+                (i, best_link)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty remaining");
+        order.push(remaining.swap_remove(pos));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::Value;
+
+    fn table() -> Table {
+        let n = 2000i64;
+        Table::from_columns(
+            "t",
+            vec![
+                ("narrow".into(), (0..n).map(|v| Value::Int(v % 2)).collect()),
+                ("wide".into(), (0..n).map(|v| Value::Int(v % 100)).collect()),
+                ("wide_dep".into(), (0..n).map(|v| Value::Int((v % 100) / 2)).collect()),
+                ("mid".into(), (0..n).map(|v| Value::Int((v * 31 + 7) % 10)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn natural_is_identity() {
+        assert_eq!(compute_order(&table(), ColumnOrder::Natural), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn domain_orders_sort_by_size() {
+        let t = table();
+        let desc = compute_order(&t, ColumnOrder::DomainDesc);
+        assert_eq!(desc[0], 1, "widest first");
+        let asc = compute_order(&t, ColumnOrder::DomainAsc);
+        assert_eq!(asc[0], 0, "narrowest first");
+        // Both are permutations.
+        for mut p in [desc, asc] {
+            p.sort_unstable();
+            assert_eq!(p, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn greedy_mi_places_dependent_columns_adjacent() {
+        let t = table();
+        let order = compute_order(&t, ColumnOrder::GreedyMutualInfo);
+        let pos = |c: usize| order.iter().position(|&x| x == c).unwrap();
+        // wide (1) and wide_dep (2) are deterministic functions of each
+        // other; the chain must keep them adjacent.
+        assert_eq!(pos(1).abs_diff(pos(2)), 1, "order {order:?}");
+        let mut p = order.clone();
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Model-weight serialization: a small, versioned, self-describing binary
+//! format (`UAEW`), so trained estimators can be checkpointed and shipped —
+//! the paper's deployment story is "only model weights need to be stored"
+//! (§4.2).
+
+use uae_tensor::{ParamStore, Tensor};
+
+const MAGIC: &[u8; 4] = b"UAEW";
+const VERSION: u32 = 1;
+
+/// Errors from loading a weight blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Not a UAEW blob.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Truncated or structurally invalid payload.
+    Corrupt(&'static str),
+    /// Parameter count or shapes do not match the target store.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not a UAEW weight blob"),
+            LoadError::BadVersion(v) => write!(f, "unsupported UAEW version {v}"),
+            LoadError::Corrupt(what) => write!(f, "corrupt UAEW blob: {what}"),
+            LoadError::ShapeMismatch(what) => write!(f, "weight shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serialize every parameter of a store.
+pub fn save_params(store: &ParamStore) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + store.size_bytes());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        let t = store.get(id);
+        out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+        for &v in t.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Load a blob into an existing store (shapes and order must match — the
+/// store comes from constructing the same model architecture).
+pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> Result<(), LoadError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let count = r.u32()? as usize;
+    if count != store.len() {
+        return Err(LoadError::ShapeMismatch(format!(
+            "blob has {count} parameters, model has {}",
+            store.len()
+        )));
+    }
+    // Two-phase: validate everything, then commit.
+    let mut tensors = Vec::with_capacity(count);
+    for id in store.ids() {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| LoadError::Corrupt("non-utf8 parameter name"))?;
+        if name != store.name(id) {
+            return Err(LoadError::ShapeMismatch(format!(
+                "parameter `{}` expected, blob has `{name}`",
+                store.name(id)
+            )));
+        }
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let expect = store.get(id).shape();
+        if (rows, cols) != expect {
+            return Err(LoadError::ShapeMismatch(format!(
+                "parameter `{name}`: blob {rows}x{cols}, model {}x{}",
+                expect.0, expect.1
+            )));
+        }
+        let raw = r.take(rows * cols * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        tensors.push(Tensor::from_vec(rows, cols, data));
+    }
+    if r.pos != bytes.len() {
+        return Err(LoadError::Corrupt("trailing bytes"));
+    }
+    for (id, t) in store.ids().zip(tensors) {
+        *store.get_mut(id) = t;
+    }
+    Ok(())
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(LoadError::Corrupt("unexpected end of blob"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::from_vec(2, 3, vec![1.0, -2.5, 3.25, 0.0, 1e-7, -1e7]));
+        s.add("b", Tensor::from_vec(1, 3, vec![0.5, 0.25, -0.125]));
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_weights() {
+        let original = store();
+        let blob = save_params(&original);
+        let mut target = store();
+        // Scramble, then load.
+        for id in target.ids().collect::<Vec<_>>() {
+            target.get_mut(id).fill_zero();
+        }
+        load_params(&mut target, &blob).expect("load");
+        for id in original.ids() {
+            assert_eq!(original.get(id), target.get(id));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let mut s = store();
+        assert_eq!(load_params(&mut s, b"nope"), Err(LoadError::BadMagic));
+        let blob = save_params(&store());
+        assert!(matches!(
+            load_params(&mut s, &blob[..blob.len() - 3]),
+            Err(LoadError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let blob = save_params(&store());
+        let mut other = ParamStore::new();
+        other.add("w", Tensor::zeros(2, 3));
+        assert!(matches!(
+            load_params(&mut other, &blob),
+            Err(LoadError::ShapeMismatch(_))
+        ));
+        let mut renamed = ParamStore::new();
+        renamed.add("w", Tensor::zeros(2, 3));
+        renamed.add("c", Tensor::zeros(1, 3));
+        assert!(matches!(
+            load_params(&mut renamed, &blob),
+            Err(LoadError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn versioning_is_checked() {
+        let mut blob = save_params(&store());
+        blob[4] = 9; // bump version byte
+        let mut s = store();
+        assert!(matches!(load_params(&mut s, &blob), Err(LoadError::BadVersion(_))));
+    }
+}

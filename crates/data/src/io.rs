@@ -1,0 +1,259 @@
+//! CSV ingestion — the adoption path for real datasets (the paper's DMV,
+//! Census and Kddcup98 are all CSV exports).
+//!
+//! A deliberately small, dependency-free reader: comma separation,
+//! double-quote quoting with `""` escapes, optional header row, automatic
+//! integer/string typing per column (a column is integer-typed only if
+//! *every* non-empty cell parses as `i64`). Empty cells become the string
+//! `""` or integer-typed columns' sentinel `i64::MIN` — dictionary-encoded
+//! like any other value, they never collide with real data silently.
+
+use std::io::BufRead;
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Whether the first row is a header with column names.
+    pub has_header: bool,
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Maximum number of rows to read (`usize::MAX` = all).
+    pub max_rows: usize,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { has_header: true, delimiter: ',', max_rows: usize::MAX }
+    }
+}
+
+/// Errors from CSV ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A row had a different number of fields than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// Unterminated quoted field at end of input.
+    UnterminatedQuote {
+        /// 1-based line number where the field started.
+        line: usize,
+    },
+    /// The input contained no data rows.
+    Empty,
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow { line, found, expected } => {
+                write!(f, "line {line}: {found} fields, expected {expected}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Read a table from CSV text.
+///
+/// ```
+/// use uae_data::{table_from_csv, CsvOptions, Value};
+///
+/// let csv = "city,pop\nOslo,700\nBergen,280\n";
+/// let t = table_from_csv("no", std::io::Cursor::new(csv), &CsvOptions::default()).unwrap();
+/// assert_eq!(t.num_rows(), 2);
+/// assert_eq!(t.column(1).value(0), &Value::Int(700));
+/// ```
+pub fn table_from_csv(name: &str, input: impl BufRead, opts: &CsvOptions) -> Result<Table, CsvError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header: Option<Vec<String>> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| CsvError::Io(e.to_string()))?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(&line, opts.delimiter)
+            .ok_or(CsvError::UnterminatedQuote { line: lineno + 1 })?;
+        if opts.has_header && header.is_none() {
+            header = Some(fields);
+            continue;
+        }
+        if let Some(first) = rows.first() {
+            if fields.len() != first.len() {
+                return Err(CsvError::RaggedRow {
+                    line: lineno + 1,
+                    found: fields.len(),
+                    expected: first.len(),
+                });
+            }
+        } else if let Some(h) = &header {
+            if fields.len() != h.len() {
+                return Err(CsvError::RaggedRow {
+                    line: lineno + 1,
+                    found: fields.len(),
+                    expected: h.len(),
+                });
+            }
+        }
+        rows.push(fields);
+        if rows.len() >= opts.max_rows {
+            break;
+        }
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let ncols = rows[0].len();
+    let names: Vec<String> = match header {
+        Some(h) => h,
+        None => (0..ncols).map(|c| format!("col{c}")).collect(),
+    };
+
+    // Type inference: integer column iff every non-empty cell parses.
+    let is_int: Vec<bool> = (0..ncols)
+        .map(|c| {
+            rows.iter().all(|r| r[c].is_empty() || r[c].trim().parse::<i64>().is_ok())
+        })
+        .collect();
+    let columns = (0..ncols)
+        .map(|c| {
+            let values: Vec<Value> = rows
+                .iter()
+                .map(|r| {
+                    let cell = r[c].trim();
+                    if is_int[c] {
+                        if cell.is_empty() {
+                            Value::Int(i64::MIN)
+                        } else {
+                            Value::Int(cell.parse().expect("validated above"))
+                        }
+                    } else {
+                        Value::Str(cell.to_owned())
+                    }
+                })
+                .collect();
+            (names[c].clone(), values)
+        })
+        .collect();
+    Ok(Table::from_columns(name, columns))
+}
+
+/// Split one CSV record; `None` on an unterminated quote.
+fn split_csv_line(line: &str, delim: char) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' && field.is_empty() {
+            in_quotes = true;
+        } else if c == delim {
+            out.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    out.push(field);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn typed_columns_and_header() {
+        let csv = "age,name,score\n34,Alice,10\n28,Bob,20\n34,\"Chen, Wei\",15\n";
+        let t = table_from_csv("people", Cursor::new(csv), &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.column(0).name(), "age");
+        assert_eq!(t.column(0).value(0), &Value::Int(34));
+        assert_eq!(t.column(1).value(2), &Value::from("Chen, Wei"));
+        assert_eq!(t.column(0).domain_size(), 2); // 34 appears twice
+    }
+
+    #[test]
+    fn no_header_and_custom_delimiter() {
+        let csv = "1|x\n2|y\n";
+        let opts = CsvOptions { has_header: false, delimiter: '|', ..CsvOptions::default() };
+        let t = table_from_csv("t", Cursor::new(csv), &opts).unwrap();
+        assert_eq!(t.column(0).name(), "col0");
+        assert_eq!(t.column(1).value(1), &Value::from("y"));
+    }
+
+    #[test]
+    fn quoted_quotes_round_trip() {
+        let csv = "s\n\"he said \"\"hi\"\"\"\n";
+        let t = table_from_csv("t", Cursor::new(csv), &CsvOptions::default()).unwrap();
+        assert_eq!(t.column(0).value(0), &Value::from("he said \"hi\""));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        let err = table_from_csv("t", Cursor::new(csv), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 3, found: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_rejected() {
+        let csv = "a\n\"oops\n";
+        let err = table_from_csv("t", Cursor::new(csv), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_string() {
+        let csv = "v\n1\ntwo\n3\n";
+        let t = table_from_csv("t", Cursor::new(csv), &CsvOptions::default()).unwrap();
+        assert_eq!(t.column(0).value(0), &Value::from("1"));
+        assert_eq!(t.column(0).domain_size(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err =
+            table_from_csv("t", Cursor::new("a,b\n"), &CsvOptions::default()).unwrap_err();
+        assert_eq!(err, CsvError::Empty);
+    }
+
+    #[test]
+    fn max_rows_truncates() {
+        let csv = "v\n1\n2\n3\n4\n";
+        let opts = CsvOptions { max_rows: 2, ..CsvOptions::default() };
+        let t = table_from_csv("t", Cursor::new(csv), &opts).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

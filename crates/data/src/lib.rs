@@ -1,0 +1,25 @@
+//! # uae-data — column store, synthetic datasets and dataset statistics
+//!
+//! The storage substrate of the UAE reproduction:
+//!
+//! * [`Value`] / [`Column`] / [`Table`] — dictionary-encoded column store
+//!   where code order equals value order (so range predicates become code
+//!   ranges);
+//! * [`synth`] — seeded generators standing in for the paper's DMV, Census
+//!   and Kddcup98 datasets (see `DESIGN.md` §1 for the substitution
+//!   rationale);
+//! * [`stats`] — the skewness and NCIE correlation measures the paper uses
+//!   to characterize datasets (§5.1.1);
+//! * [`par`] — scoped-thread helpers for parallel scans.
+
+pub mod io;
+pub mod par;
+pub mod stats;
+pub mod synth;
+pub mod table;
+pub mod value;
+
+pub use io::{table_from_csv, CsvOptions};
+pub use synth::{census_like, dataset_by_name, dmv_large_like, dmv_like, kddcup_like};
+pub use table::{Column, Table};
+pub use value::Value;

@@ -1,0 +1,104 @@
+//! Tiny scoped-thread helpers for data-parallel scans.
+//!
+//! Ground-truth query execution and dataset statistics are embarrassingly
+//! parallel over rows or queries; these helpers split index ranges across a
+//! bounded number of OS threads with no external dependencies.
+
+use std::ops::Range;
+
+/// Number of worker threads to use by default: available parallelism capped
+/// at 8 (the workloads here are memory-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+}
+
+/// Split `0..n` into at most `threads` contiguous chunks.
+pub fn chunk_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Apply `f` to each chunk of `0..n` in parallel and collect the results in
+/// chunk order.
+pub fn par_map_ranges<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Parallel map over a slice, preserving order.
+pub fn par_map_slice<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let per_chunk = par_map_ranges(items.len(), threads, |r| {
+        items[r].iter().map(&f).collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Parallel sum of a per-range counting function.
+pub fn par_count(n: usize, threads: usize, f: impl Fn(Range<usize>) -> u64 + Sync) -> u64 {
+    par_map_ranges(n, threads, f).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for t in [1usize, 3, 8, 200] {
+                let ranges = chunk_ranges(n, t);
+                let mut covered = vec![false; n];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} t={t} left gaps");
+            }
+        }
+    }
+
+    #[test]
+    fn par_count_matches_serial() {
+        let n = 10_000;
+        let serial: u64 = (0..n as u64).filter(|x| x % 7 == 0).count() as u64;
+        let parallel = par_count(n, 4, |r| r.filter(|x| x % 7 == 0).count() as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_slice_preserves_order() {
+        let xs: Vec<i32> = (0..1000).collect();
+        let ys = par_map_slice(&xs, 5, |x| x * 2);
+        assert!(ys.iter().enumerate().all(|(i, &y)| y == i as i32 * 2));
+    }
+}

@@ -1,0 +1,270 @@
+//! Dataset statistics used by the paper's §5.1.1 to characterize datasets:
+//! Fisher–Pearson standardized moment coefficient for *skewness* and the
+//! Nonlinear Correlation Information Entropy (NCIE, Wang et al. 2005) for
+//! *correlation*. Smaller values mean weaker skew / correlation.
+
+use crate::table::{Column, Table};
+use crate::value::Value;
+
+/// Fisher–Pearson standardized moment coefficient `g1 = m3 / m2^{3/2}` of a
+/// column, computed over the numeric interpretation of its values
+/// (integer payloads for [`Value::Int`], dictionary codes otherwise).
+pub fn column_skewness(col: &Column) -> f64 {
+    let xs: Vec<f64> = (0..col.codes().len())
+        .map(|r| match col.value(r) {
+            Value::Int(v) => *v as f64,
+            Value::Str(_) => col.code(r) as f64,
+        })
+        .collect();
+    skewness(&xs)
+}
+
+/// Fisher–Pearson skewness of a sample; 0.0 for degenerate samples.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let m2 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let m3 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+    if m2 <= 1e-12 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Dataset skewness: mean of the absolute per-column skewness coefficients
+/// (the paper reports a single number per dataset).
+pub fn dataset_skewness(table: &Table) -> f64 {
+    if table.num_cols() == 0 {
+        return 0.0;
+    }
+    let total: f64 = table.columns().iter().map(|c| column_skewness(c).abs()).sum();
+    total / table.num_cols() as f64
+}
+
+/// Nonlinear correlation coefficient between two columns: mutual
+/// information of the `b x b` rank-grid histogram, normalized by the
+/// smaller of the two binned marginal entropies (so heavily skewed columns,
+/// whose rank bins collapse, are not misread as independent). `ncc ∈ [0, 1]`
+/// with 0 = independent and 1 = deterministic.
+pub fn ncc(a: &Column, b_col: &Column, b: usize) -> f64 {
+    let n = a.codes().len();
+    assert_eq!(n, b_col.codes().len());
+    if n == 0 || b < 2 {
+        return 0.0;
+    }
+    let ra = rank_bins(a, b);
+    let rb = rank_bins(b_col, b);
+    let mut joint = vec![0u64; b * b];
+    for i in 0..n {
+        joint[ra[i] * b + rb[i]] += 1;
+    }
+    let mut pa = vec![0f64; b];
+    let mut pb = vec![0f64; b];
+    for i in 0..b {
+        for j in 0..b {
+            let p = joint[i * b + j] as f64 / n as f64;
+            pa[i] += p;
+            pb[j] += p;
+        }
+    }
+    let mut mi = 0.0f64;
+    for i in 0..b {
+        for j in 0..b {
+            let p = joint[i * b + j] as f64 / n as f64;
+            if p > 0.0 && pa[i] > 0.0 && pb[j] > 0.0 {
+                mi += p * (p / (pa[i] * pb[j])).ln();
+            }
+        }
+    }
+    let entropy = |ps: &[f64]| -> f64 {
+        ps.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+    };
+    let h = entropy(&pa).min(entropy(&pb));
+    if h < 1e-9 {
+        return 0.0;
+    }
+    (mi / h).clamp(0.0, 1.0)
+}
+
+/// Rank-grid bin of every row of a column: rows are ranked by code (which is
+/// value order) and split into `b` equal-frequency bins.
+fn rank_bins(col: &Column, b: usize) -> Vec<usize> {
+    let n = col.codes().len();
+    let hist = col.histogram();
+    // cumulative rank of each code's first occurrence
+    let mut cum = vec![0u64; hist.len() + 1];
+    for (i, &h) in hist.iter().enumerate() {
+        cum[i + 1] = cum[i] + h;
+    }
+    col.codes()
+        .iter()
+        .map(|&c| {
+            // mid-rank of this code's value block
+            let mid = cum[c as usize] + hist[c as usize] / 2;
+            ((mid as usize * b) / n).min(b - 1)
+        })
+        .collect()
+}
+
+/// NCIE of a table (Wang et al. 2005): build the nonlinear correlation
+/// matrix `R` (`R[i][j] = ncc(i, j)`, diagonal 1) and compute
+/// `NCIE = 1 + Σ_i (λ_i / n) · log_n(λ_i / n)` over its eigenvalues.
+/// 0 = fully uncorrelated attributes, 1 = perfectly correlated.
+pub fn ncie(table: &Table, bins: usize) -> f64 {
+    let n = table.num_cols();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut r = vec![0.0f64; n * n];
+    for i in 0..n {
+        r[i * n + i] = 1.0;
+        for j in i + 1..n {
+            let c = ncc(table.column(i), table.column(j), bins);
+            r[i * n + j] = c;
+            r[j * n + i] = c;
+        }
+    }
+    let eigs = symmetric_eigenvalues(&mut r, n);
+    let nf = n as f64;
+    let mut h = 0.0f64;
+    for &l in &eigs {
+        let p = (l / nf).max(0.0);
+        if p > 1e-12 {
+            h += p * p.ln() / nf.ln();
+        }
+    }
+    (1.0 + h).clamp(0.0, 1.0)
+}
+
+/// Eigenvalues of a symmetric matrix via the cyclic Jacobi rotation method.
+/// `a` is row-major `n x n` and is destroyed.
+pub fn symmetric_eigenvalues(a: &mut [f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    for _sweep in 0..64 {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    (0..n).map(|i| a[i * n + i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn int_col(name: &str, xs: &[i64]) -> Column {
+        let vals: Vec<Value> = xs.iter().map(|&v| v.into()).collect();
+        Column::from_values(name, &vals)
+    }
+
+    #[test]
+    fn skewness_of_symmetric_sample_is_zero() {
+        let xs: Vec<f64> = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewness_sign_follows_tail() {
+        // Long right tail → positive skew.
+        let right: Vec<f64> = vec![0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&right) > 1.0);
+        let left: Vec<f64> = vec![0.0, 0.0, 0.0, 0.0, -10.0];
+        assert!(skewness(&left) < -1.0);
+    }
+
+    #[test]
+    fn ncc_detects_dependence() {
+        // y = x (deterministic) vs a genuinely random column.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let xs: Vec<i64> = (0..2000).map(|i| i % 50).collect();
+        let ys_dep: Vec<i64> = xs.clone();
+        let ys_ind: Vec<i64> = (0..2000).map(|_| rng.random_range(0..50)).collect();
+        let cx = int_col("x", &xs);
+        let dep = ncc(&cx, &int_col("y", &ys_dep), 10);
+        let ind = ncc(&cx, &int_col("y", &ys_ind), 10);
+        assert!(dep > 0.8, "dependent ncc = {dep}");
+        assert!(ind < 0.25, "independent ncc = {ind}");
+    }
+
+    #[test]
+    fn ncie_orders_correlated_above_independent() {
+        let n = 3000usize;
+        let base: Vec<i64> = (0..n as i64).map(|i| (i * i + 17) % 40).collect();
+        let correlated = Table::new(
+            "corr",
+            vec![
+                int_col("a", &base),
+                int_col("b", &base.iter().map(|v| v / 2).collect::<Vec<_>>()),
+                int_col("c", &base.iter().map(|v| 40 - v).collect::<Vec<_>>()),
+            ],
+        );
+        let indep = Table::new(
+            "ind",
+            vec![
+                int_col("a", &base),
+                int_col("b", &(0..n as i64).map(|i| (i * 13 + 5) % 37).collect::<Vec<_>>()),
+                int_col("c", &(0..n as i64).map(|i| (i * 29 + 1) % 23).collect::<Vec<_>>()),
+            ],
+        );
+        let hi = ncie(&correlated, 8);
+        let lo = ncie(&indep, 8);
+        assert!(hi > lo + 0.1, "ncie correlated {hi} vs independent {lo}");
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_of_diagonal() {
+        let mut a = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -2.0];
+        let mut e = symmetric_eigenvalues(&mut a, 3);
+        e.sort_by(f64::total_cmp);
+        assert!((e[0] + 2.0).abs() < 1e-9);
+        assert!((e[1] - 1.0).abs() < 1e-9);
+        assert!((e[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let mut a = vec![2.0, 1.0, 1.0, 2.0];
+        let mut e = symmetric_eigenvalues(&mut a, 2);
+        e.sort_by(f64::total_cmp);
+        assert!((e[0] - 1.0).abs() < 1e-9 && (e[1] - 3.0).abs() < 1e-9);
+    }
+}

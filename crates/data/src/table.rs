@@ -1,0 +1,300 @@
+//! Dictionary-encoded column store.
+//!
+//! A [`Table`] holds one [`Column`] per attribute. Each column keeps a
+//! sorted dictionary of distinct [`Value`]s and a dense vector of `u32`
+//! codes (one per row). Sorting the dictionary by natural value order makes
+//! code order agree with value order, so range predicates translate into
+//! code ranges — exactly the "bijection transformation without any
+//! information loss" of the paper's §4.2.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// One dictionary-encoded attribute.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    /// Distinct values in ascending natural order; `dict[code]` is the value.
+    dict: Vec<Value>,
+    /// Per-row codes into `dict`.
+    codes: Vec<u32>,
+}
+
+impl Column {
+    /// Build a column from raw values, constructing the dictionary.
+    pub fn from_values(name: impl Into<String>, values: &[Value]) -> Self {
+        let mut dict: Vec<Value> = values.to_vec();
+        dict.sort();
+        dict.dedup();
+        let index: HashMap<&Value, u32> =
+            dict.iter().enumerate().map(|(i, v)| (v, i as u32)).collect();
+        let codes = values.iter().map(|v| index[v]).collect();
+        Column { name: name.into(), dict, codes }
+    }
+
+    /// Build a column directly from codes and an already-sorted dictionary.
+    ///
+    /// # Panics
+    /// Panics if the dictionary is not strictly ascending or a code is out
+    /// of range.
+    pub fn from_codes(name: impl Into<String>, dict: Vec<Value>, codes: Vec<u32>) -> Self {
+        assert!(dict.windows(2).all(|w| w[0] < w[1]), "dictionary must be strictly ascending");
+        let n = dict.len() as u32;
+        assert!(codes.iter().all(|&c| c < n), "code out of dictionary range");
+        Column { name: name.into(), dict, codes }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values (the paper's `|A_i|`).
+    pub fn domain_size(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The sorted dictionary.
+    pub fn dict(&self) -> &[Value] {
+        &self.dict
+    }
+
+    /// Per-row codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Code of row `r`.
+    #[inline]
+    pub fn code(&self, r: usize) -> u32 {
+        self.codes[r]
+    }
+
+    /// Value of row `r`.
+    pub fn value(&self, r: usize) -> &Value {
+        &self.dict[self.codes[r] as usize]
+    }
+
+    /// Dictionary code of a value, if present.
+    pub fn code_of(&self, v: &Value) -> Option<u32> {
+        self.dict.binary_search(v).ok().map(|i| i as u32)
+    }
+
+    /// Smallest code whose value is `>= v` (i.e. the lower bound), or
+    /// `domain_size()` if every value is smaller.
+    pub fn lower_bound(&self, v: &Value) -> u32 {
+        self.dict.partition_point(|d| d < v) as u32
+    }
+
+    /// Smallest code whose value is `> v`, or `domain_size()`.
+    pub fn upper_bound(&self, v: &Value) -> u32 {
+        self.dict.partition_point(|d| d <= v) as u32
+    }
+
+    /// Frequency of each code.
+    pub fn histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.dict.len()];
+        for &c in &self.codes {
+            h[c as usize] += 1;
+        }
+        h
+    }
+
+    fn append_codes(&mut self, other: &Column) {
+        assert_eq!(self.dict, other.dict, "appending rows requires identical dictionaries");
+        self.codes.extend_from_slice(&other.codes);
+    }
+}
+
+/// A relation: a set of equally long dictionary-encoded columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Build a table from columns.
+    ///
+    /// # Panics
+    /// Panics if columns have differing lengths.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        let nrows = columns.first().map_or(0, |c| c.codes().len());
+        assert!(
+            columns.iter().all(|c| c.codes().len() == nrows),
+            "all columns must have the same number of rows"
+        );
+        Table { name: name.into(), columns, nrows }
+    }
+
+    /// Build a table from per-column raw values.
+    pub fn from_columns(
+        name: impl Into<String>,
+        cols: Vec<(String, Vec<Value>)>,
+    ) -> Self {
+        let columns =
+            cols.into_iter().map(|(n, vs)| Column::from_values(n, &vs)).collect();
+        Table::new(name, columns)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (`|T|`).
+    pub fn num_rows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of attributes (`n`).
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column position by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Domain sizes of all columns.
+    pub fn domain_sizes(&self) -> Vec<usize> {
+        self.columns.iter().map(Column::domain_size).collect()
+    }
+
+    /// The codes of one row.
+    pub fn row_codes(&self, r: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c.code(r)).collect()
+    }
+
+    /// A new table with the rows whose indices are given (used for sampling
+    /// and for splitting incremental-data partitions).
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let codes = rows.iter().map(|&r| c.code(r)).collect();
+                Column::from_codes(c.name().to_owned(), c.dict().to_vec(), codes)
+            })
+            .collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// A new table with columns re-ordered by `perm` (`perm[i]` = original
+    /// index of the new `i`-th column). Used by autoregressive-ordering
+    /// strategies.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..num_cols()`.
+    pub fn select_columns(&self, perm: &[usize]) -> Table {
+        assert_eq!(perm.len(), self.num_cols(), "permutation length mismatch");
+        let mut seen = vec![false; self.num_cols()];
+        for &p in perm {
+            assert!(!std::mem::replace(&mut seen[p], true), "duplicate column {p} in permutation");
+        }
+        let columns = perm.iter().map(|&p| self.columns[p].clone()).collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// Append the rows of `other`; dictionaries must match exactly
+    /// (incremental data in the paper's §4.5 arrives in the same domain).
+    pub fn append(&mut self, other: &Table) {
+        assert_eq!(self.num_cols(), other.num_cols(), "column count mismatch");
+        for (c, oc) in self.columns.iter_mut().zip(other.columns()) {
+            c.append_codes(oc);
+        }
+        self.nrows += other.nrows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names_column() -> Column {
+        let vals: Vec<Value> =
+            ["James", "Tim", "Paul", "Tim", "James"].iter().map(|&s| s.into()).collect();
+        Column::from_values("name", &vals)
+    }
+
+    #[test]
+    fn dictionary_is_sorted_and_bijective() {
+        // The paper's example: {James, Tim, Paul} → James:0, Paul:1, Tim:2.
+        let col = names_column();
+        assert_eq!(col.domain_size(), 3);
+        assert_eq!(col.code_of(&"James".into()), Some(0));
+        assert_eq!(col.code_of(&"Paul".into()), Some(1));
+        assert_eq!(col.code_of(&"Tim".into()), Some(2));
+        assert_eq!(col.codes(), &[0, 2, 1, 2, 0]);
+        // Round trip: decode every row back to its original value.
+        assert_eq!(col.value(1), &Value::from("Tim"));
+    }
+
+    #[test]
+    fn bounds() {
+        let vals: Vec<Value> = [10i64, 20, 30].iter().map(|&v| v.into()).collect();
+        let col = Column::from_values("x", &vals);
+        assert_eq!(col.lower_bound(&Value::Int(15)), 1);
+        assert_eq!(col.lower_bound(&Value::Int(20)), 1);
+        assert_eq!(col.upper_bound(&Value::Int(20)), 2);
+        assert_eq!(col.lower_bound(&Value::Int(99)), 3);
+        assert_eq!(col.upper_bound(&Value::Int(-5)), 0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let col = names_column();
+        assert_eq!(col.histogram(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn table_roundtrip_and_take_rows() {
+        let t = Table::from_columns(
+            "t",
+            vec![
+                ("a".into(), vec![1i64.into(), 2i64.into(), 3i64.into()]),
+                ("b".into(), vec!["x".into(), "y".into(), "x".into()]),
+            ],
+        );
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.column_index("b"), Some(1));
+        let sub = t.take_rows(&[2, 0]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.column(0).value(0), &Value::Int(3));
+        assert_eq!(sub.column(1).value(1), &Value::from("x"));
+    }
+
+    #[test]
+    fn append_rows() {
+        let mut t = Table::from_columns(
+            "t",
+            vec![("a".into(), vec![1i64.into(), 2i64.into(), 3i64.into()])],
+        );
+        let extra = t.take_rows(&[0, 1]);
+        t.append(&extra);
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.column(0).code(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rows")]
+    fn ragged_table_panics() {
+        let a = Column::from_values("a", &[Value::Int(1)]);
+        let b = Column::from_values("b", &[Value::Int(1), Value::Int(2)]);
+        let _ = Table::new("bad", vec![a, b]);
+    }
+}

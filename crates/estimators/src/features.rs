@@ -1,0 +1,165 @@
+//! Query featurization shared by the supervised baselines (MSCN, LR).
+
+use uae_data::Table;
+use uae_query::{PredOp, Query, QueryRegion};
+
+/// Featurizer bound to a table's schema (column count and domains — the
+/// metadata any query-driven estimator is allowed to know).
+#[derive(Debug, Clone)]
+pub struct QueryFeaturizer {
+    table: Table,
+}
+
+impl QueryFeaturizer {
+    /// A featurizer over `table`'s schema.
+    pub fn new(table: &Table) -> Self {
+        QueryFeaturizer { table: table.clone() }
+    }
+
+    /// The underlying table (schema access).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// MSCN-style set-pooled features: the average over predicates of
+    /// `[one-hot column ‖ one-hot operator ‖ normalized literal]`
+    /// (Kipf et al., adapted to single tables by dropping the join module).
+    pub fn mscn_features(&self, query: &Query) -> Vec<f32> {
+        let ncols = self.table.num_cols();
+        let width = ncols + PredOp::NUM_KINDS + 1;
+        let mut out = vec![0.0f32; width];
+        if query.predicates.is_empty() {
+            return out;
+        }
+        for pred in &query.predicates {
+            out[pred.column] += 1.0;
+            out[ncols + pred.op.feature_index()] += 1.0;
+            let col = self.table.column(pred.column);
+            let d = col.domain_size().max(2) as f32;
+            let pos = match &pred.op {
+                PredOp::In(vals) => {
+                    let mut acc = 0.0f32;
+                    for v in vals {
+                        acc += col.lower_bound(v) as f32 / (d - 1.0);
+                    }
+                    acc / vals.len().max(1) as f32
+                }
+                _ => col.lower_bound(&pred.value) as f32 / (d - 1.0),
+            };
+            out[width - 1] += pos.clamp(0.0, 1.0);
+        }
+        let inv = 1.0 / query.predicates.len() as f32;
+        for v in &mut out {
+            *v *= inv;
+        }
+        out
+    }
+
+    /// Width of [`QueryFeaturizer::mscn_features`] vectors.
+    pub fn mscn_width(&self) -> usize {
+        self.table.num_cols() + PredOp::NUM_KINDS + 1
+    }
+
+    /// Range features for LR (Dutt et al. style): per column the normalized
+    /// `[lo, hi]` of the admitted code interval (`[0, 1]` when
+    /// unconstrained).
+    pub fn range_features(&self, query: &Query) -> Vec<f64> {
+        let qr = QueryRegion::build(&self.table, query);
+        let mut out = Vec::with_capacity(2 * self.table.num_cols());
+        for (c, reg) in qr.columns().iter().enumerate() {
+            let d = self.table.column(c).domain_size().max(1) as f64;
+            match reg {
+                None => {
+                    out.push(0.0);
+                    out.push(1.0);
+                }
+                Some(region) => {
+                    let ranges = region.ranges();
+                    if ranges.is_empty() {
+                        out.push(0.0);
+                        out.push(0.0);
+                    } else {
+                        out.push(ranges[0].0 as f64 / d);
+                        out.push(ranges[ranges.len() - 1].1 as f64 / d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Width of [`QueryFeaturizer::range_features`] vectors.
+    pub fn range_width(&self) -> usize {
+        2 * self.table.num_cols()
+    }
+
+    /// Bitmap of which rows of `sample` satisfy `query` (the extra features
+    /// of MSCN+sampling).
+    pub fn sample_bitmap(&self, sample: &Table, query: &Query) -> Vec<f32> {
+        let qr = QueryRegion::build(sample, query);
+        (0..sample.num_rows())
+            .map(|r| {
+                let codes: Vec<u32> = sample.row_codes(r);
+                if qr.matches_row(&codes) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::Value;
+    use uae_query::Predicate;
+
+    fn table() -> Table {
+        Table::from_columns(
+            "t",
+            vec![
+                ("x".into(), (0..100i64).map(Value::Int).collect()),
+                ("y".into(), (0..100i64).map(|v| Value::Int(v % 5)).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn mscn_features_average_predicates() {
+        let t = table();
+        let f = QueryFeaturizer::new(&t);
+        let q = Query::new(vec![Predicate::le(0, 49i64), Predicate::eq(1, 2i64)]);
+        let v = f.mscn_features(&q);
+        assert_eq!(v.len(), f.mscn_width());
+        // Each predicate contributes 0.5 to its column slot.
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[1], 0.5);
+        // Op one-hots: Le at index ncols+3, Eq at ncols+0.
+        assert_eq!(v[2 + 3], 0.5);
+        assert_eq!(v[2], 0.5);
+    }
+
+    #[test]
+    fn range_features_encode_bounds() {
+        let t = table();
+        let f = QueryFeaturizer::new(&t);
+        let q = Query::new(vec![Predicate::ge(0, 25i64), Predicate::le(0, 74i64)]);
+        let v = f.range_features(&q);
+        assert_eq!(v.len(), 4);
+        assert!((v[0] - 0.25).abs() < 1e-9);
+        assert!((v[1] - 0.75).abs() < 1e-9);
+        // Unconstrained column: full range.
+        assert_eq!(&v[2..], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bitmap_marks_matching_rows() {
+        let t = table();
+        let f = QueryFeaturizer::new(&t);
+        let sample = t.take_rows(&[0, 10, 60, 90]);
+        let q = Query::new(vec![Predicate::le(0, 49i64)]);
+        assert_eq!(f.sample_bitmap(&sample, &q), vec![1.0, 1.0, 0.0, 0.0]);
+    }
+}

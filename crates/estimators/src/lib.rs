@@ -1,0 +1,47 @@
+//! # uae-estimators — the nine baseline cardinality estimators
+//!
+//! Every method UAE is compared against in the paper's §5.1.4, implemented
+//! from scratch on the same substrates:
+//!
+//! | Paper name | Type | Here |
+//! |---|---|---|
+//! | LR | query-driven | [`LinearRegressionEstimator`] |
+//! | MSCN-base | query-driven | [`MscnEstimator`] (`sample_rows = 0`) |
+//! | Sampling | data-driven | [`SamplingEstimator`] |
+//! | BayesNet | data-driven | [`BayesNetEstimator`] (Chow–Liu tree) |
+//! | KDE | data-driven | [`KdeEstimator`] |
+//! | DeepDB | data-driven | [`SpnEstimator`] |
+//! | Naru | data-driven | `uae_core::Uae` trained with data only |
+//! | MSCN+sampling | hybrid | [`MscnEstimator`] (`sample_rows > 0`) |
+//! | Feedback-KDE | hybrid | [`FeedbackKdeEstimator`] |
+//!
+//! A per-column equi-depth [`HistogramEstimator`] (AVI) is included as the
+//! PostgreSQL-like estimator for the optimizer study (Figure 6), and the
+//! paper's "also compared, performed worse" baselines ship too:
+//! [`MhistEstimator`] (MaxDiff multi-dimensional histogram) and
+//! [`QuickSelEstimator`] (uniform mixture model) and [`StHolesEstimator`]
+//! (workload-aware multidimensional histogram).
+
+pub mod bayesnet;
+pub mod features;
+pub mod histogram;
+pub mod kde;
+pub mod lr;
+pub mod mhist;
+pub mod mscn;
+pub mod quicksel;
+pub mod sampling;
+pub mod spn;
+pub mod stholes;
+
+pub use bayesnet::BayesNetEstimator;
+pub use features::QueryFeaturizer;
+pub use histogram::HistogramEstimator;
+pub use kde::{FeedbackKdeEstimator, KdeEstimator};
+pub use lr::LinearRegressionEstimator;
+pub use mhist::MhistEstimator;
+pub use mscn::{MscnConfig, MscnEstimator};
+pub use quicksel::QuickSelEstimator;
+pub use sampling::SamplingEstimator;
+pub use spn::{SpnConfig, SpnEstimator};
+pub use stholes::StHolesEstimator;

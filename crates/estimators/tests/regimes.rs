@@ -1,0 +1,165 @@
+//! Regime tests: each estimator family fails exactly where its modeling
+//! assumption breaks — the causal claims behind the paper's findings
+//! (3)–(7), tested directly rather than via leaderboard positions.
+
+use std::collections::HashSet;
+
+use uae_data::{Table, Value};
+use uae_estimators::{
+    BayesNetEstimator, HistogramEstimator, KdeEstimator, MhistEstimator, QuickSelEstimator,
+    SamplingEstimator, SpnConfig, SpnEstimator, StHolesEstimator,
+};
+use uae_query::{
+    evaluate, generate_workload, label_queries, CardinalityEstimator, Predicate, Query,
+    WorkloadSpec,
+};
+
+/// Two perfectly correlated columns: AVI's nightmare.
+fn correlated_table() -> Table {
+    let n = 4_000i64;
+    Table::from_columns(
+        "corr",
+        vec![
+            ("a".into(), (0..n).map(|v| Value::Int(v % 20)).collect()),
+            ("b".into(), (0..n).map(|v| Value::Int(v % 20)).collect()),
+            ("c".into(), (0..n).map(|v| Value::Int((v * 13 + 5) % 7)).collect()),
+        ],
+    )
+}
+
+#[test]
+fn avi_histograms_break_on_correlation_while_structure_learners_do_not() {
+    let t = correlated_table();
+    // a = 3 AND b = 3: true selectivity 1/20; AVI predicts 1/400.
+    let q = Query::new(vec![Predicate::eq(0, 3i64), Predicate::eq(1, 3i64)]);
+    let truth = 4_000.0 / 20.0;
+
+    let avi = HistogramEstimator::new(&t, 64);
+    let avi_est = avi.estimate_card(&q);
+    assert!(avi_est < truth / 5.0, "AVI must underestimate: {avi_est} vs {truth}");
+
+    for est in [
+        &BayesNetEstimator::new(&t, 64) as &dyn CardinalityEstimator,
+        &SpnEstimator::new(&t, &SpnConfig::default()),
+    ] {
+        let e = est.estimate_card(&q);
+        let qerr = (e.max(1.0) / truth).max(truth / e.max(1.0));
+        assert!(qerr < 2.5, "{} q-error {qerr} on the correlated pair", est.name());
+    }
+}
+
+#[test]
+fn tiny_samples_miss_rare_values() {
+    // A value present in 0.05% of rows is usually absent from a 1% sample;
+    // sampling then estimates 0 while the truth is 10 — the classic
+    // small-sample failure the paper attributes to sampling at the tail.
+    let n = 20_000i64;
+    let t = Table::from_columns(
+        "rare",
+        vec![(
+            "x".into(),
+            (0..n).map(|v| Value::Int(if v < 10 { 999 } else { v % 50 })).collect(),
+        )],
+    );
+    let q = Query::new(vec![Predicate::eq(0, 999i64)]);
+    let s = SamplingEstimator::new(&t, 0.01, 7);
+    let est = s.estimate_card(&q);
+    // Either zero (value missed) or a large multiple (value over-sampled):
+    // rarely close. Accept the test if the estimate is "unstable": off by
+    // more than 2x in either direction across this seed.
+    let qerr = (est.max(1.0) / 10.0).max(10.0 / est.max(1.0));
+    assert!(qerr > 1.8, "sample estimate {est} suspiciously accurate for a rare value");
+}
+
+#[test]
+fn workload_aware_methods_improve_inside_the_workload_region() {
+    let t = uae_data::dmv_like(6_000, 0x7e57);
+    let col = uae_query::default_bounded_column(&t);
+    let train =
+        generate_workload(&t, &WorkloadSpec::in_workload(col, 120, 1), &HashSet::new());
+    let test = generate_workload(
+        &t,
+        &WorkloadSpec::in_workload(col, 40, 2),
+        &uae_query::fingerprints(&train),
+    );
+
+    // STHoles refined by the workload must beat its own unrefined root.
+    let unrefined = StHolesEstimator::new(&t, 64);
+    let before = evaluate(&unrefined, &test);
+    let mut refined = StHolesEstimator::new(&t, 64);
+    refined.refine(&train);
+    let after = evaluate(&refined, &test);
+    assert!(
+        after.errors.median <= before.errors.median,
+        "STHoles refinement regressed: {} → {}",
+        before.errors.median,
+        after.errors.median
+    );
+
+    // QuickSel fits the workload region better than a blind guess of 1 row.
+    let qs = QuickSelEstimator::new(&t, &train, 64);
+    let ev = evaluate(&qs, &test);
+    assert!(ev.errors.median < 200.0, "QuickSel median {}", ev.errors.median);
+}
+
+#[test]
+fn kde_degrades_as_domains_grow() {
+    // Same rows, same sample budget; wider domain → worse KDE accuracy.
+    let n = 6_000usize;
+    let make = |domain: i64| {
+        Table::from_columns(
+            "t",
+            vec![(
+                "x".into(),
+                (0..n as i64)
+                    .map(|v| Value::Int((uae_data::synth::splitmix64(v as u64) % domain as u64) as i64))
+                    .collect(),
+            )],
+        )
+    };
+    let eval_kde = |t: &Table| {
+        let queries: Vec<Query> = (1..=20)
+            .map(|i| {
+                let hi = t.column(0).domain_size() as i64 * i / 21;
+                Query::new(vec![Predicate::le(0, hi)])
+            })
+            .collect();
+        let w = label_queries(t, queries);
+        let kde = KdeEstimator::new(t, 0.02, 3);
+        evaluate(&kde, &w).errors.mean
+    };
+    let narrow = eval_kde(&make(16));
+    let wide = eval_kde(&make(4_000));
+    assert!(
+        wide >= narrow * 0.8,
+        "KDE should not get better on much wider domains: {narrow} vs {wide}"
+    );
+}
+
+#[test]
+fn mhist_beats_equi_depth_avi_under_correlation() {
+    let t = correlated_table();
+    let queries: Vec<Query> = (0..20)
+        .map(|i| Query::new(vec![Predicate::eq(0, i % 20), Predicate::eq(1, i % 20)]))
+        .collect();
+    let w = label_queries(&t, queries);
+    let avi = evaluate(&HistogramEstimator::new(&t, 64), &w);
+    let mhist = evaluate(&MhistEstimator::new(&t, 256), &w);
+    assert!(
+        mhist.errors.median <= avi.errors.median,
+        "multidimensional buckets should help on correlated equality pairs: \
+         MHIST {} vs AVI {}",
+        mhist.errors.median,
+        avi.errors.median
+    );
+}
+
+#[test]
+fn dmv_large_generator_has_the_advertised_shape() {
+    let t = uae_data::dmv_large_like(3_000, 5);
+    assert_eq!(t.num_cols(), 16, "paper: 16 columns");
+    let vin = t.column_index("vin").expect("vin column");
+    assert_eq!(t.column(vin).domain_size(), 3_000, "vin must be unique");
+    let city = t.column_index("city").expect("city column");
+    assert!(t.column(city).domain_size() > 200, "city must be wide");
+}

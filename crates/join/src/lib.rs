@@ -1,0 +1,35 @@
+//! # uae-join — multi-table join estimation and the optimizer study
+//!
+//! The substrate behind the paper's join experiments (§4.6, Table 5,
+//! Figure 6):
+//!
+//! * [`schema`] — star schemas with PK–FK joins and [`JoinQuery`];
+//! * [`synth`] — the IMDB-like generator (DESIGN.md §1 substitution);
+//! * [`executor`] — exact join cardinalities over the base tables;
+//! * [`sampler`] — uniform full-outer-join sampling with indicator and
+//!   fanout virtual columns (Exact-Weight specialized to star joins);
+//! * [`estimator`] — [`JoinUae`]: the autoregressive model over the join
+//!   sample; data-only training reproduces **NeuroCard**, hybrid training
+//!   is **UAE for joins** (fanout scaling handles subset joins);
+//! * [`workload`] — JOB-light-ranges-focused / JOB-light-style generators;
+//! * [`optimizer`] — the Figure-6 cost-model study: left-deep join-order
+//!   optimization under each estimator's cardinalities, plans costed under
+//!   truth.
+
+pub mod baselines;
+pub mod estimator;
+pub mod executor;
+pub mod optimizer;
+pub mod sampler;
+pub mod schema;
+pub mod synth;
+pub mod workload;
+
+pub use baselines::{JoinMscn, JoinSpn};
+pub use estimator::{fanout_weights, flat_query, JoinCardinalityEstimator, JoinUae};
+pub use executor::{label_join_queries, JoinExecutor};
+pub use optimizer::{best_plan, plan_cost, study_query, Plan, PostgresLike, SubplanEstimator};
+pub use sampler::{sample_outer_join, JoinSample};
+pub use schema::{DimTable, JoinQuery, LabeledJoinQuery, StarSchema};
+pub use synth::imdb_like;
+pub use workload::{generate_join_workload, JoinWorkloadSpec};

@@ -1,0 +1,243 @@
+//! Cost-model query-optimizer study (paper §5.6, Figure 6).
+//!
+//! The paper injects estimator cardinalities into PostgreSQL and measures
+//! execution-time speedups. We reproduce the mechanism with a cost-model
+//! simulator: a left-deep join-order optimizer chooses the plan that
+//! minimizes the `C_out` cost (the sum of intermediate-result
+//! cardinalities) *under the estimator being studied*, and every chosen
+//! plan is then costed under the **true** cardinalities. The speedup of an
+//! estimator on a query is `true_cost(baseline plan) / true_cost(plan)` —
+//! exactly the quantity Figure 6 reports, with the cost model standing in
+//! for wall-clock execution.
+
+use crate::executor::JoinExecutor;
+use crate::schema::{JoinQuery, StarSchema};
+use uae_query::QueryRegion;
+
+/// Cardinality oracle for optimizer subplans.
+pub trait SubplanEstimator {
+    /// Display name.
+    fn name(&self) -> &str;
+    /// Estimated cardinality of a (sub)query.
+    fn subplan_card(&self, query: &JoinQuery) -> f64;
+}
+
+/// The true-cardinality oracle (the "optimal plan" reference).
+pub struct TruthEstimator<'a> {
+    exec: JoinExecutor<'a>,
+}
+
+impl<'a> TruthEstimator<'a> {
+    /// Oracle over a schema.
+    pub fn new(schema: &'a StarSchema) -> Self {
+        TruthEstimator { exec: JoinExecutor::new(schema) }
+    }
+}
+
+impl SubplanEstimator for TruthEstimator<'_> {
+    fn name(&self) -> &str {
+        "Truth"
+    }
+    fn subplan_card(&self, query: &JoinQuery) -> f64 {
+        self.exec.cardinality(query) as f64
+    }
+}
+
+/// PostgreSQL-like estimator: exact single-column marginals combined under
+/// attribute-value independence, PK–FK joins under key uniformity
+/// (`|F ⋈ D| = sel_F |F| · sel_D |D| / |F|`).
+pub struct PostgresLike<'a> {
+    schema: &'a StarSchema,
+}
+
+impl<'a> PostgresLike<'a> {
+    /// Build over a schema (uses only per-column statistics).
+    pub fn new(schema: &'a StarSchema) -> Self {
+        PostgresLike { schema }
+    }
+
+    fn avi_selectivity(table: &uae_data::Table, query: &uae_query::Query) -> f64 {
+        let qr = QueryRegion::build(table, query);
+        if qr.is_empty() {
+            return 0.0;
+        }
+        let n = table.num_rows().max(1) as f64;
+        let mut sel = 1.0f64;
+        for (c, reg) in qr.columns().iter().enumerate() {
+            if let Some(reg) = reg {
+                let hist = table.column(c).histogram();
+                let mass: u64 = reg.iter_codes().map(|code| hist[code as usize]).sum();
+                sel *= mass as f64 / n;
+            }
+        }
+        sel
+    }
+}
+
+impl SubplanEstimator for PostgresLike<'_> {
+    fn name(&self) -> &str {
+        "PostgreSQL"
+    }
+
+    fn subplan_card(&self, query: &JoinQuery) -> f64 {
+        let fact = &self.schema.fact;
+        let nfact = fact.num_rows().max(1) as f64;
+        let mut card = nfact * Self::avi_selectivity(fact, &query.fact_query());
+        for &d in &query.dims {
+            let dim = &self.schema.dims[d].content;
+            let sel = Self::avi_selectivity(dim, &query.dim_query(d));
+            // Key-uniformity join selectivity: 1 / |fact|.
+            card *= sel * dim.num_rows() as f64 / nfact;
+        }
+        card.max(1.0)
+    }
+}
+
+/// A left-deep plan: the fact table followed by dimensions in join order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Dimension join order.
+    pub order: Vec<usize>,
+}
+
+/// `C_out` cost of a plan under a cardinality oracle: the sum of all
+/// intermediate result sizes (fact selection plus every non-final prefix).
+pub fn plan_cost(query: &JoinQuery, plan: &Plan, est: &dyn SubplanEstimator) -> f64 {
+    let k = plan.order.len();
+    let mut cost = est.subplan_card(&query.prefix(&plan.order, 0)); // σ(fact)
+    for i in 1..k {
+        cost += est.subplan_card(&query.prefix(&plan.order, i));
+    }
+    cost
+}
+
+/// The plan with minimal estimated cost (exhaustive over left-deep orders).
+pub fn best_plan(query: &JoinQuery, est: &dyn SubplanEstimator) -> Plan {
+    let mut best: Option<(f64, Plan)> = None;
+    for order in permutations(&query.dims) {
+        let plan = Plan { order };
+        let cost = plan_cost(query, &plan, est);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, plan));
+        }
+    }
+    best.expect("at least one order").1
+}
+
+/// All permutations of a slice (join sets are small: ≤ 4 dimensions).
+pub fn permutations(xs: &[usize]) -> Vec<Vec<usize>> {
+    if xs.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in xs.iter().enumerate() {
+        let mut rest = xs.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Result of the optimizer study for one query and one estimator.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    /// Estimator name.
+    pub estimator: String,
+    /// True cost of the plan chosen under this estimator's cardinalities.
+    pub true_cost: f64,
+    /// Speedup over the baseline (PostgreSQL-like) plan: `> 1` means the
+    /// estimator produced a better plan.
+    pub speedup_vs_baseline: f64,
+}
+
+/// Run the Figure-6 study for one query: every estimator picks its plan;
+/// plans are costed under truth; speedups are relative to the baseline's
+/// plan.
+pub fn study_query(
+    schema: &StarSchema,
+    query: &JoinQuery,
+    estimators: &[&dyn SubplanEstimator],
+) -> Vec<StudyRow> {
+    let truth = TruthEstimator::new(schema);
+    let baseline = PostgresLike::new(schema);
+    let base_plan = best_plan(query, &baseline);
+    let base_cost = plan_cost(query, &base_plan, &truth).max(1.0);
+    estimators
+        .iter()
+        .map(|est| {
+            let plan = best_plan(query, *est);
+            let true_cost = plan_cost(query, &plan, &truth).max(1.0);
+            StudyRow {
+                estimator: est.name().to_owned(),
+                true_cost,
+                speedup_vs_baseline: base_cost / true_cost,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::imdb_like;
+    use crate::workload::{generate_join_workload, JoinWorkloadSpec};
+    use std::collections::HashSet;
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[]).len(), 1);
+    }
+
+    #[test]
+    fn truth_plans_never_lose_to_baseline() {
+        let s = imdb_like(600, 13);
+        let w = generate_join_workload(
+            &s,
+            &JoinWorkloadSpec {
+                seed: 3,
+                num_queries: 10,
+                bounded: Some((0, (0.0, 1.0), 0.10)),
+                nf_range: (1, 3),
+                all_dims: true,
+            },
+            &HashSet::new(),
+        );
+        let truth = TruthEstimator::new(&s);
+        for lq in &w {
+            let rows = study_query(&s, &lq.query, &[&truth as &dyn SubplanEstimator]);
+            assert!(
+                rows[0].speedup_vs_baseline >= 1.0 - 1e-9,
+                "truth plan slower than baseline: {}",
+                rows[0].speedup_vs_baseline
+            );
+        }
+    }
+
+    #[test]
+    fn postgres_like_multiplies_independent_selectivities() {
+        let s = imdb_like(500, 14);
+        let pg = PostgresLike::new(&s);
+        // Pure join: estimate ≈ |fact| · Π |dim|/|fact| = Π |dim| / |fact|^(k-1)
+        let q = JoinQuery { dims: vec![0], ..Default::default() };
+        let est = pg.subplan_card(&q);
+        let expect = s.dims[0].content.num_rows() as f64;
+        assert!((est - expect).abs() / expect < 0.01, "est {est} vs {expect}");
+    }
+
+    #[test]
+    fn plan_cost_sums_prefixes() {
+        let s = imdb_like(300, 15);
+        let truth = TruthEstimator::new(&s);
+        let q = JoinQuery { dims: vec![0, 1], ..Default::default() };
+        let plan = Plan { order: vec![0, 1] };
+        let cost = plan_cost(&q, &plan, &truth);
+        let exec = JoinExecutor::new(&s);
+        let expect = exec.cardinality(&q.prefix(&[0, 1], 0)) as f64
+            + exec.cardinality(&q.prefix(&[0, 1], 1)) as f64;
+        assert!((cost - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Uniform sampling of the full outer star join with indicator and fanout
+//! virtual columns (the Exact-Weight scheme of Zhao et al., specialized to
+//! star joins, as used by NeuroCard and by UAE's §4.6).
+//!
+//! Each fact row `t` appears `Π_d max(fanout_d(t), 1)` times in the full
+//! outer join; sampling a join row uniformly therefore means sampling `t`
+//! with probability proportional to that weight and then drawing one
+//! matching row (or the NULL extension) per dimension independently.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_data::{Table, Value};
+
+use crate::schema::StarSchema;
+
+/// Sentinel content value of NULL-extended dimension rows. Real content
+/// values are non-negative, so the sentinel sorts first and is excluded by
+/// every predicate anchored at real values once `ind = 1` is required.
+pub const NULL_SENTINEL: i64 = -1;
+
+/// Layout of the materialized join-sample table.
+#[derive(Debug, Clone)]
+pub struct JoinLayout {
+    /// Number of fact content columns (they come first).
+    pub fact_cols: usize,
+    /// Per dimension: `(indicator column, fanout column, first content
+    /// column, number of content columns)`.
+    pub dims: Vec<DimLayout>,
+    /// Cap applied to stored fanout values.
+    pub fanout_cap: usize,
+}
+
+/// Column positions of one dimension inside the join sample.
+#[derive(Debug, Clone, Copy)]
+pub struct DimLayout {
+    /// Indicator column (0 = NULL-extended, 1 = joined).
+    pub indicator: usize,
+    /// Fanout column (stores `min(fanout, cap)`, 0 for NULL rows).
+    pub fanout: usize,
+    /// First content column.
+    pub content_start: usize,
+    /// Number of content columns.
+    pub content_cols: usize,
+}
+
+/// A materialized uniform sample of the full outer join.
+#[derive(Debug)]
+pub struct JoinSample {
+    /// The sample as a flat table (fact content ‖ per-dim ind/fanout/content).
+    pub table: Table,
+    /// Column layout.
+    pub layout: JoinLayout,
+    /// Exact size of the full outer join.
+    pub outer_size: u64,
+}
+
+/// Draw `n` uniform rows from the full outer join of `schema`.
+pub fn sample_outer_join(schema: &StarSchema, n: usize, fanout_cap: usize, seed: u64) -> JoinSample {
+    assert!(n > 0 && fanout_cap >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nfact = schema.fact.num_rows();
+    // Cumulative weights for exact-weight fact-row sampling.
+    let mut cum = Vec::with_capacity(nfact);
+    let mut acc = 0.0f64;
+    for t in 0..nfact {
+        let w: u64 =
+            (0..schema.num_dims()).map(|d| schema.fanout(d, t).max(1) as u64).product();
+        acc += w as f64;
+        cum.push(acc);
+    }
+    let outer_size = schema.outer_join_size();
+
+    // Column builders.
+    let mut fact_vals: Vec<Vec<Value>> =
+        (0..schema.fact.num_cols()).map(|_| Vec::with_capacity(n)).collect();
+    struct DimBuild {
+        ind: Vec<Value>,
+        fanout: Vec<Value>,
+        content: Vec<Vec<Value>>,
+    }
+    let mut dim_builds: Vec<DimBuild> = schema
+        .dims
+        .iter()
+        .map(|d| DimBuild {
+            ind: Vec::with_capacity(n),
+            fanout: Vec::with_capacity(n),
+            content: (0..d.content.num_cols()).map(|_| Vec::with_capacity(n)).collect(),
+        })
+        .collect();
+
+    for _ in 0..n {
+        let u: f64 = rng.random::<f64>() * acc;
+        let t = cum.partition_point(|&c| c < u).min(nfact - 1);
+        for (c, vals) in fact_vals.iter_mut().enumerate() {
+            vals.push(schema.fact.column(c).value(t).clone());
+        }
+        for (d, build) in dim_builds.iter_mut().enumerate() {
+            let matches = schema.matches(d, t);
+            if matches.is_empty() {
+                build.ind.push(Value::Int(0));
+                build.fanout.push(Value::Int(0));
+                for col in &mut build.content {
+                    col.push(Value::Int(NULL_SENTINEL));
+                }
+            } else {
+                let pick = matches[rng.random_range(0..matches.len())] as usize;
+                build.ind.push(Value::Int(1));
+                build.fanout.push(Value::Int(matches.len().min(fanout_cap) as i64));
+                for (c, col) in build.content.iter_mut().enumerate() {
+                    col.push(schema.dims[d].content.column(c).value(pick).clone());
+                }
+            }
+        }
+    }
+
+    // Assemble the flat table and layout.
+    let mut cols: Vec<(String, Vec<Value>)> = Vec::new();
+    for (c, vals) in fact_vals.into_iter().enumerate() {
+        cols.push((format!("fact.{}", schema.fact.column(c).name()), vals));
+    }
+    let fact_cols = schema.fact.num_cols();
+    let mut dims = Vec::with_capacity(schema.num_dims());
+    for (d, build) in dim_builds.into_iter().enumerate() {
+        let name = schema.dims[d].content.name().to_owned();
+        let indicator = cols.len();
+        cols.push((format!("{name}.__ind"), build.ind));
+        let fanout = cols.len();
+        cols.push((format!("{name}.__fanout"), build.fanout));
+        let content_start = cols.len();
+        let content_cols = build.content.len();
+        for (c, vals) in build.content.into_iter().enumerate() {
+            cols.push((
+                format!("{name}.{}", schema.dims[d].content.column(c).name()),
+                vals,
+            ));
+        }
+        dims.push(DimLayout { indicator, fanout, content_start, content_cols });
+    }
+
+    JoinSample {
+        table: Table::from_columns("join_sample", cols),
+        layout: JoinLayout { fact_cols, dims, fanout_cap },
+        outer_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::imdb_like;
+
+    #[test]
+    fn sample_shape_and_layout() {
+        let s = imdb_like(400, 3);
+        let js = sample_outer_join(&s, 2000, 32, 1);
+        assert_eq!(js.table.num_rows(), 2000);
+        let expected_cols = 2 + 3 * 2 + (2 + 2 + 1);
+        assert_eq!(js.table.num_cols(), expected_cols);
+        assert_eq!(js.layout.dims.len(), 3);
+        assert_eq!(js.outer_size, s.outer_join_size());
+    }
+
+    #[test]
+    fn null_rows_are_consistent() {
+        let s = imdb_like(400, 4);
+        let js = sample_outer_join(&s, 3000, 32, 2);
+        for d in &js.layout.dims {
+            let ind = js.table.column(d.indicator);
+            let fan = js.table.column(d.fanout);
+            for r in 0..js.table.num_rows() {
+                let joined = ind.value(r).as_int().unwrap() == 1;
+                let f = fan.value(r).as_int().unwrap();
+                if joined {
+                    assert!(f >= 1, "joined row with fanout {f}");
+                    for c in 0..d.content_cols {
+                        let v = js.table.column(d.content_start + c).value(r).as_int().unwrap();
+                        assert!(v >= 0, "joined row with NULL content");
+                    }
+                } else {
+                    assert_eq!(f, 0);
+                    for c in 0..d.content_cols {
+                        let v = js.table.column(d.content_start + c).value(r).as_int().unwrap();
+                        assert_eq!(v, NULL_SENTINEL);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_frequencies_track_outer_join() {
+        // P(ind_d = 1) in the sample ≈ (Σ_t f_d(t)≥1 weighted) / |J|.
+        let s = imdb_like(300, 5);
+        let js = sample_outer_join(&s, 8000, 32, 3);
+        let d = &js.layout.dims[0];
+        let ind = js.table.column(d.indicator);
+        let sampled: f64 = (0..js.table.num_rows())
+            .map(|r| ind.value(r).as_int().unwrap() as f64)
+            .sum::<f64>()
+            / js.table.num_rows() as f64;
+        // Exact probability from the schema.
+        let mut num = 0u64;
+        for t in 0..s.fact.num_rows() {
+            let w: u64 = (0..s.num_dims()).map(|dd| s.fanout(dd, t).max(1) as u64).product();
+            if s.fanout(0, t) > 0 {
+                num += w;
+            }
+        }
+        let exact = num as f64 / s.outer_join_size() as f64;
+        assert!((sampled - exact).abs() < 0.03, "sampled {sampled} vs exact {exact}");
+    }
+}

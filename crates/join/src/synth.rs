@@ -1,0 +1,173 @@
+//! IMDB-like synthetic star schema (DESIGN.md §1 substitution for the
+//! paper's title ⋈ movie_companies ⋈ movie_info experiments).
+//!
+//! The generator reproduces the structural properties the join experiments
+//! exercise: skewed per-title fanouts, fanouts *correlated* with a fact
+//! attribute (production year), and correlated content columns across the
+//! join — the conditions under which independence-based join estimates
+//! (and SPN ensembles) go wrong.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_data::synth::Zipf;
+use uae_data::{Table, Value};
+
+use crate::schema::{DimTable, StarSchema};
+
+/// Generate an IMDB-like star schema.
+///
+/// * fact `title(production_year, kind)` — `titles` rows;
+/// * `movie_companies(company_type, country)` — fanout 0–6, larger for
+///   recent years;
+/// * `movie_info(info_type, rating)` — fanout 0–8, rating correlated with
+///   year;
+/// * `cast_info(role)` — fanout 0–10 (used by the optimizer study's wider
+///   joins).
+pub fn imdb_like(titles: usize, seed: u64) -> StarSchema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let year_z = Zipf::new(120, 0.7);
+    let kind_z = Zipf::new(7, 1.2);
+
+    let mut years = Vec::with_capacity(titles);
+    let mut kinds = Vec::with_capacity(titles);
+    for _ in 0..titles {
+        // Years skew toward the high end (recent movies): invert the Zipf.
+        let y = 119 - year_z.sample(&mut rng) as i64;
+        years.push(Value::Int(y));
+        kinds.push(Value::Int(kind_z.sample(&mut rng) as i64));
+    }
+    let fact = Table::from_columns(
+        "title",
+        vec![("production_year".into(), years.clone()), ("kind".into(), kinds.clone())],
+    );
+
+    // movie_companies: fanout correlated with year (recent → more).
+    let ctype_z = Zipf::new(4, 1.0);
+    let country_z = Zipf::new(40, 1.5);
+    let mut mc_fk = Vec::new();
+    let mut mc_ctype = Vec::new();
+    let mut mc_country = Vec::new();
+    for t in 0..titles {
+        let year = years[t].as_int().expect("int year");
+        let base = if year > 90 { 3.0 } else if year > 60 { 1.5 } else { 0.8 };
+        let fanout = sample_fanout(&mut rng, base, 6);
+        for _ in 0..fanout {
+            mc_fk.push(t as u32);
+            // company type correlated with title kind
+            let kind = kinds[t].as_int().expect("int kind");
+            let ct = if rng.random::<f64>() < 0.6 {
+                kind % 4
+            } else {
+                ctype_z.sample(&mut rng) as i64
+            };
+            mc_ctype.push(Value::Int(ct));
+            mc_country.push(Value::Int(country_z.sample(&mut rng) as i64));
+        }
+    }
+    let mc = DimTable::new(
+        Table::from_columns(
+            "movie_companies",
+            vec![("company_type".into(), mc_ctype), ("country".into(), mc_country)],
+        ),
+        mc_fk,
+    );
+
+    // movie_info: rating correlated with year.
+    let itype_z = Zipf::new(20, 1.1);
+    let mut mi_fk = Vec::new();
+    let mut mi_itype = Vec::new();
+    let mut mi_rating = Vec::new();
+    for t in 0..titles {
+        let year = years[t].as_int().expect("int year");
+        let fanout = sample_fanout(&mut rng, 1.8, 8);
+        for _ in 0..fanout {
+            mi_fk.push(t as u32);
+            mi_itype.push(Value::Int(itype_z.sample(&mut rng) as i64));
+            let base = (year / 13).min(9);
+            let rating = (base + rng.random_range(-2..=2i64)).clamp(0, 9);
+            mi_rating.push(Value::Int(rating));
+        }
+    }
+    let mi = DimTable::new(
+        Table::from_columns(
+            "movie_info",
+            vec![("info_type".into(), mi_itype), ("rating".into(), mi_rating)],
+        ),
+        mi_fk,
+    );
+
+    // cast_info: heavier fanout, role correlated with kind.
+    let role_z = Zipf::new(12, 1.0);
+    let mut ci_fk = Vec::new();
+    let mut ci_role = Vec::new();
+    for t in 0..titles {
+        let fanout = sample_fanout(&mut rng, 2.2, 10);
+        let kind = kinds[t].as_int().expect("int kind");
+        for _ in 0..fanout {
+            ci_fk.push(t as u32);
+            let role = if rng.random::<f64>() < 0.4 {
+                kind % 12
+            } else {
+                role_z.sample(&mut rng) as i64
+            };
+            ci_role.push(Value::Int(role));
+        }
+    }
+    let ci = DimTable::new(
+        Table::from_columns("cast_info", vec![("role".into(), ci_role)]),
+        ci_fk,
+    );
+
+    StarSchema::new(fact, vec![mc, mi, ci])
+}
+
+/// Skewed fanout: geometric-ish with mean ≈ `base`, capped.
+fn sample_fanout(rng: &mut StdRng, base: f64, cap: usize) -> usize {
+    let mut f = 0usize;
+    let p = base / (base + 1.0);
+    while f < cap && rng.random::<f64>() < p {
+        f += 1;
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let s = imdb_like(500, 1);
+        assert_eq!(s.num_dims(), 3);
+        assert_eq!(s.fact.num_cols(), 2);
+        assert!(s.dims[0].content.num_rows() > 200, "movie_companies too small");
+        assert!(s.outer_join_size() > s.fact.num_rows() as u64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = imdb_like(200, 9);
+        let b = imdb_like(200, 9);
+        assert_eq!(a.outer_join_size(), b.outer_join_size());
+        assert_eq!(a.dims[1].fk, b.dims[1].fk);
+    }
+
+    #[test]
+    fn fanouts_correlate_with_year() {
+        let s = imdb_like(3000, 2);
+        let year_col = s.fact.column(0);
+        let (mut recent, mut old) = ((0usize, 0usize), (0usize, 0usize));
+        for t in 0..s.fact.num_rows() {
+            let year = year_col.value(t).as_int().unwrap();
+            let f = s.fanout(0, t);
+            if year > 90 {
+                recent = (recent.0 + f, recent.1 + 1);
+            } else if year < 50 {
+                old = (old.0 + f, old.1 + 1);
+            }
+        }
+        let recent_avg = recent.0 as f64 / recent.1.max(1) as f64;
+        let old_avg = old.0 as f64 / old.1.max(1) as f64;
+        assert!(recent_avg > old_avg, "recent {recent_avg} vs old {old_avg}");
+    }
+}

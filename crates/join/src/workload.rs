@@ -1,0 +1,249 @@
+//! Join workload generation (paper §5.1.2, join experiments).
+//!
+//! `JOB-light-ranges-focused`: one join template (all dimensions joined),
+//! a bounded range on `title.production_year` (center window + target
+//! volume), and 2–5 random content filters anchored at an actually-joined
+//! tuple. The JOB-light-style *random* workload drops the bounded
+//! attribute and joins a random subset of the dimensions, probing
+//! robustness to workload shifts (and exercising fanout scaling).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_query::{PredOp, Predicate};
+
+use crate::executor::label_join_queries;
+use crate::schema::{JoinQuery, LabeledJoinQuery, StarSchema};
+
+/// Join-workload parameters.
+#[derive(Debug, Clone)]
+pub struct JoinWorkloadSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of (satisfiable, distinct) queries.
+    pub num_queries: usize,
+    /// Bounded attribute on the fact table: `(column, center window,
+    /// volume fraction)`; `None` = random workload.
+    pub bounded: Option<(usize, (f64, f64), f64)>,
+    /// Inclusive range of random content filters.
+    pub nf_range: (usize, usize),
+    /// `true` joins all dimensions (the single JOB-light template);
+    /// `false` picks a random subset per query.
+    pub all_dims: bool,
+}
+
+impl JoinWorkloadSpec {
+    /// JOB-light-ranges-focused defaults: bounded year, all dims joined.
+    pub fn focused(fact_col: usize, num_queries: usize, seed: u64) -> Self {
+        JoinWorkloadSpec {
+            seed,
+            num_queries,
+            bounded: Some((fact_col, (0.0, 1.0), 0.05)),
+            nf_range: (2, 4),
+            all_dims: true,
+        }
+    }
+
+    /// JOB-light-style random workload: no bounded attribute, random
+    /// dimension subsets.
+    pub fn random(num_queries: usize, seed: u64) -> Self {
+        JoinWorkloadSpec {
+            seed,
+            num_queries,
+            bounded: None,
+            nf_range: (1, 3),
+            all_dims: false,
+        }
+    }
+}
+
+/// Generate a labeled join workload (cardinality ≥ 1, deduplicated,
+/// disjoint from `exclude`).
+pub fn generate_join_workload(
+    schema: &StarSchema,
+    spec: &JoinWorkloadSpec,
+    exclude: &HashSet<u64>,
+) -> Vec<LabeledJoinQuery> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut seen = exclude.clone();
+    let mut out = Vec::with_capacity(spec.num_queries);
+    let mut guard = 0;
+    while out.len() < spec.num_queries {
+        guard += 1;
+        assert!(guard < 200, "join workload generation stalled");
+        let want = spec.num_queries - out.len();
+        let candidates: Vec<JoinQuery> =
+            (0..(want * 2).max(8)).map(|_| generate_query(schema, spec, &mut rng)).collect();
+        for lq in label_join_queries(schema, candidates) {
+            if lq.cardinality == 0 {
+                continue;
+            }
+            if seen.insert(fingerprint(&lq.query)) {
+                out.push(lq);
+                if out.len() == spec.num_queries {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Stable fingerprint of a join query.
+pub fn fingerprint(q: &JoinQuery) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    q.dims.hash(&mut h);
+    for p in &q.fact_preds {
+        (0usize, p.column, p.op.feature_index()).hash(&mut h);
+        p.value.hash(&mut h);
+    }
+    for (d, p) in &q.dim_preds {
+        (1usize, *d, p.column, p.op.feature_index()).hash(&mut h);
+        p.value.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprints of a whole workload.
+pub fn fingerprints(workload: &[LabeledJoinQuery]) -> HashSet<u64> {
+    workload.iter().map(|lq| fingerprint(&lq.query)).collect()
+}
+
+fn generate_query(schema: &StarSchema, spec: &JoinWorkloadSpec, rng: &mut StdRng) -> JoinQuery {
+    let ndims = schema.num_dims();
+    let dims: Vec<usize> = if spec.all_dims {
+        (0..ndims).collect()
+    } else {
+        let k = rng.random_range(0..=ndims);
+        let mut pool: Vec<usize> = (0..ndims).collect();
+        let mut picked = Vec::new();
+        for _ in 0..k {
+            let i = rng.random_range(0..pool.len());
+            picked.push(pool.swap_remove(i));
+        }
+        picked.sort_unstable();
+        picked
+    };
+
+    // Anchor: a fact row with matches in every joined dimension.
+    let anchor = (0..64)
+        .map(|_| rng.random_range(0..schema.fact.num_rows()))
+        .find(|&t| dims.iter().all(|&d| schema.fanout(d, t) > 0))
+        .unwrap_or(0);
+
+    let mut fact_preds = Vec::new();
+    let mut bounded_col = None;
+    if let Some((col, (wlo, whi), vol)) = spec.bounded {
+        bounded_col = Some(col);
+        let c = schema.fact.column(col);
+        let d = c.domain_size();
+        let width = ((vol * d as f64).round() as usize).max(1);
+        let lo_center = (wlo * d as f64) as usize;
+        let hi_center = ((whi * d as f64) as usize).max(lo_center + 1).min(d);
+        let center = rng.random_range(lo_center..hi_center);
+        let lo = center.saturating_sub(width / 2);
+        let hi = (lo + width).min(d) - 1;
+        fact_preds.push(Predicate::ge(col, c.dict()[lo].clone()));
+        fact_preds.push(Predicate::le(col, c.dict()[hi].clone()));
+    }
+
+    // Random content filters over fact + joined dims.
+    let mut candidates: Vec<(Option<usize>, usize)> = Vec::new();
+    for c in 0..schema.fact.num_cols() {
+        if Some(c) != bounded_col {
+            candidates.push((None, c));
+        }
+    }
+    for &d in &dims {
+        for c in 0..schema.dims[d].content.num_cols() {
+            candidates.push((Some(d), c));
+        }
+    }
+    let (lo, hi) = spec.nf_range;
+    let nf = rng.random_range(lo..=hi.min(candidates.len().max(1)));
+    let mut dim_preds = Vec::new();
+    for _ in 0..nf {
+        if candidates.is_empty() {
+            break;
+        }
+        let i = rng.random_range(0..candidates.len());
+        let (dim, col) = candidates.swap_remove(i);
+        match dim {
+            None => {
+                let c = schema.fact.column(col);
+                let v = c.value(anchor).clone();
+                fact_preds.push(Predicate::new(col, pick_op(rng, c.domain_size()), v));
+            }
+            Some(d) => {
+                let matches = schema.matches(d, anchor);
+                let row = matches[rng.random_range(0..matches.len())] as usize;
+                let c = schema.dims[d].content.column(col);
+                let v = c.value(row).clone();
+                dim_preds.push((d, Predicate::new(col, pick_op(rng, c.domain_size()), v)));
+            }
+        }
+    }
+    JoinQuery { dims, fact_preds, dim_preds }
+}
+
+fn pick_op(rng: &mut StdRng, domain: usize) -> PredOp {
+    if domain <= 2 {
+        return PredOp::Eq;
+    }
+    match rng.random::<f64>() {
+        x if x < 0.45 => PredOp::Eq,
+        x if x < 0.73 => PredOp::Le,
+        _ => PredOp::Ge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::imdb_like;
+
+    #[test]
+    fn focused_workload_joins_all_dims_and_is_satisfiable() {
+        let s = imdb_like(500, 2);
+        let w = generate_join_workload(
+            &s,
+            &JoinWorkloadSpec::focused(0, 25, 3),
+            &HashSet::new(),
+        );
+        assert_eq!(w.len(), 25);
+        assert!(w.iter().all(|lq| lq.cardinality >= 1));
+        assert!(w.iter().all(|lq| lq.query.dims == vec![0, 1, 2]));
+        // Bounded attribute present on every query.
+        assert!(w
+            .iter()
+            .all(|lq| lq.query.fact_preds.iter().filter(|p| p.column == 0).count() >= 2));
+    }
+
+    #[test]
+    fn random_workload_varies_join_subsets() {
+        let s = imdb_like(500, 2);
+        let w =
+            generate_join_workload(&s, &JoinWorkloadSpec::random(30, 5), &HashSet::new());
+        assert_eq!(w.len(), 30);
+        let distinct_subsets: HashSet<Vec<usize>> =
+            w.iter().map(|lq| lq.query.dims.clone()).collect();
+        assert!(distinct_subsets.len() > 2, "subsets: {distinct_subsets:?}");
+    }
+
+    #[test]
+    fn workloads_deduplicate_across_exclusions() {
+        let s = imdb_like(400, 4);
+        let train = generate_join_workload(
+            &s,
+            &JoinWorkloadSpec::focused(0, 20, 1),
+            &HashSet::new(),
+        );
+        let excl = fingerprints(&train);
+        let test =
+            generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 20, 2), &excl);
+        assert!(excl.is_disjoint(&fingerprints(&test)));
+    }
+}

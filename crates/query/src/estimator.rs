@@ -1,0 +1,98 @@
+//! The interface every cardinality estimator in this repository implements
+//! (UAE and all nine baselines), plus evaluation helpers shared by the
+//! benchmark harness.
+
+use std::time::Instant;
+
+use crate::executor::LabeledQuery;
+use crate::metrics::ErrorSummary;
+use crate::predicate::Query;
+
+/// A trained cardinality estimator.
+pub trait CardinalityEstimator {
+    /// Display name (matches the paper's tables).
+    fn name(&self) -> &str;
+
+    /// Estimated cardinality (row count) of a query.
+    fn estimate_card(&self, query: &Query) -> f64;
+
+    /// Approximate in-memory size of the estimator's state, in bytes
+    /// (the paper's "Size" column).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Result of evaluating one estimator on one workload.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Estimator name.
+    pub name: String,
+    /// Q-error summary over the workload.
+    pub errors: ErrorSummary,
+    /// Mean estimation latency per query, in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Estimator size in bytes.
+    pub size_bytes: usize,
+}
+
+/// Evaluate an estimator against a labeled workload.
+pub fn evaluate(estimator: &dyn CardinalityEstimator, workload: &[LabeledQuery]) -> Evaluation {
+    let start = Instant::now();
+    let estimates: Vec<f64> =
+        workload.iter().map(|lq| estimator.estimate_card(&lq.query)).collect();
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let truth: Vec<f64> = workload.iter().map(|lq| lq.cardinality as f64).collect();
+    Evaluation {
+        name: estimator.name().to_owned(),
+        errors: ErrorSummary::from_estimates(&truth, &estimates),
+        mean_latency_ms: elapsed / workload.len().max(1) as f64,
+        size_bytes: estimator.size_bytes(),
+    }
+}
+
+/// Pretty size like the paper's tables (`17KB`, `2.0MB`).
+pub fn format_size(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes}B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.0}KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1}MB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Oracle(f64);
+    impl CardinalityEstimator for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn estimate_card(&self, _q: &Query) -> f64 {
+            self.0
+        }
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn evaluate_summarizes_errors() {
+        let w = vec![
+            LabeledQuery { query: Query::default(), cardinality: 100, selectivity: 0.1 },
+            LabeledQuery { query: Query::default(), cardinality: 50, selectivity: 0.05 },
+        ];
+        let ev = evaluate(&Oracle(100.0), &w);
+        assert_eq!(ev.errors.max, 2.0);
+        assert_eq!(ev.size_bytes, 8);
+        assert!(ev.mean_latency_ms >= 0.0);
+    }
+
+    #[test]
+    fn sizes_format() {
+        assert_eq!(format_size(500), "500B");
+        assert_eq!(format_size(17 * 1024), "17KB");
+        assert_eq!(format_size(2 * 1024 * 1024), "2.0MB");
+    }
+}

@@ -1,0 +1,156 @@
+//! The q-error metric (paper Eq. 6) and error summaries.
+
+/// Q-error between a true and an estimated cardinality:
+/// `max(1, c/ĉ, ĉ/c)` with both sides floored at 1 row so that empty
+/// results do not divide by zero (the convention of Moerkotte et al. and of
+/// the paper's evaluation).
+pub fn q_error(true_card: f64, est_card: f64) -> f64 {
+    let t = true_card.max(1.0);
+    let e = est_card.max(1.0);
+    (t / e).max(e / t).max(1.0)
+}
+
+/// Summary of a q-error distribution, matching the columns of the paper's
+/// Tables 2–5 (mean / median / 95th / max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Summarize a sample of q-errors. Returns all-1 for an empty sample.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        if errors.is_empty() {
+            return ErrorSummary { mean: 1.0, median: 1.0, p95: 1.0, max: 1.0, count: 0 };
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        ErrorSummary {
+            mean,
+            median: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: *sorted.last().expect("nonempty"),
+            count: sorted.len(),
+        }
+    }
+
+    /// Summarize paired true/estimated cardinalities.
+    pub fn from_estimates(truth: &[f64], estimates: &[f64]) -> Self {
+        assert_eq!(truth.len(), estimates.len());
+        let errs: Vec<f64> =
+            truth.iter().zip(estimates).map(|(&t, &e)| q_error(t, e)).collect();
+        ErrorSummary::from_errors(&errs)
+    }
+
+    /// One line of a result table: `mean median p95 max`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>10} {:>10} {:>10} {:>10}",
+            format_err(self.mean),
+            format_err(self.median),
+            format_err(self.p95),
+            format_err(self.max)
+        )
+    }
+}
+
+/// Percentile of an ascending-sorted sample using nearest-rank with linear
+/// interpolation.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Compact scientific-ish formatting used by the result tables: plain
+/// decimals below 10 000, powers of ten above.
+pub fn format_err(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".to_owned();
+    }
+    if v < 10_000.0 {
+        format!("{v:.3}")
+    } else {
+        let exp = v.log10().floor() as i32;
+        let mant = v / 10f64.powi(exp);
+        format!("{mant:.0}e{exp}")
+    }
+}
+
+/// Geometric mean (used by the optimizer-impact figure).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(100.0, 50.0), 2.0);
+        assert_eq!(q_error(50.0, 100.0), 2.0);
+        // Floors: estimating 0 for truth 10 → 10, not infinity.
+        assert_eq!(q_error(10.0, 0.0), 10.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let errs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ErrorSummary::from_errors(&errs);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn summary_of_empty_is_unit() {
+        let s = ErrorSummary::from_errors(&[]);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_err(5.4321), "5.432");
+        assert_eq!(format_err(123456.0), "1e5");
+    }
+
+    #[test]
+    fn geo_mean() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+}

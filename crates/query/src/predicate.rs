@@ -1,0 +1,206 @@
+//! Predicates and queries (paper §3).
+//!
+//! A query is a conjunction of predicates; each predicate constrains one
+//! attribute with a comparison operator (`=`, `!=`, `<`, `<=`, `>`, `>=`)
+//! or an `IN` clause. Disjunctions are supported via inclusion–exclusion at
+//! the estimator level (see [`crate::region`]).
+
+use uae_data::{Table, Value};
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PredOp {
+    /// Equality (`=`).
+    Eq,
+    /// Inequality (`!=` / `<>`).
+    Ne,
+    /// Strictly less (`<`).
+    Lt,
+    /// Less or equal (`<=`).
+    Le,
+    /// Strictly greater (`>`).
+    Gt,
+    /// Greater or equal (`>=`).
+    Ge,
+    /// Membership in a value list (`IN`).
+    In(Vec<Value>),
+}
+
+impl PredOp {
+    /// Short SQL-ish symbol for display.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            PredOp::Eq => "=",
+            PredOp::Ne => "!=",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::In(_) => "IN",
+        }
+    }
+
+    /// Stable small integer used by query featurizers (MSCN, LR).
+    pub fn feature_index(&self) -> usize {
+        match self {
+            PredOp::Eq => 0,
+            PredOp::Ne => 1,
+            PredOp::Lt => 2,
+            PredOp::Le => 3,
+            PredOp::Gt => 4,
+            PredOp::Ge => 5,
+            PredOp::In(_) => 6,
+        }
+    }
+
+    /// Number of distinct operator kinds (for one-hot encodings).
+    pub const NUM_KINDS: usize = 7;
+}
+
+/// One predicate: `column <op> value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Index of the constrained column in the table.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: PredOp,
+    /// Comparison literal (ignored for `IN`, which carries its own list).
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(column: usize, op: PredOp, value: Value) -> Self {
+        Predicate { column, op, value }
+    }
+
+    /// `column = value`.
+    pub fn eq(column: usize, value: impl Into<Value>) -> Self {
+        Predicate::new(column, PredOp::Eq, value.into())
+    }
+
+    /// `column <= value`.
+    pub fn le(column: usize, value: impl Into<Value>) -> Self {
+        Predicate::new(column, PredOp::Le, value.into())
+    }
+
+    /// `column >= value`.
+    pub fn ge(column: usize, value: impl Into<Value>) -> Self {
+        Predicate::new(column, PredOp::Ge, value.into())
+    }
+
+    /// `column IN (values)`.
+    pub fn is_in(column: usize, values: Vec<Value>) -> Self {
+        Predicate::new(column, PredOp::In(values), Value::Int(0))
+    }
+}
+
+/// A conjunctive query over one table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// The conjunction of predicates; multiple predicates on the same
+    /// column intersect.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// A query with the given predicates.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        Query { predicates }
+    }
+
+    /// The set of distinct columns this query constrains.
+    pub fn touched_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = self.predicates.iter().map(|p| p.column).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Number of predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Human-readable rendering against a table's column names.
+    pub fn display(&self, table: &Table) -> String {
+        let parts: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|p| {
+                let col = table.column(p.column).name();
+                match &p.op {
+                    PredOp::In(vals) => {
+                        let vs: Vec<String> = vals.iter().map(ToString::to_string).collect();
+                        format!("{col} IN ({})", vs.join(", "))
+                    }
+                    op => format!("{col} {} {}", op.symbol(), p.value),
+                }
+            })
+            .collect();
+        parts.join(" AND ")
+    }
+
+    /// Conjunction of two queries (predicate concatenation; same-column
+    /// predicates intersect at region level). The inclusion-exclusion
+    /// building block for disjunction support (paper §3).
+    pub fn and(&self, other: &Query) -> Query {
+        let mut predicates = self.predicates.clone();
+        predicates.extend(other.predicates.iter().cloned());
+        Query::new(predicates)
+    }
+
+    /// A stable fingerprint used to deduplicate queries across workloads.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for p in &self.predicates {
+            p.column.hash(&mut h);
+            p.op.feature_index().hash(&mut h);
+            if let PredOp::In(vals) = &p.op {
+                for v in vals {
+                    v.hash(&mut h);
+                }
+            }
+            p.value.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_columns_dedup_sorted() {
+        let q = Query::new(vec![
+            Predicate::ge(3, 5i64),
+            Predicate::le(3, 9i64),
+            Predicate::eq(1, 2i64),
+        ]);
+        assert_eq!(q.touched_columns(), vec![1, 3]);
+        assert_eq!(q.num_predicates(), 3);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_queries() {
+        let a = Query::new(vec![Predicate::eq(0, 1i64)]);
+        let b = Query::new(vec![Predicate::eq(0, 2i64)]);
+        let c = Query::new(vec![Predicate::le(0, 1i64)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn display_renders_sql() {
+        let t = uae_data::Table::from_columns(
+            "t",
+            vec![("a".into(), vec![1i64.into()]), ("b".into(), vec![2i64.into()])],
+        );
+        let q = Query::new(vec![Predicate::ge(0, 1i64), Predicate::eq(1, 2i64)]);
+        assert_eq!(q.display(&t), "a >= 1 AND b = 2");
+    }
+}

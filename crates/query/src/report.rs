@@ -1,0 +1,89 @@
+//! Workload characterization reports (the paper's Figure 3 plots the
+//! selectivity distributions of the generated workloads).
+
+use crate::executor::LabeledQuery;
+
+/// A log10-bucketed selectivity histogram.
+#[derive(Debug, Clone)]
+pub struct SelectivityHistogram {
+    /// `(bucket label, count)` from the most selective decade upward.
+    pub buckets: Vec<(String, usize)>,
+    /// Number of queries summarized.
+    pub total: usize,
+}
+
+impl SelectivityHistogram {
+    /// Bucket a workload's selectivities by decade: `[10^-k, 10^-k+1)`.
+    pub fn from_workload(workload: &[LabeledQuery]) -> Self {
+        const DECADES: usize = 8; // 10^-8 .. 1
+        let mut counts = vec![0usize; DECADES + 1];
+        for lq in workload {
+            let s = lq.selectivity.max(1e-300);
+            let k = (-s.log10()).ceil() as i64; // sel in [10^-k, 10^-k+1)
+            let idx = k.clamp(0, DECADES as i64) as usize;
+            counts[idx] += 1;
+        }
+        let buckets = counts
+            .into_iter()
+            .enumerate()
+            .map(|(k, c)| {
+                let label = if k == 0 {
+                    "1".to_owned()
+                } else if k == 8 {
+                    "<=1e-8".to_owned()
+                } else {
+                    format!("1e-{k}")
+                };
+                (label, c)
+            })
+            .collect();
+        SelectivityHistogram { buckets, total: workload.len() }
+    }
+
+    /// ASCII rendering, one row per decade.
+    pub fn render(&self) -> String {
+        let max = self.buckets.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (label, count) in &self.buckets {
+            let bar = "#".repeat(count * 40 / max);
+            out.push_str(&format!("{label:>8} | {bar} {count}\n"));
+        }
+        out
+    }
+
+    /// Width of the selectivity spectrum: number of nonempty decades.
+    pub fn spectrum_width(&self) -> usize {
+        self.buckets.iter().filter(|(_, c)| *c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Query;
+
+    fn lq(sel: f64) -> LabeledQuery {
+        LabeledQuery {
+            query: Query::default(),
+            cardinality: (sel * 1e6) as u64,
+            selectivity: sel,
+        }
+    }
+
+    #[test]
+    fn decade_bucketing() {
+        let w = vec![lq(0.5), lq(0.05), lq(0.005), lq(0.005), lq(1e-9)];
+        let h = SelectivityHistogram::from_workload(&w);
+        assert_eq!(h.total, 5);
+        // 0.5 → 1e-1 bucket, 0.05 → 1e-2, 0.005 (x2) → 1e-3, 1e-9 → <=1e-8.
+        let get = |label: &str| {
+            h.buckets.iter().find(|(l, _)| l == label).map(|(_, c)| *c).unwrap()
+        };
+        assert_eq!(get("1e-1"), 1);
+        assert_eq!(get("1e-2"), 1);
+        assert_eq!(get("1e-3"), 2);
+        assert_eq!(get("<=1e-8"), 1);
+        assert_eq!(h.spectrum_width(), 4);
+        assert!(h.render().contains('#'));
+    }
+}

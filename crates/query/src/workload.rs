@@ -1,0 +1,305 @@
+//! Workload generation following the paper's §5.1.2.
+//!
+//! *In-workload* queries constrain a **bounded attribute** (one with a
+//! relatively large domain) with a range whose center is drawn uniformly
+//! from a configurable window and whose target volume is 1% of the distinct
+//! values, plus `n_f` random filters on other attributes whose literals come
+//! from a randomly sampled tuple. *Random* queries drop the bounded
+//! attribute entirely and are used to probe robustness to workload shifts.
+//! Shifting the center window across generations yields the incremental
+//! query workload partitions of §5.4.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_data::{Table, Value};
+
+use crate::executor::{label_queries, LabeledQuery};
+use crate::predicate::{PredOp, Predicate, Query};
+
+/// Specification of the bounded attribute for in-workload queries.
+#[derive(Debug, Clone)]
+pub struct BoundedSpec {
+    /// Which column is bounded.
+    pub column: usize,
+    /// Window (as fractions of the domain) the range center is drawn from.
+    pub center_window: (f64, f64),
+    /// Target volume as a fraction of the distinct values (paper: 1%).
+    pub volume_frac: f64,
+}
+
+impl BoundedSpec {
+    /// The paper's default: centers anywhere, volume 1% of the domain.
+    pub fn full_window(column: usize) -> Self {
+        BoundedSpec { column, center_window: (0.0, 1.0), volume_frac: 0.01 }
+    }
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// How many (satisfiable, deduplicated) queries to produce.
+    pub num_queries: usize,
+    /// Bounded attribute; `None` generates the paper's "random queries".
+    pub bounded: Option<BoundedSpec>,
+    /// Inclusive range of the number of random filters `n_f`.
+    pub nf_range: (usize, usize),
+}
+
+impl WorkloadSpec {
+    /// In-workload spec with the paper's defaults on the given bounded column.
+    pub fn in_workload(column: usize, num_queries: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            num_queries,
+            bounded: Some(BoundedSpec::full_window(column)),
+            nf_range: (2, 5),
+        }
+    }
+
+    /// Random (out-of-workload) spec.
+    pub fn random(num_queries: usize, seed: u64) -> Self {
+        WorkloadSpec { seed, num_queries, bounded: None, nf_range: (2, 5) }
+    }
+}
+
+/// The column with the largest domain — the paper's choice of bounded
+/// attribute ("an attribute with a relatively large domain size").
+pub fn default_bounded_column(table: &Table) -> usize {
+    (0..table.num_cols())
+        .max_by_key(|&i| table.column(i).domain_size())
+        .expect("table has no columns")
+}
+
+/// Generate a labeled workload. Queries are guaranteed satisfiable
+/// (cardinality ≥ 1), mutually distinct, and distinct from `exclude`
+/// (pass the training workload's fingerprints when generating test
+/// queries — the paper "manually ensures" this separation).
+pub fn generate_workload(
+    table: &Table,
+    spec: &WorkloadSpec,
+    exclude: &HashSet<u64>,
+) -> Vec<LabeledQuery> {
+    assert!(table.num_rows() > 0, "cannot generate workload over an empty table");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut seen: HashSet<u64> = exclude.clone();
+    let mut out: Vec<LabeledQuery> = Vec::with_capacity(spec.num_queries);
+    let mut stall_guard = 0usize;
+    while out.len() < spec.num_queries {
+        stall_guard += 1;
+        assert!(
+            stall_guard < 200,
+            "workload generation stalled; table too small for {} distinct queries",
+            spec.num_queries
+        );
+        let want = spec.num_queries - out.len();
+        // Over-generate: some candidates are empty or duplicates.
+        let candidates: Vec<Query> =
+            (0..(want * 2).max(16)).map(|_| generate_query(table, spec, &mut rng)).collect();
+        let labeled = label_queries(table, candidates);
+        for lq in labeled {
+            if lq.cardinality == 0 {
+                continue;
+            }
+            let fp = lq.query.fingerprint();
+            if seen.insert(fp) {
+                out.push(lq);
+                if out.len() == spec.num_queries {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fingerprints of a workload, for excluding in later generations.
+pub fn fingerprints(workload: &[LabeledQuery]) -> HashSet<u64> {
+    workload.iter().map(|lq| lq.query.fingerprint()).collect()
+}
+
+fn generate_query(table: &Table, spec: &WorkloadSpec, rng: &mut StdRng) -> Query {
+    let mut predicates = Vec::new();
+    let bounded_col = spec.bounded.as_ref().map(|b| b.column);
+
+    if let Some(b) = &spec.bounded {
+        let col = table.column(b.column);
+        let d = col.domain_size();
+        let width = ((b.volume_frac * d as f64).round() as usize).max(1);
+        let (wlo, whi) = b.center_window;
+        let lo_center = (wlo * d as f64) as usize;
+        let hi_center = ((whi * d as f64) as usize).max(lo_center + 1).min(d);
+        let center = rng.random_range(lo_center..hi_center);
+        let lo = center.saturating_sub(width / 2);
+        let hi = (lo + width).min(d) - 1;
+        predicates.push(Predicate::ge(b.column, col.dict()[lo].clone()));
+        predicates.push(Predicate::le(b.column, col.dict()[hi].clone()));
+    }
+
+    // Anchor tuple supplies the literals (paper §5.1.2: "the filter
+    // literals are set from the values of a randomly sampled tuple").
+    let row = rng.random_range(0..table.num_rows());
+    let candidates: Vec<usize> =
+        (0..table.num_cols()).filter(|&c| Some(c) != bounded_col).collect();
+    let (nf_lo, nf_hi) = spec.nf_range;
+    let nf = rng.random_range(nf_lo..=nf_hi.min(candidates.len()));
+    let cols = sample_distinct(&candidates, nf, rng);
+    for c in cols {
+        let col = table.column(c);
+        let anchor = col.value(row).clone();
+        let op = sample_op(rng, col.domain_size(), &anchor, col, row);
+        predicates.push(Predicate::new(c, op, anchor));
+    }
+    Query::new(predicates)
+}
+
+fn sample_distinct(pool: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool = pool.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k.min(pool.len()) {
+        let i = rng.random_range(0..pool.len());
+        out.push(pool.swap_remove(i));
+    }
+    out
+}
+
+fn sample_op(
+    rng: &mut StdRng,
+    domain: usize,
+    anchor: &Value,
+    col: &uae_data::Column,
+    _row: usize,
+) -> PredOp {
+    // Weighted mix: mostly the Naru-style {=, <=, >=}, plus the long tail of
+    // operators UAE also supports (§3): !=, <, >, IN.
+    let r: f64 = rng.random();
+    if domain <= 2 {
+        // Range ops on boolean-ish columns degenerate; use equality.
+        return PredOp::Eq;
+    }
+    match r {
+        x if x < 0.40 => PredOp::Eq,
+        x if x < 0.62 => PredOp::Le,
+        x if x < 0.84 => PredOp::Ge,
+        x if x < 0.89 => PredOp::Ne,
+        x if x < 0.93 => PredOp::Lt,
+        x if x < 0.97 => PredOp::Gt,
+        _ => {
+            // IN over the anchor plus a few random dictionary values.
+            let extra = rng.random_range(1..=3usize);
+            let mut vals = vec![anchor.clone()];
+            for _ in 0..extra {
+                let c = rng.random_range(0..domain);
+                vals.push(col.dict()[c].clone());
+            }
+            vals.dedup();
+            PredOp::In(vals)
+        }
+    }
+}
+
+/// The `k` shifted center windows used by the incremental-workload
+/// experiment (§5.4): partition `i` draws its bounded centers from
+/// `[i/k, (i+1)/k)` of the domain, so each partition focuses on a
+/// different data region.
+pub fn incremental_windows(k: usize) -> Vec<(f64, f64)> {
+    (0..k).map(|i| (i as f64 / k as f64, (i + 1) as f64 / k as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::dmv_like;
+
+    #[test]
+    fn workload_is_satisfiable_and_distinct() {
+        let t = dmv_like(2000, 9);
+        let col = default_bounded_column(&t);
+        let spec = WorkloadSpec::in_workload(col, 50, 1);
+        let w = generate_workload(&t, &spec, &HashSet::new());
+        assert_eq!(w.len(), 50);
+        assert!(w.iter().all(|lq| lq.cardinality >= 1));
+        let fps: HashSet<u64> = fingerprints(&w);
+        assert_eq!(fps.len(), 50, "queries must be distinct");
+        // Every in-workload query constrains the bounded column.
+        assert!(w.iter().all(|lq| lq.query.touched_columns().contains(&col)));
+    }
+
+    #[test]
+    fn test_workload_excludes_training() {
+        let t = dmv_like(2000, 9);
+        let col = default_bounded_column(&t);
+        let train = generate_workload(&t, &WorkloadSpec::in_workload(col, 40, 1), &HashSet::new());
+        let excl = fingerprints(&train);
+        let test = generate_workload(&t, &WorkloadSpec::in_workload(col, 40, 2), &excl);
+        let test_fps = fingerprints(&test);
+        assert!(excl.is_disjoint(&test_fps), "train/test overlap");
+    }
+
+    #[test]
+    fn random_workload_has_no_bounded_column() {
+        let t = dmv_like(1000, 9);
+        let w = generate_workload(&t, &WorkloadSpec::random(30, 3), &HashSet::new());
+        assert_eq!(w.len(), 30);
+        // Predicate counts stay within nf bounds.
+        assert!(w.iter().all(|lq| {
+            let n = lq.query.touched_columns().len();
+            (1..=5).contains(&n)
+        }));
+    }
+
+    #[test]
+    fn bounded_column_default_is_widest() {
+        let t = dmv_like(500, 9);
+        let col = default_bounded_column(&t);
+        let widest = t.domain_sizes().into_iter().max().unwrap();
+        assert_eq!(t.column(col).domain_size(), widest);
+    }
+
+    #[test]
+    fn incremental_windows_partition_unit_interval() {
+        let w = incremental_windows(5);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0].0, 0.0);
+        assert_eq!(w[4].1, 1.0);
+        for i in 1..5 {
+            assert_eq!(w[i - 1].1, w[i].0);
+        }
+    }
+
+    #[test]
+    fn shifted_windows_focus_on_different_regions() {
+        let t = dmv_like(4000, 11);
+        let col = default_bounded_column(&t);
+        let mk = |win: (f64, f64), seed| {
+            let spec = WorkloadSpec {
+                seed,
+                num_queries: 20,
+                bounded: Some(BoundedSpec { column: col, center_window: win, volume_frac: 0.01 }),
+                nf_range: (1, 2),
+            };
+            generate_workload(&t, &spec, &HashSet::new())
+        };
+        let low = mk((0.0, 0.2), 5);
+        let high = mk((0.8, 1.0), 6);
+        // Compare the literal code midpoints of the bounded ranges.
+        let mid = |w: &[LabeledQuery]| -> f64 {
+            let col_ref = t.column(col);
+            let mut acc = 0.0;
+            for lq in w {
+                for p in &lq.query.predicates {
+                    if p.column == col {
+                        if let Some(c) = col_ref.code_of(&p.value) {
+                            acc += c as f64;
+                        }
+                    }
+                }
+            }
+            acc / (2.0 * w.len() as f64)
+        };
+        assert!(mid(&low) < mid(&high), "windows should separate literal positions");
+    }
+}

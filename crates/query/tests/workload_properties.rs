@@ -1,0 +1,91 @@
+//! Property tests of the workload machinery: generated queries are always
+//! valid, labeled consistently, and the §5.1.2 structure (bounded
+//! attribute + random filters) holds for every seed.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use uae_query::{
+    default_bounded_column, generate_workload, BoundedSpec, Executor, QueryRegion, WorkloadSpec,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn workloads_are_valid_for_any_seed(seed in 0u64..10_000) {
+        let table = uae_data::census_like(1_200, 3);
+        let col = default_bounded_column(&table);
+        let spec = WorkloadSpec {
+            seed,
+            num_queries: 25,
+            bounded: Some(BoundedSpec {
+                column: col,
+                center_window: (0.1, 0.9),
+                volume_frac: 0.02,
+            }),
+            nf_range: (1, 4),
+        };
+        let w = generate_workload(&table, &spec, &HashSet::new());
+        prop_assert_eq!(w.len(), 25);
+        let exec = Executor::new(&table);
+        for lq in &w {
+            // Labels are exact.
+            prop_assert_eq!(exec.cardinality(&lq.query), lq.cardinality);
+            prop_assert!(lq.cardinality >= 1);
+            // Selectivity is consistent with cardinality.
+            let sel = lq.cardinality as f64 / table.num_rows() as f64;
+            prop_assert!((sel - lq.selectivity).abs() < 1e-12);
+            // All predicates reference valid columns and are satisfiable.
+            let qr = QueryRegion::build(&table, &lq.query);
+            prop_assert!(!qr.is_empty());
+            // Bounded column is constrained.
+            prop_assert!(lq.query.touched_columns().contains(&col));
+        }
+    }
+
+    #[test]
+    fn center_window_bounds_the_literals(window_lo in 0.0f64..0.7) {
+        let window = (window_lo, window_lo + 0.25);
+        let table = uae_data::dmv_like(1_500, 4);
+        let col = default_bounded_column(&table);
+        let spec = WorkloadSpec {
+            seed: 11,
+            num_queries: 15,
+            bounded: Some(BoundedSpec { column: col, center_window: window, volume_frac: 0.01 }),
+            nf_range: (1, 2),
+        };
+        let w = generate_workload(&table, &spec, &HashSet::new());
+        let d = table.column(col).domain_size() as f64;
+        for lq in &w {
+            for p in &lq.query.predicates {
+                if p.column == col {
+                    if let Some(code) = table.column(col).code_of(&p.value) {
+                        let frac = code as f64 / d;
+                        // Literal = center ± width/2 ± rounding slack.
+                        prop_assert!(
+                            frac >= window.0 - 0.05 && frac <= window.1 + 0.05,
+                            "literal at {} outside window {:?}",
+                            frac,
+                            window
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_workloads_touch_diverse_columns() {
+    let table = uae_data::census_like(1_500, 6);
+    let w = generate_workload(&table, &WorkloadSpec::random(60, 8), &HashSet::new());
+    let mut touched = HashSet::new();
+    for lq in &w {
+        touched.extend(lq.query.touched_columns());
+    }
+    assert!(
+        touched.len() > table.num_cols() / 2,
+        "random workload covers only {touched:?}"
+    );
+}

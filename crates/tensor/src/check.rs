@@ -1,0 +1,185 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suites to validate the backward pass of every
+//! op and of composite graphs (including the differentiable progressive
+//! sampling pipeline in `uae-core`).
+
+use crate::tape::{GradStore, NodeId, ParamId, ParamStore, Tape};
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheck {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalized by magnitude).
+    pub max_rel_err: f32,
+}
+
+/// Compare analytic gradients against central finite differences for every
+/// parameter in `store`.
+///
+/// `f` rebuilds the loss graph on a fresh tape each call (it must be a pure
+/// function of the parameter store for the comparison to be valid — seed any
+/// internal randomness identically across calls).
+///
+/// Returns the worst-case error over all parameters.
+pub fn gradient_check(
+    store: &mut ParamStore,
+    eps: f32,
+    mut f: impl FnMut(&mut Tape<'_>) -> NodeId,
+) -> GradCheck {
+    // Analytic gradients.
+    let mut grads = GradStore::zeros_like(store);
+    {
+        let mut tape = Tape::new(store);
+        let loss = f(&mut tape);
+        tape.backward(loss, &mut grads);
+    }
+
+    let mut max_abs_err = 0.0f32;
+    let mut max_rel_err = 0.0f32;
+    let param_ids: Vec<ParamId> = store.ids().collect();
+    for pid in param_ids {
+        for i in 0..store.get(pid).len() {
+            let orig = store.get(pid).data()[i];
+
+            store.get_mut(pid).data_mut()[i] = orig + eps;
+            let up = {
+                let mut tape = Tape::new(store);
+                let loss = f(&mut tape);
+                tape.value(loss).scalar_value()
+            };
+            store.get_mut(pid).data_mut()[i] = orig - eps;
+            let down = {
+                let mut tape = Tape::new(store);
+                let loss = f(&mut tape);
+                tape.value(loss).scalar_value()
+            };
+            store.get_mut(pid).data_mut()[i] = orig;
+
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = grads.get(pid).data()[i];
+            let abs = (numeric - analytic).abs();
+            let rel = abs / numeric.abs().max(analytic.abs()).max(1e-4);
+            max_abs_err = max_abs_err.max(abs);
+            max_rel_err = max_rel_err.max(rel);
+        }
+    }
+    GradCheck { max_abs_err, max_rel_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::tensor::Tensor;
+    use rand::RngExt;
+    use std::rc::Rc;
+
+    fn random_tensor(seed: u64, rows: usize, cols: usize) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect())
+    }
+
+    #[test]
+    fn check_mlp_with_softmax_gather() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", random_tensor(1, 3, 5));
+        let b1 = store.add("b1", random_tensor(2, 1, 5));
+        let w2 = store.add("w2", random_tensor(3, 5, 4));
+        let x = random_tensor(4, 2, 3);
+        let targets = Rc::new(vec![1u32, 3]);
+
+        let res = gradient_check(&mut store, 1e-3, |tape| {
+            let xin = tape.input(x.clone());
+            let w1n = tape.param(w1);
+            let b1n = tape.param(b1);
+            let w2n = tape.param(w2);
+            let h = tape.matmul(xin, w1n);
+            let h = tape.add_bias(h, b1n);
+            let h = tape.relu(h);
+            let logits = tape.matmul(h, w2n);
+            let ls = tape.log_softmax(logits);
+            let picked = tape.gather_cols(ls, targets.clone());
+            let neg = tape.mul_scalar(picked, -1.0);
+            tape.mean_all(neg)
+        });
+        assert!(res.max_rel_err < 2e-2, "rel err {}", res.max_rel_err);
+    }
+
+    #[test]
+    fn check_masked_matmul() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", random_tensor(10, 4, 3));
+        let mask = Rc::new(Tensor::from_vec(
+            4,
+            3,
+            vec![1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        ));
+        let x = random_tensor(11, 2, 4);
+        let res = gradient_check(&mut store, 1e-3, |tape| {
+            let xin = tape.input(x.clone());
+            let wn = tape.param(w);
+            let y = tape.matmul_masked(xin, wn, mask.clone());
+            let sq = tape.mul(y, y);
+            tape.mean_all(sq)
+        });
+        assert!(res.max_rel_err < 1e-2, "rel err {}", res.max_rel_err);
+    }
+
+    #[test]
+    fn check_div_exp_ln_chain() {
+        let mut store = ParamStore::new();
+        // Keep values positive and away from zero for ln and div.
+        let a = store.add("a", Tensor::from_vec(1, 3, vec![0.7, 1.3, 2.1]));
+        let b = store.add("b", Tensor::from_vec(1, 3, vec![1.9, 0.8, 1.1]));
+        let res = gradient_check(&mut store, 1e-3, |tape| {
+            let an = tape.param(a);
+            let bn = tape.param(b);
+            let d = tape.div(an, bn);
+            let e = tape.exp(d);
+            let l = tape.ln(e);
+            let s = tape.sigmoid(l);
+            tape.mean_all(s)
+        });
+        assert!(res.max_rel_err < 1e-2, "rel err {}", res.max_rel_err);
+    }
+
+    #[test]
+    fn check_qerror_like_loss() {
+        // max(p/t, t/p) — the paper's Q-error discrepancy (Eq. 6) with
+        // a subgradient through max; check away from the tie point.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::from_vec(2, 1, vec![0.2, 0.9]));
+        let truth = Tensor::from_vec(2, 1, vec![0.5, 0.3]);
+        let res = gradient_check(&mut store, 1e-4, |tape| {
+            let pn = tape.param(p);
+            let pn = tape.clamp_min(pn, 1e-6);
+            let t = tape.input(truth.clone());
+            let r1 = tape.div(pn, t);
+            let t2 = tape.input(truth.clone());
+            let pn2 = tape.param(p);
+            let pn2 = tape.clamp_min(pn2, 1e-6);
+            let r2 = tape.div(t2, pn2);
+            let q = tape.maximum(r1, r2);
+            tape.mean_all(q)
+        });
+        assert!(res.max_rel_err < 1e-2, "rel err {}", res.max_rel_err);
+    }
+
+    #[test]
+    fn check_mul_col_broadcast_and_row_groups() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", random_tensor(20, 4, 3));
+        let v = store.add("v", random_tensor(21, 4, 1));
+        let res = gradient_check(&mut store, 1e-3, |tape| {
+            let xn = tape.param(x);
+            let vn = tape.param(v);
+            let y = tape.mul_col_broadcast(xn, vn);
+            let m = tape.mean_row_groups(y, 2);
+            let sq = tape.mul(m, m);
+            tape.mean_all(sq)
+        });
+        assert!(res.max_rel_err < 1e-2, "rel err {}", res.max_rel_err);
+    }
+}

@@ -1,0 +1,172 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::tape::{GradStore, ParamStore};
+use crate::tensor::Tensor;
+
+/// Interface shared by all optimizers.
+pub trait Optimizer {
+    /// Apply one update step from accumulated gradients.
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` and momentum coefficient `momentum`
+    /// (0.0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Adjust the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        if self.velocity.is_empty() && self.momentum != 0.0 {
+            self.velocity = params
+                .ids()
+                .map(|id| {
+                    let t = params.get(id);
+                    Tensor::zeros(t.rows(), t.cols())
+                })
+                .collect();
+        }
+        for id in params.ids() {
+            let g = grads.get(id);
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[id.index()];
+                for (vj, gj) in v.data_mut().iter_mut().zip(g.data()) {
+                    *vj = self.momentum * *vj + gj;
+                }
+                let v = self.velocity[id.index()].clone();
+                params.get_mut(id).add_scaled(&v, -self.lr);
+            } else {
+                params.get_mut(id).add_scaled(g, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) — the optimizer used to train UAE in the paper's
+/// reference implementation.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard defaults `beta1=0.9`, `beta2=0.999`, `eps=1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Adjust the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lazy_init(&mut self, params: &ParamStore) {
+        if self.m.is_empty() {
+            let zeros = |p: &ParamStore| {
+                p.ids()
+                    .map(|id| {
+                        let t = p.get(id);
+                        Tensor::zeros(t.rows(), t.cols())
+                    })
+                    .collect::<Vec<_>>()
+            };
+            self.m = zeros(params);
+            self.v = zeros(params);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        self.lazy_init(params);
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for id in params.ids() {
+            let g = grads.get(id).data();
+            let m = self.m[id.index()].data_mut();
+            let v = self.v[id.index()].data_mut();
+            let p = params.get_mut(id).data_mut();
+            for i in 0..p.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / b1t;
+                let vhat = v[i] / b2t;
+                p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::{GradStore, ParamStore, Tape};
+
+    /// Minimize (w - 3)^2 and check convergence.
+    fn converges(mut opt: impl Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            let mut grads = GradStore::zeros_like(&store);
+            let mut tape = Tape::new(&store);
+            let w = tape.param(id);
+            let target = tape.input(Tensor::scalar(3.0));
+            let d = tape.sub(w, target);
+            let sq = tape.mul(d, d);
+            let loss = tape.mean_all(sq);
+            tape.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+        store.get(id).scalar_value()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let w = converges(Sgd::new(0.1, 0.0));
+        assert!((w - 3.0).abs() < 1e-3, "sgd ended at {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = converges(Sgd::new(0.05, 0.9));
+        assert!((w - 3.0).abs() < 1e-2, "sgd+momentum ended at {w}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let w = converges(Adam::new(0.05));
+        assert!((w - 3.0).abs() < 1e-2, "adam ended at {w}");
+    }
+}

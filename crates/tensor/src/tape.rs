@@ -1,0 +1,842 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The tape is a flat arena of nodes ([`Node`]), each holding its forward
+//! value and the operation that produced it. Forward values are computed
+//! eagerly as the graph is built; [`Tape::backward`] then walks the arena in
+//! reverse, accumulating gradients for every node and depositing parameter
+//! gradients into a [`GradStore`] aligned with the [`ParamStore`].
+//!
+//! This is the substrate that makes *differentiable progressive sampling*
+//! possible in Rust: the UAE query loss (paper Alg. 2) is an `n`-step chain
+//! of model forwards, masked softmaxes and Gumbel-Softmax samples, all of
+//! which are ordinary nodes on this tape.
+
+use std::rc::Rc;
+
+use crate::tensor::{log_softmax_in_place, softmax_in_place, Tensor};
+
+/// Identifier of a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a trainable parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(u32);
+
+impl ParamId {
+    /// Position of the parameter inside its store.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Trainable parameters, owned outside any tape so they persist across
+/// training steps.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter tensor under a diagnostic name.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.values.len() as u32);
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Value of a parameter.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.index()]
+    }
+
+    /// Mutable value of a parameter (used by optimizers).
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.index()]
+    }
+
+    /// Diagnostic name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len() as u32).map(ParamId)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Estimated size in bytes when stored as `f32`.
+    pub fn size_bytes(&self) -> usize {
+        self.num_scalars() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Gradient accumulators aligned with a [`ParamStore`].
+#[derive(Debug, Clone, Default)]
+pub struct GradStore {
+    grads: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// Zero-initialized gradients matching `store`'s shapes.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        GradStore {
+            grads: store.values.iter().map(|t| Tensor::zeros(t.rows(), t.cols())).collect(),
+        }
+    }
+
+    /// Gradient of one parameter.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.index()]
+    }
+
+    /// Mutable gradient of one parameter.
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.grads[id.index()]
+    }
+
+    /// Reset all gradients to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn l2_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flat_map(|g| g.data().iter())
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Scale every gradient by `s` (used for gradient clipping).
+    pub fn scale(&mut self, s: f32) {
+        for g in &mut self.grads {
+            for x in g.data_mut() {
+                *x *= s;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant leaf (no gradient).
+    Input,
+    /// Trainable leaf; gradient goes to the [`GradStore`].
+    Param(ParamId),
+    /// `a @ b`.
+    MatMul(NodeId, NodeId),
+    /// `a @ (b ⊙ mask)` — masked linear layer (MADE).
+    MatMulMasked(NodeId, NodeId, Rc<Tensor>),
+    /// `x + bias`, bias broadcast over rows (`1 x c`).
+    AddBias(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Div(NodeId, NodeId),
+    MulScalar(NodeId, f32),
+    AddScalar(NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    ClampMin(NodeId, f32),
+    SliceCols(NodeId, usize, usize),
+    ConcatCols(Vec<NodeId>),
+    /// Row-wise softmax.
+    Softmax(NodeId),
+    /// Row-wise log-softmax.
+    LogSoftmax(NodeId),
+    /// Sum across columns → `r x 1`.
+    RowSum(NodeId),
+    /// Per-row column gather → `r x 1`.
+    GatherCols(NodeId, Rc<Vec<u32>>),
+    /// Elementwise max with subgradient to the larger branch (ties → first).
+    Maximum(NodeId, NodeId),
+    /// Mean of all elements → `1 x 1`.
+    MeanAll(NodeId),
+    /// Sum of all elements → `1 x 1`.
+    SumAll(NodeId),
+    /// `(r x c) ⊙ broadcast(r x 1)`.
+    MulColBroadcast(NodeId, NodeId),
+    /// Average groups of `group` consecutive rows → `(r / group) x c`.
+    MeanRowGroups(NodeId, usize),
+    /// Row lookup: `out[r] = table[idx[r]]` (`u32::MAX` → zero row).
+    /// Backward scatter-adds into the table's gradient — the embedding
+    /// lookup of §4.6's learnable tuple encodings.
+    EmbedRows(NodeId, Rc<Vec<u32>>),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward/backward computation graph.
+///
+/// Parameters are read from a borrowed [`ParamStore`]; gradients are written
+/// to a caller-owned [`GradStore`], so one store can back many tapes.
+///
+/// ```
+/// use uae_tensor::{GradStore, ParamStore, Tape, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add("w", Tensor::scalar(2.0));
+/// let mut grads = GradStore::zeros_like(&store);
+///
+/// let mut tape = Tape::new(&store);
+/// let wn = tape.param(w);
+/// let sq = tape.mul(wn, wn);       // w^2
+/// let loss = tape.mean_all(sq);
+/// tape.backward(loss, &mut grads); // d(w^2)/dw = 2w = 4
+/// assert_eq!(grads.get(w).scalar_value(), 4.0);
+/// ```
+pub struct Tape<'a> {
+    store: &'a ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Tape<'a> {
+    /// A fresh tape over a parameter store.
+    pub fn new(store: &'a ParamStore) -> Self {
+        Tape { store, nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { value, op });
+        id
+    }
+
+    /// Forward value of a node.
+    #[inline]
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id.index()].value
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- graph builders -------------------------------------------------
+
+    /// Constant leaf.
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Trainable parameter leaf.
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        let value = self.store.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `a @ (b ⊙ mask)` — the masked linear layer used by MADE. `mask` has
+    /// `b`'s shape and is treated as a constant.
+    pub fn matmul_masked(&mut self, a: NodeId, b: NodeId, mask: Rc<Tensor>) -> NodeId {
+        assert_eq!(self.value(b).shape(), mask.shape(), "mask shape mismatch");
+        let masked = self.value(b).zip(&mask, |w, m| w * m);
+        let v = self.value(a).matmul(&masked);
+        self.push(v, Op::MatMulMasked(a, b, mask))
+    }
+
+    /// `x + bias` with `bias` shaped `1 x c` broadcast over rows.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let (xr, xc) = self.value(x).shape();
+        assert_eq!(self.value(bias).shape(), (1, xc), "bias shape mismatch");
+        let mut v = self.value(x).clone();
+        for r in 0..xr {
+            let brow = self.nodes[bias.index()].value.row(0).to_vec();
+            for (o, b) in v.row_mut(r).iter_mut().zip(&brow) {
+                *o += b;
+            }
+        }
+        self.push(v, Op::AddBias(x, bias))
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Elementwise `a / b`.
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), |x, y| x / y);
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// `x * c`.
+    pub fn mul_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
+        let v = self.value(x).map(|v| v * c);
+        self.push(v, Op::MulScalar(x, c))
+    }
+
+    /// `x + c`.
+    pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
+        let v = self.value(x).map(|v| v + c);
+        self.push(v, Op::AddScalar(x))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|v| v.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::exp);
+        self.push(v, Op::Exp(x))
+    }
+
+    /// Elementwise natural log; the caller must guarantee positivity
+    /// (compose with [`Tape::clamp_min`] when in doubt).
+    pub fn ln(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).map(f32::ln);
+        self.push(v, Op::Ln(x))
+    }
+
+    /// `max(x, c)` with pass-through gradient where `x > c`.
+    pub fn clamp_min(&mut self, x: NodeId, c: f32) -> NodeId {
+        let v = self.value(x).map(|v| v.max(c));
+        self.push(v, Op::ClampMin(x, c))
+    }
+
+    /// Copy of columns `start..end`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
+        let v = self.value(x).slice_cols(start, end);
+        self.push(v, Op::SliceCols(x, start, end))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, x: NodeId) -> NodeId {
+        let mut v = self.value(x).clone();
+        for r in 0..v.rows() {
+            softmax_in_place(v.row_mut(r));
+        }
+        self.push(v, Op::Softmax(x))
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, x: NodeId) -> NodeId {
+        let mut v = self.value(x).clone();
+        for r in 0..v.rows() {
+            log_softmax_in_place(v.row_mut(r));
+        }
+        self.push(v, Op::LogSoftmax(x))
+    }
+
+    /// Sum across columns → `r x 1`.
+    pub fn row_sum(&mut self, x: NodeId) -> NodeId {
+        let v = self.value(x).row_sums();
+        self.push(v, Op::RowSum(x))
+    }
+
+    /// Per-row gather: `out[r] = x[r, idx[r]]` → `r x 1`.
+    pub fn gather_cols(&mut self, x: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+        let t = self.value(x);
+        assert_eq!(t.rows(), idx.len(), "gather index length mismatch");
+        let mut v = Tensor::zeros(t.rows(), 1);
+        for r in 0..t.rows() {
+            v.data_mut()[r] = t.at(r, idx[r] as usize);
+        }
+        self.push(v, Op::GatherCols(x, idx))
+    }
+
+    /// Elementwise maximum; the subgradient follows the larger input
+    /// (ties go to `a`).
+    pub fn maximum(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).zip(self.value(b), f32::max);
+        self.push(v, Op::Maximum(a, b))
+    }
+
+    /// Mean over all elements → scalar node.
+    pub fn mean_all(&mut self, x: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(x).mean());
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Sum over all elements → scalar node.
+    pub fn sum_all(&mut self, x: NodeId) -> NodeId {
+        let v = Tensor::scalar(self.value(x).sum());
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// `(r x c) ⊙ broadcast(v: r x 1)` — scales each row by a scalar.
+    pub fn mul_col_broadcast(&mut self, x: NodeId, v: NodeId) -> NodeId {
+        let xv = self.value(x);
+        let vv = self.value(v);
+        assert_eq!(vv.cols(), 1, "broadcast vector must be r x 1");
+        assert_eq!(vv.rows(), xv.rows(), "broadcast row mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            let s = vv.at(r, 0);
+            for o in out.row_mut(r) {
+                *o *= s;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(x, v))
+    }
+
+    /// Embedding lookup: `out[r] = table[idx[r]]`, with the sentinel
+    /// `u32::MAX` producing a zero row (the wildcard token for learnable
+    /// encodings). Gradients scatter-add into `table`.
+    pub fn embed_rows(&mut self, table: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+        let t = self.value(table);
+        let mut v = Tensor::zeros(idx.len(), t.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            if i != u32::MAX {
+                debug_assert!((i as usize) < t.rows(), "embedding index out of range");
+                v.row_mut(r).copy_from_slice(t.row(i as usize));
+            }
+        }
+        self.push(v, Op::EmbedRows(table, idx))
+    }
+
+    /// Average each group of `group` consecutive rows → `(r/group) x c`.
+    ///
+    /// Used by differentiable progressive sampling to average the density
+    /// estimates of the `S` samples belonging to the same query.
+    pub fn mean_row_groups(&mut self, x: NodeId, group: usize) -> NodeId {
+        let t = self.value(x);
+        assert!(group > 0 && t.rows().is_multiple_of(group), "row count not divisible by group");
+        let out_rows = t.rows() / group;
+        let mut out = Tensor::zeros(out_rows, t.cols());
+        for r in 0..t.rows() {
+            let orow = r / group;
+            for c in 0..t.cols() {
+                let v = t.at(r, c) / group as f32;
+                out.set(orow, c, out.at(orow, c) + v);
+            }
+        }
+        self.push(out, Op::MeanRowGroups(x, group))
+    }
+
+    // ---- backward --------------------------------------------------------
+
+    /// Reverse-mode differentiation from `loss` (must be `1 x 1`),
+    /// accumulating parameter gradients into `grads`.
+    pub fn backward(&self, loss: NodeId, grads: &mut GradStore) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut node_grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        node_grads[loss.index()] = Some(Tensor::scalar(1.0));
+
+        for idx in (0..=loss.index()).rev() {
+            let Some(gy) = node_grads[idx].take() else { continue };
+            match &self.nodes[idx].op {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    grads.get_mut(*pid).add_assign(&gy);
+                }
+                Op::MatMul(a, b) => {
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    accumulate(&mut node_grads, *a, gy.matmul_t(bv));
+                    accumulate(&mut node_grads, *b, av.t_matmul(&gy));
+                }
+                Op::MatMulMasked(a, b, mask) => {
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    let masked = bv.zip(mask, |w, m| w * m);
+                    accumulate(&mut node_grads, *a, gy.matmul_t(&masked));
+                    let gb = av.t_matmul(&gy).zip(mask, |g, m| g * m);
+                    accumulate(&mut node_grads, *b, gb);
+                }
+                Op::AddBias(x, bias) => {
+                    let mut gb = Tensor::zeros(1, gy.cols());
+                    for r in 0..gy.rows() {
+                        for (o, g) in gb.row_mut(0).iter_mut().zip(gy.row(r)) {
+                            *o += g;
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gy);
+                    accumulate(&mut node_grads, *bias, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut node_grads, *a, gy.clone());
+                    accumulate(&mut node_grads, *b, gy);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut node_grads, *a, gy.clone());
+                    accumulate(&mut node_grads, *b, gy.map(|g| -g));
+                }
+                Op::Mul(a, b) => {
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    accumulate(&mut node_grads, *a, gy.zip(bv, |g, y| g * y));
+                    accumulate(&mut node_grads, *b, gy.zip(av, |g, x| g * x));
+                }
+                Op::Div(a, b) => {
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    accumulate(&mut node_grads, *a, gy.zip(bv, |g, y| g / y));
+                    let mut gb = gy.zip(av, |g, x| g * x);
+                    gb = gb.zip(bv, |g, y| -g / (y * y));
+                    accumulate(&mut node_grads, *b, gb);
+                }
+                Op::MulScalar(x, c) => {
+                    accumulate(&mut node_grads, *x, gy.map(|g| g * c));
+                }
+                Op::AddScalar(x) => {
+                    accumulate(&mut node_grads, *x, gy);
+                }
+                Op::Relu(x) => {
+                    let xv = &self.nodes[x.index()].value;
+                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| if v > 0.0 { g } else { 0.0 }));
+                }
+                Op::Sigmoid(x) => {
+                    let s = &self.nodes[idx].value;
+                    accumulate(&mut node_grads, *x, gy.zip(s, |g, s| g * s * (1.0 - s)));
+                }
+                Op::Exp(x) => {
+                    let y = &self.nodes[idx].value;
+                    accumulate(&mut node_grads, *x, gy.zip(y, |g, y| g * y));
+                }
+                Op::Ln(x) => {
+                    let xv = &self.nodes[x.index()].value;
+                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| g / v));
+                }
+                Op::ClampMin(x, c) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let c = *c;
+                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| if v > c { g } else { 0.0 }));
+                }
+                Op::SliceCols(x, start, _end) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..gy.rows() {
+                        for c in 0..gy.cols() {
+                            gx.set(r, start + c, gy.at(r, c));
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for &p in parts {
+                        let w = self.nodes[p.index()].value.cols();
+                        accumulate(&mut node_grads, p, gy.slice_cols(off, off + w));
+                        off += w;
+                    }
+                }
+                Op::Softmax(x) => {
+                    let s = &self.nodes[idx].value;
+                    let mut gx = Tensor::zeros(s.rows(), s.cols());
+                    for r in 0..s.rows() {
+                        let srow = s.row(r);
+                        let grow = gy.row(r);
+                        let dot: f32 = srow.iter().zip(grow).map(|(a, b)| a * b).sum();
+                        for (o, (sv, gv)) in gx.row_mut(r).iter_mut().zip(srow.iter().zip(grow)) {
+                            *o = sv * (gv - dot);
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+                Op::LogSoftmax(x) => {
+                    let ls = &self.nodes[idx].value;
+                    let mut gx = Tensor::zeros(ls.rows(), ls.cols());
+                    for r in 0..ls.rows() {
+                        let grow = gy.row(r);
+                        let gsum: f32 = grow.iter().sum();
+                        let lsrow = ls.row(r);
+                        for (o, (lsv, gv)) in gx.row_mut(r).iter_mut().zip(lsrow.iter().zip(grow)) {
+                            *o = gv - lsv.exp() * gsum;
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+                Op::RowSum(x) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        let g = gy.at(r, 0);
+                        for o in gx.row_mut(r) {
+                            *o = g;
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+                Op::GatherCols(x, idxs) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    for r in 0..xv.rows() {
+                        gx.set(r, idxs[r] as usize, gy.at(r, 0));
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+                Op::Maximum(a, b) => {
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    let mut ga = Tensor::zeros(gy.rows(), gy.cols());
+                    let mut gb = Tensor::zeros(gy.rows(), gy.cols());
+                    for i in 0..gy.len() {
+                        let g = gy.data()[i];
+                        if av.data()[i] >= bv.data()[i] {
+                            ga.data_mut()[i] = g;
+                        } else {
+                            gb.data_mut()[i] = g;
+                        }
+                    }
+                    accumulate(&mut node_grads, *a, ga);
+                    accumulate(&mut node_grads, *b, gb);
+                }
+                Op::MeanAll(x) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let g = gy.scalar_value() / xv.len() as f32;
+                    accumulate(&mut node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
+                }
+                Op::SumAll(x) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let g = gy.scalar_value();
+                    accumulate(&mut node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
+                }
+                Op::MulColBroadcast(x, v) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let vv = &self.nodes[v.index()].value;
+                    let mut gx = gy.clone();
+                    let mut gv = Tensor::zeros(vv.rows(), 1);
+                    for r in 0..gy.rows() {
+                        let s = vv.at(r, 0);
+                        let mut acc = 0.0f32;
+                        for c in 0..gy.cols() {
+                            acc += gy.at(r, c) * xv.at(r, c);
+                        }
+                        gv.set(r, 0, acc);
+                        for o in gx.row_mut(r) {
+                            *o *= s;
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(&mut node_grads, *v, gv);
+                }
+                Op::EmbedRows(table, idx) => {
+                    let tv = &self.nodes[table.index()].value;
+                    let mut gt = Tensor::zeros(tv.rows(), tv.cols());
+                    for (r, &i) in idx.iter().enumerate() {
+                        if i != u32::MAX {
+                            let src = gy.row(r);
+                            for (o, g) in gt.row_mut(i as usize).iter_mut().zip(src) {
+                                *o += g;
+                            }
+                        }
+                    }
+                    accumulate(&mut node_grads, *table, gt);
+                }
+                Op::MeanRowGroups(x, group) => {
+                    let xv = &self.nodes[x.index()].value;
+                    let mut gx = Tensor::zeros(xv.rows(), xv.cols());
+                    let inv = 1.0 / *group as f32;
+                    for r in 0..xv.rows() {
+                        let orow = r / group;
+                        for c in 0..xv.cols() {
+                            gx.set(r, c, gy.at(orow, c) * inv);
+                        }
+                    }
+                    accumulate(&mut node_grads, *x, gx);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(node_grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+    match &mut node_grads[id.index()] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(values: &[(&str, Tensor)]) -> (ParamStore, Vec<ParamId>) {
+        let mut s = ParamStore::new();
+        let ids = values.iter().map(|(n, t)| s.add(*n, t.clone())).collect();
+        (s, ids)
+    }
+
+    #[test]
+    fn linear_regression_gradient() {
+        // loss = mean((x @ w - y)^2); check dL/dw analytically.
+        let (store, ids) = store_with(&[("w", Tensor::from_vec(2, 1, vec![0.5, -0.25]))]);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 0.0, 1.0, -1.0, 0.5]));
+        let y = tape.input(Tensor::from_vec(3, 1, vec![1.0, 0.0, -1.0]));
+        let w = tape.param(ids[0]);
+        let pred = tape.matmul(x, w);
+        let err = tape.sub(pred, y);
+        let sq = tape.mul(err, err);
+        let loss = tape.mean_all(sq);
+
+        let mut grads = GradStore::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+
+        // Analytic gradient: (2/n) * X^T (Xw - y)
+        let xv = Tensor::from_vec(3, 2, vec![1.0, 2.0, 0.0, 1.0, -1.0, 0.5]);
+        let wv = Tensor::from_vec(2, 1, vec![0.5, -0.25]);
+        let yv = Tensor::from_vec(3, 1, vec![1.0, 0.0, -1.0]);
+        let resid = xv.matmul(&wv).zip(&yv, |p, t| p - t);
+        let expect = xv.t_matmul(&resid).map(|v| v * 2.0 / 3.0);
+        assert!(grads.get(ids[0]).max_abs_diff(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn param_used_twice_accumulates() {
+        let (store, ids) = store_with(&[("w", Tensor::scalar(3.0))]);
+        let mut tape = Tape::new(&store);
+        let w1 = tape.param(ids[0]);
+        let w2 = tape.param(ids[0]);
+        let prod = tape.mul(w1, w2); // w^2 → d/dw = 2w = 6
+        let loss = tape.mean_all(prod);
+        let mut grads = GradStore::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+        assert!((grads.get(ids[0]).scalar_value() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maximum_routes_gradient() {
+        let (store, ids) = store_with(&[
+            ("a", Tensor::from_vec(1, 2, vec![2.0, -1.0])),
+            ("b", Tensor::from_vec(1, 2, vec![1.0, 5.0])),
+        ]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let b = tape.param(ids[1]);
+        let m = tape.maximum(a, b);
+        let loss = tape.sum_all(m);
+        let mut grads = GradStore::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+        assert_eq!(grads.get(ids[0]).data(), &[1.0, 0.0]);
+        assert_eq!(grads.get(ids[1]).data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_gradient_sums_to_zero() {
+        // d(softmax)/dx rows always sum to 0 when upstream grad is one-hot.
+        let (store, ids) = store_with(&[("x", Tensor::from_vec(1, 4, vec![0.1, 0.9, -0.4, 2.0]))]);
+        let mut tape = Tape::new(&store);
+        let x = tape.param(ids[0]);
+        let s = tape.softmax(x);
+        let g = tape.gather_cols(s, Rc::new(vec![2]));
+        let loss = tape.sum_all(g);
+        let mut grads = GradStore::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+        let total: f32 = grads.get(ids[0]).data().iter().sum();
+        assert!(total.abs() < 1e-6, "softmax grad rows must sum to 0, got {total}");
+    }
+
+    #[test]
+    fn embed_rows_looks_up_and_scatter_adds() {
+        let (store, ids) = store_with(&[(
+            "emb",
+            Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        )]);
+        let mut tape = Tape::new(&store);
+        let e = tape.param(ids[0]);
+        // Rows 2, 0, 0, wildcard.
+        let out = tape.embed_rows(e, Rc::new(vec![2, 0, 0, u32::MAX]));
+        assert_eq!(tape.value(out).data(), &[5.0, 6.0, 1.0, 2.0, 1.0, 2.0, 0.0, 0.0]);
+        let loss = tape.sum_all(out);
+        let mut grads = GradStore::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+        // Row 0 used twice → gradient 2; row 1 unused → 0; row 2 once → 1.
+        assert_eq!(grads.get(ids[0]).data(), &[2.0, 2.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_row_groups_averages() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Tensor::from_vec(4, 1, vec![1.0, 3.0, 10.0, 20.0]));
+        let m = tape.mean_row_groups(x, 2);
+        assert_eq!(tape.value(m).data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn grad_store_clipping() {
+        let (store, ids) = store_with(&[("w", Tensor::from_vec(1, 2, vec![3.0, 4.0]))]);
+        let mut grads = GradStore::zeros_like(&store);
+        grads.get_mut(ids[0]).data_mut().copy_from_slice(&[3.0, 4.0]);
+        assert!((grads.l2_norm() - 5.0).abs() < 1e-6);
+        grads.scale(0.5);
+        assert_eq!(grads.get(ids[0]).data(), &[1.5, 2.0]);
+    }
+}

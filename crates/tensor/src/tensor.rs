@@ -1,0 +1,590 @@
+//! Dense, row-major, two-dimensional `f32` tensors.
+//!
+//! Everything in the UAE model operates on batches of encoded rows, so a
+//! two-dimensional tensor (`rows x cols`) is the only shape the engine needs.
+//! Vectors are represented as `1 x c` or `r x 1` tensors, scalars as `1 x 1`.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Create a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a tensor filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create a tensor from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "tensor data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(1, 1, vec![value])
+    }
+
+    /// A `r x 1` column vector.
+    pub fn col_vec(values: &[f32]) -> Self {
+        Tensor::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// A `1 x c` row vector.
+    pub fn row_vec(values: &[f32]) -> Self {
+        Tensor::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Value of a `1 x 1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1 x 1`.
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "scalar_value on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// Uses an `i-k-j` loop order so the innermost loop streams contiguous
+    /// memory from both the output row and `other`'s row, which the compiler
+    /// auto-vectorizes well.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out, false);
+        out
+    }
+
+    /// `self^T @ other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let flops = 2 * self.rows * self.cols * other.cols;
+        if flops >= PAR_FLOP_THRESHOLD && self.rows >= 2 {
+            // Parallel over row chunks with per-thread partial outputs,
+            // reduced at the end.
+            let threads = par_threads();
+            let chunk = self.rows.div_ceil(threads);
+            let partials: Vec<Tensor> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.rows)
+                    .step_by(chunk)
+                    .map(|start| {
+                        let end = (start + chunk).min(self.rows);
+                        scope.spawn(move || self.t_matmul_range(other, start, end))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("t_matmul worker")).collect()
+            });
+            let mut out = Tensor::zeros(self.cols, other.cols);
+            for p in &partials {
+                out.add_assign(p);
+            }
+            return out;
+        }
+        self.t_matmul_range(other, 0, self.rows)
+    }
+
+    fn t_matmul_range(&self, other: &Tensor, start: usize, end: usize) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        // out[i][j] += sum_r self[r][i] * other[r][j]
+        for r in start..end {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o = out.row_mut(i);
+                for (oj, &b) in o.iter_mut().zip(b_row) {
+                    *oj += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        let flops = 2 * self.rows * self.cols * other.rows;
+        if flops >= PAR_FLOP_THRESHOLD && self.rows >= 2 {
+            let threads = par_threads();
+            let chunk = self.rows.div_ceil(threads);
+            let a = self;
+            let ocols = other.rows;
+            std::thread::scope(|scope| {
+                for (ci, orows) in out.data.chunks_mut(chunk * ocols).enumerate() {
+                    scope.spawn(move || {
+                        for (local_r, orow) in orows.chunks_mut(ocols).enumerate() {
+                            a.matmul_t_row(other, ci * chunk + local_r, orow);
+                        }
+                    });
+                }
+            });
+            return out;
+        }
+        let ocols = other.rows;
+        for r in 0..self.rows {
+            let orow = &mut out.data[r * ocols..(r + 1) * ocols];
+            self.matmul_t_row(other, r, orow);
+        }
+        out
+    }
+
+    fn matmul_t_row(&self, other: &Tensor, r: usize, orow: &mut [f32]) {
+        let a_row = self.row(r);
+        for (c, oc) in orow.iter_mut().enumerate() {
+            let b_row = other.row(c);
+            let mut acc = 0.0f32;
+            for (a, b) in a_row.iter().zip(b_row) {
+                acc += a * b;
+            }
+            *oc = acc;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.at(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise binary zip into a new tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Copy of columns `start..end`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let w = end - start;
+        let mut out = Tensor::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Horizontal concatenation of tensors sharing a row count.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "concat_cols row mismatch");
+                orow[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Row-wise numerically stable softmax.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Row-wise numerically stable log-softmax.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            log_softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Sum across columns, producing an `r x 1` tensor.
+    pub fn row_sums(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element in each row.
+    pub fn row_argmax(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Largest absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+/// FLOP count above which matmuls split across threads.
+const PAR_FLOP_THRESHOLD: usize = 4_000_000;
+
+fn par_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+}
+
+/// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
+    assert_eq!(a.cols, b.rows);
+    assert_eq!(out.rows, a.rows);
+    assert_eq!(out.cols, b.cols);
+    if !accumulate {
+        out.fill_zero();
+    }
+    let flops = 2 * a.rows * a.cols * b.cols;
+    if flops >= PAR_FLOP_THRESHOLD && a.rows >= 2 {
+        let threads = par_threads();
+        let chunk = a.rows.div_ceil(threads);
+        let bcols = b.cols;
+        std::thread::scope(|scope| {
+            for (ci, orows) in out.data.chunks_mut(chunk * bcols).enumerate() {
+                scope.spawn(move || {
+                    matmul_rows(a, b, ci * chunk, orows, accumulate);
+                });
+            }
+        });
+        return;
+    }
+    let orows = &mut out.data[..];
+    matmul_rows(a, b, 0, orows, accumulate);
+}
+
+fn matmul_rows(a: &Tensor, b: &Tensor, row_start: usize, out_rows: &mut [f32], _acc: bool) {
+    let bcols = b.cols;
+    for (local_i, out_row) in out_rows.chunks_mut(bcols).enumerate() {
+        let a_row = a.row(row_start + local_i);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[k * bcols..(k + 1) * bcols];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Numerically stable in-place softmax of a single slice.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        // All entries are -inf (fully masked row): fall back to uniform to
+        // avoid NaNs; callers treat this as an impossible region.
+        let u = 1.0 / xs.len() as f32;
+        xs.fill(u);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in xs.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Numerically stable in-place log-softmax of a single slice.
+pub fn log_softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter() {
+        sum += (*x - max).exp();
+    }
+    let log_z = max + sum.ln();
+    for x in xs.iter_mut() {
+        *x -= log_z;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut eye = Tensor::zeros(3, 3);
+        for i in 0..3 {
+            eye.set(i, i, 1.0);
+        }
+        let a = Tensor::from_vec(3, 3, (0..9).map(|x| x as f32).collect());
+        assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|x| x as f32 * 0.5).collect());
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|x| x as f32 * 0.25 - 1.0).collect());
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let s = t.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(s.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_negative_mask() {
+        let t = Tensor::from_vec(1, 3, vec![0.0, f32::NEG_INFINITY, 0.0]);
+        let s = t.softmax_rows();
+        assert!((s.at(0, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(0, 1), 0.0);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_uniform() {
+        let t = Tensor::full(1, 4, f32::NEG_INFINITY);
+        let s = t.softmax_rows();
+        for c in 0..4 {
+            assert!((s.at(0, c) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let t = Tensor::from_vec(1, 4, vec![0.3, -1.2, 2.0, 0.0]);
+        let ls = t.log_softmax_rows();
+        let s = t.softmax_rows();
+        for c in 0..4 {
+            assert!((ls.at(0, c) - s.at(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn slice_and_concat_round_trip() {
+        let t = Tensor::from_vec(2, 5, (0..10).map(|x| x as f32).collect());
+        let a = t.slice_cols(0, 2);
+        let b = t.slice_cols(2, 5);
+        let back = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn row_argmax_picks_first_max() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 5.0, 5.0, -1.0, -2.0, -0.5]);
+        assert_eq!(t.row_argmax(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the tensor algebra and of autodiff itself:
+//! linear-algebra laws must hold for the kernels (including the
+//! thread-parallel paths) and analytic gradients must match finite
+//! differences on randomly generated graphs.
+
+use proptest::prelude::*;
+use uae_tensor::check::gradient_check;
+use uae_tensor::{ParamStore, Tensor};
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distributivity: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(4, 5),
+        bc in (1..=6usize).prop_flat_map(|k| {
+            (proptest::collection::vec(-2.0f32..2.0, 5 * k),
+             proptest::collection::vec(-2.0f32..2.0, 5 * k),
+             Just(k))
+        }),
+    ) {
+        let (bv, cv, k) = bc;
+        let b = Tensor::from_vec(5, k, bv);
+        let c = Tensor::from_vec(5, k, cv);
+        let sum = b.zip(&c, |x, y| x + y);
+        let left = a.matmul(&sum);
+        let right = {
+            let mut ab = a.matmul(&b);
+            ab.add_assign(&a.matmul(&c));
+            ab
+        };
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// Transpose is an involution and (AB)^T == B^T A^T.
+    #[test]
+    fn transpose_laws(a in arb_tensor(5, 4), bv in proptest::collection::vec(-2.0f32..2.0, 4 * 3)) {
+        let b = Tensor::from_vec(4, 3, bv);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    /// The fused transposed kernels equal their naive counterparts.
+    #[test]
+    fn fused_transpose_kernels(
+        a in arb_tensor(7, 5),
+        bv in proptest::collection::vec(-2.0f32..2.0, 7 * 4),
+    ) {
+        let b = Tensor::from_vec(7, 4, bv);
+        prop_assert!(a.t_matmul(&b).max_abs_diff(&a.transpose().matmul(&b)) < 1e-4);
+        let c = Tensor::from_vec(4, 5, (0..20).map(|x| x as f32 * 0.1 - 1.0).collect());
+        prop_assert!(a.matmul_t(&c).max_abs_diff(&a.matmul(&c.transpose())) < 1e-4);
+    }
+
+    /// Softmax is invariant to adding a per-row constant and always forms
+    /// a probability vector.
+    #[test]
+    fn softmax_shift_invariance(t in arb_tensor(4, 6), shift in -5.0f32..5.0) {
+        let shifted = t.map(|v| v + shift);
+        let (s1, s2) = (t.softmax_rows(), shifted.softmax_rows());
+        prop_assert!(s1.max_abs_diff(&s2) < 1e-4);
+        for r in 0..s1.rows() {
+            let sum: f32 = s1.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s1.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// Analytic gradients of a random two-layer graph match finite
+    /// differences (the op set used by ResMADE).
+    #[test]
+    fn random_graph_gradients_match_numeric(
+        wv in proptest::collection::vec(-0.9f32..0.9, 3 * 4),
+        bv in proptest::collection::vec(-0.5f32..0.5, 4),
+        xv in proptest::collection::vec(-1.0f32..1.0, 2 * 3),
+    ) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(3, 4, wv));
+        let b = store.add("b", Tensor::from_vec(1, 4, bv));
+        let x = Tensor::from_vec(2, 3, xv);
+        let res = gradient_check(&mut store, 1e-3, |tape| {
+            let xn = tape.input(x.clone());
+            let wn = tape.param(w);
+            let bn = tape.param(b);
+            let h = tape.matmul(xn, wn);
+            let h = tape.add_bias(h, bn);
+            // Sigmoid keeps the graph smooth so central differences are
+            // reliable at every sampled point (ReLU kinks are separately
+            // covered by the deterministic unit tests).
+            let h = tape.sigmoid(h);
+            let s = tape.softmax(h);
+            let sq = tape.mul(s, s);
+            tape.mean_all(sq)
+        });
+        // f32 central differences bottom out near 1e-4-magnitude gradients;
+        // systematic backward errors would be O(1).
+        prop_assert!(res.max_rel_err < 0.12, "rel err {}", res.max_rel_err);
+    }
+
+    /// Row-argmax picks an actual maximum.
+    #[test]
+    fn argmax_is_maximal(t in arb_tensor(5, 7)) {
+        for (r, &idx) in t.row_argmax().iter().enumerate() {
+            let row = t.row(r);
+            prop_assert!(row.iter().all(|&v| v <= row[idx]));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Compare UAE against the classic estimator families on one dataset —
+//! a miniature of the paper's Tables 2–4.
+//!
+//! ```sh
+//! cargo run --release --example compare_estimators [dmv|census|kddcup98]
+//! ```
+
+use std::collections::HashSet;
+
+use uae::core::{Uae, UaeConfig};
+use uae::estimators::{
+    BayesNetEstimator, KdeEstimator, SamplingEstimator, SpnConfig, SpnEstimator,
+};
+use uae::query::estimator::format_size;
+use uae::query::{
+    default_bounded_column, evaluate, generate_workload, CardinalityEstimator, WorkloadSpec,
+};
+
+fn main() {
+    let dataset = std::env::args().nth(1).unwrap_or_else(|| "census".to_owned());
+    let table = uae::data::dataset_by_name(&dataset, 8_000, 3)
+        .unwrap_or_else(|| panic!("unknown dataset {dataset} (try dmv, census, kddcup98)"));
+    println!(
+        "dataset {dataset}: skewness {:.2}, NCIE {:.3}",
+        uae::data::stats::dataset_skewness(&table),
+        uae::data::stats::ncie(&table, 8)
+    );
+
+    let col = default_bounded_column(&table);
+    let train =
+        generate_workload(&table, &WorkloadSpec::in_workload(col, 250, 1), &HashSet::new());
+    let test = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(col, 60, 2),
+        &uae::query::fingerprints(&train),
+    );
+
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "model", "size", "mean", "median", "95th", "max"
+    );
+    let report = |est: &dyn CardinalityEstimator| {
+        let ev = evaluate(est, &test);
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            ev.name,
+            format_size(ev.size_bytes),
+            ev.errors.mean,
+            ev.errors.median,
+            ev.errors.p95,
+            ev.errors.max
+        );
+    };
+
+    report(&SamplingEstimator::new(&table, 0.05, 9));
+    report(&BayesNetEstimator::new(&table, 128));
+    report(&KdeEstimator::new(&table, 0.05, 9));
+    report(&SpnEstimator::new(&table, &SpnConfig::default()));
+
+    let mut naru = Uae::new(&table, UaeConfig::default()).with_name("Naru");
+    naru.train_data(6);
+    report(&naru);
+
+    let mut hybrid = Uae::new(&table, UaeConfig::default());
+    hybrid.train_hybrid(&train, 6);
+    report(&hybrid);
+}

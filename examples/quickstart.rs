@@ -1,0 +1,64 @@
+//! Quickstart: train UAE on a small table from both data and queries, then
+//! estimate cardinalities.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::HashSet;
+
+use uae::core::{Uae, UaeConfig};
+use uae::query::{
+    default_bounded_column, evaluate, generate_workload, CardinalityEstimator, Executor,
+    WorkloadSpec,
+};
+
+fn main() {
+    // 1. A dataset: the Census-like generator (or build your own
+    //    `uae::data::Table` from raw values).
+    let table = uae::data::census_like(8_000, 42);
+    println!(
+        "table `{}`: {} rows x {} cols, domains {:?}",
+        table.name(),
+        table.num_rows(),
+        table.num_cols(),
+        &table.domain_sizes()[..5]
+    );
+
+    // 2. A workload with ground-truth labels (in a real system this is the
+    //    query log; here we generate one following the paper's §5.1.2).
+    let bounded = default_bounded_column(&table);
+    let train = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(bounded, 300, 1),
+        &HashSet::new(),
+    );
+    let test = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(bounded, 50, 2),
+        &uae::query::fingerprints(&train),
+    );
+
+    // 3. Train the unified model from data AND queries (Algorithm 3).
+    let mut model = Uae::new(&table, UaeConfig::default());
+    println!("training hybrid UAE ({} parameters)…", model.num_params());
+    let losses = model.train_hybrid(&train, 8);
+    println!("per-epoch loss: {losses:.3?}");
+
+    // 4. Estimate.
+    let exec = Executor::new(&table);
+    for lq in test.iter().take(5) {
+        let est = model.estimate_card(&lq.query);
+        println!(
+            "{:60} true {:>6}  est {:>9.1}",
+            lq.query.display(&table),
+            exec.cardinality(&lq.query),
+            est
+        );
+    }
+    let ev = evaluate(&model, &test);
+    println!(
+        "\nq-error over {} test queries: mean {:.2}, median {:.2}, 95th {:.2}, max {:.2}",
+        ev.errors.count, ev.errors.mean, ev.errors.median, ev.errors.p95, ev.errors.max
+    );
+}

@@ -1,0 +1,57 @@
+//! Incremental query-workload ingestion (paper §4.5 / §5.4): a data-trained
+//! model goes stale when the workload shifts to a new data region; UAE
+//! ingests the new queries with a few supervised epochs instead of
+//! retraining.
+//!
+//! ```sh
+//! cargo run --release --example workload_shift
+//! ```
+
+use std::collections::HashSet;
+
+use uae::core::{Uae, UaeConfig};
+use uae::query::workload::incremental_windows;
+use uae::query::{default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec};
+
+fn main() {
+    let table = uae::data::dmv_like(10_000, 7);
+    let col = default_bounded_column(&table);
+    println!("bounded column: {} ({} distinct values)", table.column(col).name(),
+        table.column(col).domain_size());
+
+    // Pretrain on data only (this is exactly Naru).
+    let mut stale = Uae::new(&table, UaeConfig::default()).with_name("stale Naru");
+    stale.train_data(4);
+    let mut refined = Uae::new(&table, UaeConfig::default()).with_name("refined UAE");
+    refined.train_data(4);
+
+    // Three workload phases focusing on different regions of the domain.
+    println!("\n{:<12} {:>16} {:>16}", "phase", "stale mean-q", "refined mean-q");
+    for (i, win) in incremental_windows(3).into_iter().enumerate() {
+        let spec = |n, seed| WorkloadSpec {
+            seed,
+            num_queries: n,
+            bounded: Some(BoundedSpec { column: col, center_window: win, volume_frac: 0.01 }),
+            nf_range: (2, 4),
+        };
+        let train = generate_workload(&table, &spec(120, 50 + i as u64), &HashSet::new());
+        let test = generate_workload(
+            &table,
+            &spec(40, 80 + i as u64),
+            &uae::query::fingerprints(&train),
+        );
+
+        // The refined model ingests the phase's queries (§4.5: 10–20
+        // supervised epochs, no retraining, no catastrophic forgetting).
+        refined.ingest_workload(&train, 8);
+
+        let es = evaluate(&stale, &test);
+        let er = evaluate(&refined, &test);
+        println!(
+            "{:<12} {:>16.3} {:>16.3}",
+            format!("window {:.1}-{:.1}", win.0, win.1),
+            es.errors.mean,
+            er.errors.mean
+        );
+    }
+}

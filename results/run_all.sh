@@ -1,0 +1,9 @@
+#!/bin/bash
+# Sequential full-suite run; per-experiment logs in results/.
+cd /root/repo
+for exp in table4 table5 table6 figure3 figure5 figure6 ablations; do
+  echo "=== $exp start $(date +%T) ===" >> results/suite.log
+  UAE_SCALE=1 ./target/release/$exp > results/$exp.txt 2> results/$exp.log
+  echo "$exp exit $?" >> results/status.txt
+done
+echo "SUITE DONE" >> results/status.txt

@@ -1,0 +1,20 @@
+//! # UAE — Unified deep autoregressive cardinality estimation
+//!
+//! Umbrella crate re-exporting the full public API of the UAE reproduction
+//! (Wu & Cong, SIGMOD 2021). See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduced tables and figures.
+//!
+//! The typical entry points are:
+//!
+//! * [`data`] — build or generate a [`data::Table`];
+//! * [`query`] — generate workloads and compute ground-truth cardinalities;
+//! * [`core`] — train a [`core::Uae`] estimator from data, queries, or both;
+//! * [`estimators`] — the nine baseline estimators from the paper;
+//! * [`join`] — multi-table join estimation and the optimizer study.
+
+pub use uae_core as core;
+pub use uae_data as data;
+pub use uae_estimators as estimators;
+pub use uae_join as join;
+pub use uae_query as query;
+pub use uae_tensor as tensor;

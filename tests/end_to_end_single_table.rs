@@ -1,0 +1,123 @@
+//! End-to-end integration: every estimator trains on the same dataset and
+//! produces sane estimates through the shared `CardinalityEstimator`
+//! interface (a miniature of the Tables 2–4 protocol).
+
+use std::collections::HashSet;
+
+use uae::core::{Uae, UaeConfig};
+use uae::estimators::{
+    BayesNetEstimator, FeedbackKdeEstimator, HistogramEstimator, KdeEstimator,
+    LinearRegressionEstimator, MscnConfig, MscnEstimator, SamplingEstimator, SpnConfig,
+    SpnEstimator,
+};
+use uae::query::{
+    default_bounded_column, evaluate, fingerprints, generate_workload, CardinalityEstimator,
+    LabeledQuery, WorkloadSpec,
+};
+
+struct Fixture {
+    table: uae::data::Table,
+    train: Vec<LabeledQuery>,
+    test: Vec<LabeledQuery>,
+}
+
+fn fixture() -> Fixture {
+    let table = uae::data::census_like(3_000, 11);
+    let col = default_bounded_column(&table);
+    let train =
+        generate_workload(&table, &WorkloadSpec::in_workload(col, 120, 1), &HashSet::new());
+    let test = generate_workload(
+        &table,
+        &WorkloadSpec::in_workload(col, 40, 2),
+        &fingerprints(&train),
+    );
+    Fixture { table, train, test }
+}
+
+fn check(est: &dyn CardinalityEstimator, fx: &Fixture, median_bound: f64) {
+    let ev = evaluate(est, &fx.test);
+    assert!(
+        ev.errors.median <= median_bound,
+        "{}: median q-error {} exceeds {median_bound}",
+        est.name(),
+        ev.errors.median
+    );
+    assert!(ev.errors.max.is_finite(), "{}: non-finite max error", est.name());
+    assert!(est.size_bytes() > 0, "{}: zero-size model", est.name());
+    // Estimates must be non-negative and bounded by the table size
+    // (plus slack for the regression-style models).
+    for lq in fx.test.iter().take(10) {
+        let card = est.estimate_card(&lq.query);
+        assert!(card >= 0.0, "{}: negative estimate {card}", est.name());
+        assert!(
+            card <= fx.table.num_rows() as f64 * 10.0,
+            "{}: estimate {card} wildly above table size",
+            est.name()
+        );
+    }
+}
+
+#[test]
+fn all_estimators_run_the_full_pipeline() {
+    let fx = fixture();
+    check(&SamplingEstimator::new(&fx.table, 0.1, 3), &fx, 8.0);
+    check(&HistogramEstimator::new(&fx.table, 64), &fx, 25.0);
+    check(&BayesNetEstimator::new(&fx.table, 64), &fx, 12.0);
+    check(&KdeEstimator::new(&fx.table, 0.1, 4), &fx, 12.0);
+    check(
+        &FeedbackKdeEstimator::new(KdeEstimator::new(&fx.table, 0.1, 4), &fx.train, 5, 0.3),
+        &fx,
+        12.0,
+    );
+    check(&SpnEstimator::new(&fx.table, &SpnConfig::default()), &fx, 10.0);
+    check(&LinearRegressionEstimator::new(&fx.table, &fx.train, 1e-3), &fx, 30.0);
+    check(
+        &MscnEstimator::new(
+            &fx.table,
+            &fx.train,
+            &MscnConfig { hidden: 64, epochs: 20, ..MscnConfig::default() },
+        ),
+        &fx,
+        30.0,
+    );
+}
+
+#[test]
+fn uae_family_runs_the_full_pipeline() {
+    let fx = fixture();
+    let mut cfg = UaeConfig::default();
+    cfg.model.hidden = 48;
+    cfg.train.dps.samples = 8;
+    cfg.estimate_samples = 100;
+
+    let mut naru = Uae::new(&fx.table, cfg.clone()).with_name("Naru");
+    naru.train_data(4);
+    check(&naru, &fx, 6.0);
+
+    let mut uae_q = Uae::new(&fx.table, cfg.clone()).with_name("UAE-Q");
+    uae_q.train_queries(&fx.train, 4);
+    check(&uae_q, &fx, 25.0);
+
+    let mut hybrid = Uae::new(&fx.table, cfg);
+    hybrid.train_hybrid(&fx.train, 4);
+    check(&hybrid, &fx, 6.0);
+}
+
+#[test]
+fn trained_beats_untrained() {
+    let fx = fixture();
+    let mut cfg = UaeConfig::default();
+    cfg.model.hidden = 48;
+    cfg.estimate_samples = 100;
+    let untrained = Uae::new(&fx.table, cfg.clone());
+    let eu = evaluate(&untrained, &fx.test);
+    let mut trained = Uae::new(&fx.table, cfg);
+    trained.train_data(4);
+    let et = evaluate(&trained, &fx.test);
+    assert!(
+        et.errors.median < eu.errors.median,
+        "training must help: untrained {} vs trained {}",
+        eu.errors.median,
+        et.errors.median
+    );
+}

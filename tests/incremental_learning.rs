@@ -1,0 +1,113 @@
+//! Integration test of §4.5: incremental data and incremental query
+//! workload, the two ingestion modes that distinguish UAE from retraining
+//! estimators.
+
+use std::collections::HashSet;
+
+use uae::core::{Uae, UaeConfig};
+use uae::query::{
+    default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec,
+};
+
+fn cfg() -> UaeConfig {
+    let mut cfg = UaeConfig::default();
+    cfg.model.hidden = 48;
+    cfg.train.dps.samples = 8;
+    cfg.estimate_samples = 100;
+    cfg
+}
+
+#[test]
+fn workload_ingestion_beats_stale_model_on_shifted_queries() {
+    let table = uae::data::dmv_like(6_000, 21);
+    let col = default_bounded_column(&table);
+
+    // Shifted workload: centers in the top fifth of the domain.
+    let spec = |n: usize, seed: u64| WorkloadSpec {
+        seed,
+        num_queries: n,
+        bounded: Some(BoundedSpec { column: col, center_window: (0.8, 1.0), volume_frac: 0.01 }),
+        nf_range: (2, 4),
+    };
+    let shift_train = generate_workload(&table, &spec(100, 31), &HashSet::new());
+    let shift_test =
+        generate_workload(&table, &spec(40, 32), &uae::query::fingerprints(&shift_train));
+
+    let mut stale = Uae::new(&table, cfg());
+    stale.train_data(3);
+    let mut refined = Uae::new(&table, cfg());
+    refined.train_data(3);
+    refined.ingest_workload(&shift_train, 8);
+
+    let es = evaluate(&stale, &shift_test);
+    let er = evaluate(&refined, &shift_test);
+    assert!(
+        er.errors.mean <= es.errors.mean * 1.05,
+        "ingestion should not hurt the shifted region: stale {} vs refined {}",
+        es.errors.mean,
+        er.errors.mean
+    );
+}
+
+#[test]
+fn data_ingestion_tracks_new_rows() {
+    // Train on half the table, ingest the other half, and check that a
+    // query whose matches live mostly in the new half is estimated better.
+    let table = uae::data::census_like(4_000, 9);
+    let first: Vec<usize> = (0..2_000).collect();
+    let second: Vec<usize> = (2_000..4_000).collect();
+    let half = table.take_rows(&first);
+    let rest = table.take_rows(&second);
+
+    let mut model = Uae::new(&half, cfg());
+    model.train_data(3);
+    let before_rows = model.table().num_rows();
+    model.ingest_data(&rest, 3);
+    assert_eq!(model.table().num_rows(), before_rows + 2_000);
+
+    // After ingestion the model's selectivities refer to the full table.
+    let w = generate_workload(&table, &WorkloadSpec::random(30, 5), &HashSet::new());
+    let ev = evaluate(&model, &w);
+    assert!(
+        ev.errors.median < 8.0,
+        "post-ingestion median q-error {} too high",
+        ev.errors.median
+    );
+}
+
+#[test]
+fn ingestion_does_not_catastrophically_forget() {
+    // The paper: a small number of query epochs refines the workload region
+    // without destroying overall data knowledge.
+    let table = uae::data::dmv_like(6_000, 22);
+    let col = default_bounded_column(&table);
+    let random_test =
+        generate_workload(&table, &WorkloadSpec::random(40, 77), &HashSet::new());
+
+    let mut model = Uae::new(&table, cfg());
+    model.train_data(3);
+    let before = evaluate(&model, &random_test);
+
+    let shift = generate_workload(
+        &table,
+        &WorkloadSpec {
+            seed: 41,
+            num_queries: 80,
+            bounded: Some(BoundedSpec {
+                column: col,
+                center_window: (0.0, 0.2),
+                volume_frac: 0.01,
+            }),
+            nf_range: (2, 4),
+        },
+        &HashSet::new(),
+    );
+    model.ingest_workload(&shift, 6);
+    let after = evaluate(&model, &random_test);
+    assert!(
+        after.errors.median <= before.errors.median * 3.0 + 1.0,
+        "catastrophic forgetting: random-query median went {} → {}",
+        before.errors.median,
+        after.errors.median
+    );
+}

@@ -1,0 +1,143 @@
+//! Integration tests of the join stack: sampling, estimation (including
+//! fanout scaling for subset joins), the join baselines, and the
+//! optimizer study.
+
+use std::collections::HashSet;
+
+use uae::core::UaeConfig;
+use uae::join::optimizer::{study_query, SubplanEstimator, TruthEstimator};
+use uae::join::{
+    generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinExecutor,
+    JoinQuery, JoinSpn, JoinUae, JoinWorkloadSpec,
+};
+use uae::query::metrics::q_error;
+
+fn quick_cfg() -> UaeConfig {
+    let mut cfg = UaeConfig::default();
+    cfg.model.hidden = 48;
+    cfg.train.dps.samples = 8;
+    cfg.train.lambda = 1.0;
+    cfg.estimate_samples = 200;
+    cfg
+}
+
+#[test]
+fn neurocard_and_deepdb_estimate_joins() {
+    let schema = imdb_like(600, 31);
+    let exec = JoinExecutor::new(&schema);
+
+    let mut nc = JoinUae::new(sample_outer_join(&schema, 4_000, 16, 1), quick_cfg())
+        .with_name("NeuroCard");
+    nc.train_data(4);
+    let spn = JoinSpn::new(sample_outer_join(&schema, 4_000, 16, 2), &Default::default());
+
+    // A mix of full and subset joins with predicates.
+    let queries = vec![
+        JoinQuery { dims: vec![0, 1, 2], ..Default::default() },
+        JoinQuery {
+            dims: vec![0, 1],
+            fact_preds: vec![uae::query::Predicate::ge(0, 60i64)],
+            dim_preds: vec![],
+        },
+        JoinQuery { dims: vec![2], ..Default::default() },
+    ];
+    for q in &queries {
+        let truth = exec.cardinality(q) as f64;
+        for est in [&nc as &dyn JoinCardinalityEstimator, &spn] {
+            let e = est.estimate_join_card(q);
+            let err = q_error(truth, e);
+            assert!(
+                err < 8.0,
+                "{} q-error {err} on dims {:?} (true {truth}, est {e})",
+                est.name(),
+                q.dims
+            );
+        }
+    }
+}
+
+#[test]
+fn hybrid_join_training_improves_focused_queries() {
+    let schema = imdb_like(600, 32);
+    let train =
+        generate_join_workload(&schema, &JoinWorkloadSpec::focused(0, 60, 5), &HashSet::new());
+    let test = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec::focused(0, 25, 6),
+        &uae::join::workload::fingerprints(&train),
+    );
+
+    let median_err = |est: &JoinUae| {
+        let mut errs: Vec<f64> = test
+            .iter()
+            .map(|lq| q_error(lq.cardinality as f64, est.estimate_join_card(&lq.query)))
+            .collect();
+        errs.sort_by(f64::total_cmp);
+        errs[errs.len() / 2]
+    };
+
+    let mut uae = JoinUae::new(sample_outer_join(&schema, 4_000, 16, 3), quick_cfg());
+    uae.train_data(3);
+    let before = median_err(&uae);
+    uae.train_hybrid(&train, 4);
+    let after = median_err(&uae);
+    assert!(
+        after <= before * 1.25,
+        "hybrid join training should not regress: {before} → {after}"
+    );
+    assert!(after < 6.0, "post-hybrid median q-error {after}");
+}
+
+#[test]
+fn optimizer_prefers_better_estimates() {
+    let schema = imdb_like(800, 33);
+    let queries = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec {
+            seed: 71,
+            num_queries: 12,
+            bounded: Some((0, (0.0, 1.0), 0.1)),
+            nf_range: (2, 4),
+            all_dims: true,
+        },
+        &HashSet::new(),
+    );
+    let truth = TruthEstimator::new(&schema);
+    let mut geo = 1.0f64;
+    for lq in &queries {
+        let rows = study_query(&schema, &lq.query, &[&truth as &dyn SubplanEstimator]);
+        // The true-cardinality plan can never be slower than the baseline's.
+        assert!(rows[0].speedup_vs_baseline >= 1.0 - 1e-9);
+        geo *= rows[0].speedup_vs_baseline;
+    }
+    geo = geo.powf(1.0 / queries.len() as f64);
+    assert!(geo >= 1.0, "geometric-mean speedup of truth {geo} must be ≥ 1");
+}
+
+#[test]
+fn subset_join_fanout_scaling_is_consistent() {
+    // card(fact ⋈ d) computed via fanout scaling from the full-outer-join
+    // distribution must track the exact subset join, not the 3-way join.
+    let schema = imdb_like(500, 34);
+    let exec = JoinExecutor::new(&schema);
+    let all = JoinQuery { dims: vec![0, 1, 2], ..Default::default() };
+    let subset = JoinQuery { dims: vec![0], ..Default::default() };
+    let truth_all = exec.cardinality(&all) as f64;
+    let truth_subset = exec.cardinality(&subset) as f64;
+    assert!(
+        (truth_all - truth_subset).abs() / truth_subset > 0.2,
+        "fixture degenerate: subset and full joins too close"
+    );
+
+    let mut nc =
+        JoinUae::new(sample_outer_join(&schema, 4_000, 16, 4), quick_cfg()).with_name("nc");
+    nc.train_data(4);
+    let est_subset = nc.estimate_join_card(&subset);
+    let err_vs_subset = q_error(truth_subset, est_subset);
+    let err_vs_all = q_error(truth_all, est_subset);
+    assert!(
+        err_vs_subset < err_vs_all,
+        "estimate {est_subset} is closer to the full join ({truth_all}) than the subset \
+         ({truth_subset}) — fanout scaling broken"
+    );
+}

@@ -1,0 +1,110 @@
+//! Statistical quality checks on the trained autoregressive model itself:
+//! likelihood-trained conditionals approximate the data distribution, and
+//! progressive-sampling estimates converge to exhaustive enumeration.
+
+use uae::core::infer::{exhaustive_selectivity, joint_probability};
+use uae::core::{ResMade, ResMadeConfig, Uae, UaeConfig, VirtualQuery, VirtualSchema};
+use uae::data::{Table, Value};
+use uae::query::{Predicate, Query};
+use uae::tensor::ParamStore;
+
+/// A small, strongly structured table: c1 ∈ 0..8 zipf-ish, c2 = c1 % 3,
+/// c3 uniform-ish independent.
+fn structured_table(rows: usize) -> Table {
+    let mut c1 = Vec::with_capacity(rows);
+    let mut c2 = Vec::with_capacity(rows);
+    let mut c3 = Vec::with_capacity(rows);
+    let mut state = 0x1234_5678u64;
+    for _ in 0..rows {
+        state = uae::data::synth::splitmix64(state);
+        let a = ((state % 64) as f64).sqrt() as i64; // 0..8, skewed
+        c1.push(Value::Int(a));
+        c2.push(Value::Int(a % 3));
+        state = uae::data::synth::splitmix64(state);
+        c3.push(Value::Int((state % 5) as i64));
+    }
+    Table::from_columns("structured", vec![("a".into(), c1), ("b".into(), c2), ("c".into(), c3)])
+}
+
+fn trained_model(table: &Table) -> Uae {
+    let mut cfg = UaeConfig::default();
+    cfg.model = ResMadeConfig { hidden: 32, blocks: 1, seed: 3 };
+    cfg.train.wildcard_prob = 0.15;
+    cfg.estimate_samples = 400;
+    let mut uae = Uae::new(table, cfg);
+    uae.train_data(25);
+    uae
+}
+
+#[test]
+fn learned_joint_matches_empirical_distribution() {
+    let table = structured_table(3_000);
+    let uae = trained_model(&table);
+    // Empirical joint of (a, b, c) codes.
+    let mut counts = std::collections::HashMap::new();
+    for r in 0..table.num_rows() {
+        *counts.entry(table.row_codes(r)).or_insert(0usize) += 1;
+    }
+    let mut max_gap = 0.0f64;
+    for (codes, count) in counts {
+        let emp = count as f64 / table.num_rows() as f64;
+        // Point query through the public API: a = v1 AND b = v2 AND c = v3.
+        let q = Query::new(
+            codes
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| {
+                    Predicate::eq(c, table.column(c).dict()[code as usize].clone())
+                })
+                .collect(),
+        );
+        let est = uae.estimate_selectivity(&q);
+        max_gap = max_gap.max((est - emp).abs());
+    }
+    assert!(max_gap < 0.05, "largest |model - empirical| point mass gap: {max_gap}");
+}
+
+#[test]
+fn progressive_sampling_is_consistent_with_exhaustive_on_trained_model() {
+    let table = structured_table(2_000);
+    let uae = trained_model(&table);
+    let q = Query::new(vec![Predicate::le(0, 4i64), Predicate::eq(1, 1i64)]);
+    let est = uae.estimate_selectivity(&q);
+
+    // Exhaustive enumeration through a fresh, identically-seeded model is
+    // not available from the public estimator, so validate progressive
+    // sampling against the *exact* executor instead: the trained model
+    // should put the right mass on this region.
+    let exec = uae::query::Executor::new(&table);
+    let truth = exec.selectivity(&q);
+    assert!(
+        (est - truth).abs() < 0.05,
+        "progressive estimate {est} vs true selectivity {truth}"
+    );
+}
+
+#[test]
+fn untrained_model_is_a_valid_distribution() {
+    // Even before training, the autoregressive factorization must define a
+    // proper distribution (Eq. 1): joint probabilities sum to 1.
+    let table = structured_table(500);
+    let schema = VirtualSchema::build(&table, usize::MAX);
+    let mut store = ParamStore::new();
+    let model =
+        ResMade::new(&mut store, &schema, &ResMadeConfig { hidden: 16, blocks: 2, seed: 9 });
+    let raw = model.snapshot(&store);
+    let mut total = 0.0;
+    for a in 0..schema.codec(0).domain() as u32 {
+        for b in 0..schema.codec(1).domain() as u32 {
+            for c in 0..schema.codec(2).domain() as u32 {
+                total += joint_probability(&raw, &schema, &[a, b, c]);
+            }
+        }
+    }
+    assert!((total - 1.0).abs() < 1e-3, "joint sums to {total}");
+
+    // And the unconstrained exhaustive selectivity is 1.
+    let vq = VirtualQuery::build(&table, &schema, &Query::default());
+    let sel = exhaustive_selectivity(&raw, &schema, &vq);
+    assert!((sel - 1.0).abs() < 1e-3);
+}

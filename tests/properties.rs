@@ -1,0 +1,179 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use uae::core::{ResMade, ResMadeConfig, VirtualQuery, VirtualSchema};
+use uae::data::{Table, Value};
+use uae::query::{
+    predicate_region, q_error, Executor, PredOp, Predicate, Query, QueryRegion, Region,
+};
+use uae::tensor::ParamStore;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    // 2–4 columns, 20–80 rows, domains 2–12.
+    (2usize..=4, 20usize..=80, proptest::collection::vec(2i64..=12, 2..=4), any::<u64>())
+        .prop_map(|(ncols, rows, domains, seed)| {
+            let ncols = ncols.min(domains.len());
+            let cols = (0..ncols)
+                .map(|c| {
+                    let d = domains[c];
+                    let vals: Vec<Value> = (0..rows)
+                        .map(|r| {
+                            let h = uae::data::synth::splitmix64(
+                                seed ^ (r as u64) << 8 ^ c as u64,
+                            );
+                            Value::Int((h % d as u64) as i64)
+                        })
+                        .collect();
+                    (format!("c{c}"), vals)
+                })
+                .collect();
+            Table::from_columns("prop", cols)
+        })
+}
+
+fn arb_query(ncols: usize) -> impl Strategy<Value = Query> {
+    proptest::collection::vec(
+        (0..ncols, 0usize..=5, -1i64..=13),
+        0..=4,
+    )
+    .prop_map(|preds| {
+        Query::new(
+            preds
+                .into_iter()
+                .map(|(col, op, lit)| {
+                    let op = match op {
+                        0 => PredOp::Eq,
+                        1 => PredOp::Ne,
+                        2 => PredOp::Lt,
+                        3 => PredOp::Le,
+                        4 => PredOp::Gt,
+                        _ => PredOp::Ge,
+                    };
+                    Predicate::new(col, op, Value::Int(lit))
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parallel executor agrees with a naive per-row predicate check.
+    #[test]
+    fn executor_matches_naive_scan(table in arb_table(), qseed in any::<u64>()) {
+        let q = {
+            let mut runner = proptest::test_runner::TestRunner::deterministic();
+            let _ = qseed;
+            arb_query(table.num_cols()).new_tree(&mut runner).expect("tree").current()
+        };
+        let exec = Executor::new(&table);
+        let fast = exec.cardinality(&q);
+        let region = QueryRegion::build(&table, &q);
+        let slow = (0..table.num_rows())
+            .filter(|&r| region.matches_row(&table.row_codes(r)))
+            .count() as u64;
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Predicate semantics: region membership equals direct value comparison.
+    #[test]
+    fn region_semantics_match_value_comparison(
+        table in arb_table(),
+        col in 0usize..4,
+        op in 0usize..=5,
+        lit in -1i64..=13,
+    ) {
+        let col = col % table.num_cols();
+        let op = match op {
+            0 => PredOp::Eq,
+            1 => PredOp::Ne,
+            2 => PredOp::Lt,
+            3 => PredOp::Le,
+            4 => PredOp::Gt,
+            _ => PredOp::Ge,
+        };
+        let pred = Predicate::new(col, op.clone(), Value::Int(lit));
+        let region = predicate_region(table.column(col), &pred);
+        for r in 0..table.num_rows() {
+            let v = table.column(col).value(r).as_int().unwrap();
+            let expected = match op {
+                PredOp::Eq => v == lit,
+                PredOp::Ne => v != lit,
+                PredOp::Lt => v < lit,
+                PredOp::Le => v <= lit,
+                PredOp::Gt => v > lit,
+                PredOp::Ge => v >= lit,
+                PredOp::In(_) => unreachable!(),
+            };
+            prop_assert_eq!(region.contains(table.column(col).code(r)), expected);
+        }
+    }
+
+    /// Q-error is symmetric, ≥ 1, and 1 exactly on equality.
+    #[test]
+    fn q_error_laws(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let e = q_error(a, b);
+        prop_assert!(e >= 1.0);
+        prop_assert!((q_error(b, a) - e).abs() < 1e-9);
+        prop_assert!((q_error(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Region algebra: complement partitions the domain; intersection is
+    /// contained in both operands.
+    #[test]
+    fn region_algebra(domain in 1u32..200, codes in proptest::collection::vec(0u32..200, 0..40)) {
+        let r = Region::from_codes(domain, codes);
+        let c = r.complement();
+        prop_assert_eq!(r.count() + c.count(), domain);
+        for code in 0..domain {
+            prop_assert!(r.contains(code) != c.contains(code));
+        }
+        let i = r.intersect(&c);
+        prop_assert!(i.is_empty());
+    }
+
+    /// Factorized schemas preserve codes exactly.
+    #[test]
+    fn factorization_round_trip(domain in 2usize..5000, code_frac in 0.0f64..1.0) {
+        let rows = 8;
+        let vals: Vec<Value> = (0..rows)
+            .map(|r| Value::Int(((r * domain / rows) % domain) as i64))
+            .chain(std::iter::once(Value::Int(domain as i64 - 1)))
+            .collect();
+        let t = Table::from_columns("t", vec![("x".into(), vals)]);
+        let schema = VirtualSchema::build(&t, 16);
+        let d = t.column(0).domain_size();
+        let code = ((code_frac * d as f64) as u32).min(d as u32 - 1);
+        let v = schema.to_virtual_codes(&[code]);
+        match schema.entries()[0] {
+            uae::core::encoding::ColEntry::Single { vcol } => prop_assert_eq!(v[vcol], code),
+            uae::core::encoding::ColEntry::Split { hi, lo, lo_bits } => {
+                prop_assert_eq!((v[hi] << lo_bits) | v[lo], code);
+            }
+        }
+    }
+
+    /// An untrained model plus a random query still yields estimates in
+    /// [0, 1] through progressive sampling.
+    #[test]
+    fn progressive_estimates_stay_in_unit_interval(table in arb_table(), seed in any::<u64>()) {
+        let q = {
+            let mut runner = proptest::test_runner::TestRunner::deterministic();
+            arb_query(table.num_cols()).new_tree(&mut runner).unwrap().current()
+        };
+        let schema = VirtualSchema::build(&table, usize::MAX);
+        let mut store = ParamStore::new();
+        let model = ResMade::new(
+            &mut store,
+            &schema,
+            &ResMadeConfig { hidden: 8, blocks: 1, seed },
+        );
+        let raw = model.snapshot(&store);
+        let vq = VirtualQuery::build(&table, &schema, &q);
+        let mut rng = uae::tensor::rng::seeded_rng(seed);
+        let est = uae::core::infer::progressive_sample(&raw, &schema, &vq, 16, &mut rng);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&est), "estimate {}", est);
+    }
+}
