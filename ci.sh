@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, then the tier-1 verify
+# (release build + full test suite). Run locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

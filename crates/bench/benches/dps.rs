@@ -41,8 +41,7 @@ fn bench_dps(c: &mut Criterion) {
                 let mut rng = seeded_rng(9);
                 let mut grads = GradStore::zeros_like(&store);
                 let mut tape = Tape::new(&store);
-                let sel =
-                    dps_selectivities(&mut tape, &model, &schema, &queries, &cfg, &mut rng);
+                let sel = dps_selectivities(&mut tape, &model, &schema, &queries, &cfg, &mut rng);
                 let loss = qerror_loss(&mut tape, sel, &vec![0.05; queries.len()]);
                 tape.backward(loss, &mut grads);
                 black_box(grads.l2_norm())

@@ -1,13 +1,20 @@
 //! Figure 5(2) as a Criterion bench: per-query estimation latency of every
-//! estimator on a DMV-like table.
+//! estimator on a DMV-like table — plus the batched-inference study:
+//! sequential vs cross-query batched progressive sampling on the table5
+//! join workload, with a `BENCH_inference.json` summary (queries/sec at
+//! S ∈ {200, 1000}, batch ∈ {1, 32, 256}).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
+use std::time::Instant;
 use uae_core::Uae;
 use uae_estimators::{
     BayesNetEstimator, HistogramEstimator, KdeEstimator, LinearRegressionEstimator, MscnConfig,
     MscnEstimator, SamplingEstimator, SpnConfig, SpnEstimator,
+};
+use uae_join::{
+    generate_join_workload, imdb_like, sample_outer_join, JoinQuery, JoinUae, JoinWorkloadSpec,
 };
 use uae_query::{
     default_bounded_column, generate_workload, CardinalityEstimator, LabeledQuery, WorkloadSpec,
@@ -48,6 +55,109 @@ fn setup() -> Setup {
     Setup { queries, estimators }
 }
 
+/// The table5 serving setup: a data-trained UAE over the IMDB-like join
+/// sample plus a JOB-light-ranges-focused workload.
+fn setup_join(num_queries: usize) -> (JoinUae, Vec<JoinQuery>) {
+    let schema = imdb_like(1200, 0x7AB5);
+    let sample = sample_outer_join(&schema, 3000, 32, 21);
+    let mut cfg = uae_core::UaeConfig::default();
+    cfg.model.hidden = 128;
+    cfg.factor_threshold = usize::MAX; // fanout columns must stay unfactorized
+    let mut uae = JoinUae::new(sample, cfg);
+    uae.train_data(1);
+    let queries: Vec<JoinQuery> = generate_join_workload(
+        &schema,
+        &JoinWorkloadSpec::focused(0, num_queries, 31),
+        &HashSet::new(),
+    )
+    .into_iter()
+    .map(|lq| lq.query)
+    .collect();
+    (uae, queries)
+}
+
+/// Estimate the workload in chunks of `batch` queries and return the
+/// elapsed seconds. `batch == 1` is the sequential per-query path.
+fn run_batched(uae: &JoinUae, queries: &[JoinQuery], batch: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    if batch <= 1 {
+        for q in queries {
+            acc += uae.estimate(q);
+        }
+    } else {
+        for chunk in queries.chunks(batch) {
+            acc += uae.estimate_batch(chunk).iter().sum::<f64>();
+        }
+    }
+    black_box(acc);
+    t0.elapsed().as_secs_f64()
+}
+
+/// One measured configuration of the sweep.
+struct SweepPoint {
+    samples: usize,
+    batch: usize,
+    queries_per_sec: f64,
+}
+
+/// Sweep S ∈ {200, 1000} × batch ∈ {1, 32, 256} over the table5 workload
+/// and write `BENCH_inference.json` at the repository root.
+fn emit_inference_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &samples in &[200usize, 1000] {
+        uae.uae_mut().set_estimate_samples(samples);
+        for &batch in &[1usize, 32, 256] {
+            let secs = run_batched(uae, queries, batch);
+            let qps = queries.len() as f64 / secs.max(1e-12);
+            eprintln!("[inference] S={samples} batch={batch}: {:.1} queries/sec ({secs:.2}s)", qps);
+            points.push(SweepPoint { samples, batch, queries_per_sec: qps });
+        }
+    }
+    let qps_at = |s: usize, b: usize| {
+        points
+            .iter()
+            .find(|p| p.samples == s && p.batch == b)
+            .map(|p| p.queries_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup = qps_at(1000, 256) / qps_at(1000, 1).max(1e-12);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"samples\": {}, \"batch\": {}, \"queries_per_sec\": {:.2}}}",
+                p.samples, p.batch, p.queries_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"table5 JOB-light-ranges-focused (imdb_like star schema)\",\n  \
+         \"num_queries\": {},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_batched_256_vs_sequential_at_s1000\": {:.2}\n}}\n",
+        queries.len(),
+        rows.join(",\n"),
+        speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    std::fs::write(path, json).expect("write BENCH_inference.json");
+    eprintln!("[inference] S=1000 batch=256 speedup over sequential: {speedup:.2}x");
+}
+
+fn bench_batched_inference(c: &mut Criterion) {
+    let (mut uae, queries) = setup_join(256);
+    emit_inference_json(&mut uae, &queries);
+
+    // Criterion group on a smaller slice so iteration counts stay sane.
+    let slice = &queries[..queries.len().min(32)];
+    uae.uae_mut().set_estimate_samples(200);
+    let mut g = c.benchmark_group("batched_inference");
+    g.sample_size(10);
+    g.bench_function("sequential/S=200", |b| b.iter(|| black_box(run_batched(&uae, slice, 1))));
+    g.bench_function("batched-32/S=200", |b| b.iter(|| black_box(run_batched(&uae, slice, 32))));
+    g.finish();
+}
+
 fn bench_estimation(c: &mut Criterion) {
     let s = setup();
     let mut g = c.benchmark_group("estimation_latency");
@@ -66,5 +176,5 @@ fn bench_estimation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_estimation);
+criterion_group!(benches, bench_batched_inference, bench_estimation);
 criterion_main!(benches);

@@ -48,9 +48,8 @@ fn bench_constrained_columns(c: &mut Criterion) {
     g.sample_size(15);
     for &ncols in &[2usize, 8, 32] {
         // Constrain the first `ncols` columns with >= anchor values.
-        let preds: Vec<Predicate> = (0..ncols)
-            .map(|c| Predicate::ge(c, table.column(c).value(0).clone()))
-            .collect();
+        let preds: Vec<Predicate> =
+            (0..ncols).map(|c| Predicate::ge(c, table.column(c).value(0).clone())).collect();
         let vq = VirtualQuery::build(&table, &schema, &Query::new(preds));
         g.bench_with_input(BenchmarkId::from_parameter(ncols), &(), |b, ()| {
             let mut rng = seeded_rng(9);

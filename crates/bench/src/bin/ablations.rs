@@ -44,8 +44,7 @@ fn main() {
     let mut store = ParamStore::new();
     let net = ResMade::new(&mut store, &schema, &raw_cfg.model);
     // Reuse the trained weights through serialization (public API).
-    uae_core::serialize::load_params(&mut store, &model.save_weights())
-        .expect("same architecture");
+    uae_core::serialize::load_params(&mut store, &model.save_weights()).expect("same architecture");
     let raw = net.snapshot(&store);
     let mut rng = seeded_rng(0xAB2);
     let mut prog_errs = Vec::new();
@@ -125,9 +124,8 @@ fn main() {
             grads
         };
         for step in 0..steps {
-            let b: Vec<TrainQuery> = (0..batch)
-                .map(|i| tqs[(step * batch + i) % tqs.len()].clone())
-                .collect();
+            let b: Vec<TrainQuery> =
+                (0..batch).map(|i| tqs[(step * batch + i) % tqs.len()].clone()).collect();
             let mut grads = grad_of(&store, &b, &mut baseline, &mut rng);
             let n = grads.l2_norm();
             if n > 8.0 {
@@ -138,16 +136,14 @@ fn main() {
         // Estimator variance at the trained parameters.
         let fixed_batch: Vec<TrainQuery> = tqs.iter().take(batch).cloned().collect();
         const REPS: usize = 16;
-        let draws: Vec<GradStore> = (0..REPS)
-            .map(|_| grad_of(&store, &fixed_batch, &mut baseline, &mut rng))
-            .collect();
+        let draws: Vec<GradStore> =
+            (0..REPS).map(|_| grad_of(&store, &fixed_batch, &mut baseline, &mut rng)).collect();
         let mut mean_sq_norm = 0.0f64;
         let mut var_sum = 0.0f64;
         for id in store.ids() {
             let len = store.get(id).len();
             for i in 0..len {
-                let xs: Vec<f64> =
-                    draws.iter().map(|g| g.get(id).data()[i] as f64).collect();
+                let xs: Vec<f64> = draws.iter().map(|g| g.get(id).data()[i] as f64).collect();
                 let m = xs.iter().sum::<f64>() / REPS as f64;
                 var_sum += xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / REPS as f64;
                 mean_sq_norm += m * m;

@@ -9,9 +9,7 @@ fn main() {
     for dataset in ["dmv", "census", "kddcup98"] {
         let bench = prepare_single_table(dataset, &scale, 0xF16);
         println!("\n=== {dataset}: selectivity distribution ===");
-        for (label, workload) in
-            [("in-workload", &bench.test_in), ("random", &bench.test_random)]
-        {
+        for (label, workload) in [("in-workload", &bench.test_in), ("random", &bench.test_random)] {
             let h = SelectivityHistogram::from_workload(workload);
             println!("\n[{label} queries, n = {}]", h.total);
             print!("{}", h.render());

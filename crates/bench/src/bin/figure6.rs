@@ -11,9 +11,7 @@ use std::time::Instant;
 use uae_bench::BenchScale;
 use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, UaeConfig};
 use uae_join::optimizer::{study_query, SubplanEstimator, TruthEstimator};
-use uae_join::{
-    generate_join_workload, imdb_like, sample_outer_join, JoinUae, JoinWorkloadSpec,
-};
+use uae_join::{generate_join_workload, imdb_like, sample_outer_join, JoinUae, JoinWorkloadSpec};
 use uae_query::metrics::geometric_mean;
 
 fn main() {
@@ -75,18 +73,15 @@ fn main() {
     nc.train_data(scale.data_epochs);
 
     eprintln!("[figure6] training UAE (hybrid)…");
-    let mut uae = JoinUae::new(sample_outer_join(&schema, sample_rows, 32, 71), cfg)
-        .with_name("UAE");
+    let mut uae =
+        JoinUae::new(sample_outer_join(&schema, sample_rows, 32, 71), cfg).with_name("UAE");
     uae.train_hybrid(&train, scale.hybrid_epochs);
 
     let truth = TruthEstimator::new(&schema);
     let estimators: Vec<&dyn SubplanEstimator> = vec![&truth, &nc, &uae];
 
     println!("\n=== Figure 6: query speed-ups vs the PostgreSQL-like plan (cost model) ===");
-    println!(
-        "{:<8} {:>12} {:>12} {:>12}",
-        "query", "Truth", "NeuroCard", "UAE"
-    );
+    println!("{:<8} {:>12} {:>12} {:>12}", "query", "Truth", "NeuroCard", "UAE");
     let mut per_est: Vec<Vec<f64>> = vec![Vec::new(); estimators.len()];
     for (qi, lq) in test.iter().enumerate() {
         let rows = study_query(&schema, &lq.query, &estimators);

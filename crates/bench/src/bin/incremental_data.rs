@@ -32,7 +32,8 @@ fn main() {
     );
 
     // Queries are evaluated against the FULL table (post-ingest truth).
-    let test = generate_workload(&full, &WorkloadSpec::random(scale.test_queries, 7), &HashSet::new());
+    let test =
+        generate_workload(&full, &WorkloadSpec::random(scale.test_queries, 7), &HashSet::new());
 
     let mut stale = Uae::new(&old, scale.uae_config(0x1CE)).with_name("stale");
     stale.train_data(scale.data_epochs);
@@ -65,10 +66,7 @@ fn main() {
         ("ingest_data (no retraining)", &refreshed_sum),
         ("full retrain (upper bound)", &retrained_sum),
     ] {
-        println!(
-            "{:<34} {:>10.3} {:>10.3} {:>10.3}",
-            name, s.mean, s.median, s.max
-        );
+        println!("{:<34} {:>10.3} {:>10.3} {:>10.3}", name, s.mean, s.median, s.max);
     }
     println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
 }

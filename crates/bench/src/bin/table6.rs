@@ -9,9 +9,7 @@ use std::time::Instant;
 use uae_bench::BenchScale;
 use uae_core::Uae;
 use uae_query::workload::incremental_windows;
-use uae_query::{
-    default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec,
-};
+use uae_query::{default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -34,8 +32,7 @@ fn main() {
             bounded: Some(BoundedSpec { column: col, center_window: win, volume_frac: 0.01 }),
             nf_range: (2, 5),
         };
-        let train =
-            generate_workload(&table, &mk(train_per_part, 100 + i as u64), &HashSet::new());
+        let train = generate_workload(&table, &mk(train_per_part, 100 + i as u64), &HashSet::new());
         let excl = uae_query::fingerprints(&train);
         let test = generate_workload(&table, &mk(test_per_part, 200 + i as u64), &excl);
         train_parts.push(train);
@@ -51,9 +48,9 @@ fn main() {
     uae.train_data(scale.data_epochs);
 
     let ingest_epochs = (scale.query_epochs.max(4)).min(20); // paper: 10–20
-    // Refinement uses a gentler learning rate than initial training, so the
-    // query signal sharpens the focused region without destabilizing the
-    // rest of the learned distribution.
+                                                             // Refinement uses a gentler learning rate than initial training, so the
+                                                             // query signal sharpens the focused region without destabilizing the
+                                                             // rest of the learned distribution.
     uae.set_learning_rate(5e-4);
     let mut naru_means = Vec::new();
     let mut uae_means = Vec::new();

@@ -93,7 +93,7 @@ impl BenchScale {
             model: ResMadeConfig { hidden: 128, blocks: 1, seed },
             factor_threshold: usize::MAX,
             order: uae_core::ColumnOrder::Natural,
-        encoding: uae_core::encoding::EncodingMode::Binary,
+            encoding: uae_core::encoding::EncodingMode::Binary,
             train: TrainConfig {
                 dps: DpsConfig { tau: 1.0, samples: self.dps_samples },
                 seed,
@@ -168,10 +168,7 @@ pub struct TableRow {
 }
 
 /// Evaluate one estimator on both test workloads.
-pub fn eval_estimator(
-    est: &dyn CardinalityEstimator,
-    bench: &SingleTableBench,
-) -> TableRow {
+pub fn eval_estimator(est: &dyn CardinalityEstimator, bench: &SingleTableBench) -> TableRow {
     let in_workload = evaluate(est, &bench.test_in);
     let random = evaluate(est, &bench.test_random);
     TableRow {

@@ -74,9 +74,8 @@ pub fn dps_selectivities(
     };
 
     // Per-column input blocks; wildcard (zero) until sampled.
-    let mut blocks: Vec<NodeId> = (0..nv)
-        .map(|v| tape.input(Tensor::zeros(b, schema.vcol_input_width(v))))
-        .collect();
+    let mut blocks: Vec<NodeId> =
+        (0..nv).map(|v| tape.input(Tensor::zeros(b, schema.vcol_input_width(v)))).collect();
     let mut p_run = tape.input(Tensor::full(b, 1, 1.0));
     // Hard argmax codes of sampled columns (for conditional lo-masks).
     let mut hard_codes: Vec<Option<Vec<u32>>> = vec![None; nv];
@@ -160,8 +159,7 @@ pub fn dps_selectivities(
             let y = tape.softmax(scaled);
 
             // Straight-through hard codes for conditional lo-masks.
-            hard_codes[v] =
-                Some(tape.value(y).row_argmax().iter().map(|&i| i as u32).collect());
+            hard_codes[v] = Some(tape.value(y).row_argmax().iter().map(|&i| i as u32).collect());
 
             // Embed the soft sample into input space; zero for wildcards.
             let block = model.soft_block(tape, v, y);
@@ -238,16 +236,19 @@ mod tests {
     #[test]
     fn dps_estimate_tracks_exhaustive_at_low_temperature() {
         let (t, schema, store, model) = setup(&[5, 4, 3]);
-        let q = Query::new(vec![Predicate::le(0, 2i64), Predicate::ge(2, 1i64)]);
+        // Constrain a *prefix* of the column order. Progressive sampling is
+        // exactly unbiased only then: an interior wildcard is skipped with a
+        // zero input (paper §4.6), which equals true marginalization only
+        // for models trained with wildcard dropout — not for this random
+        // untrained one, where the gap induces a deterministic bias far
+        // above Monte-Carlo noise.
+        let q = Query::new(vec![Predicate::le(0, 2i64), Predicate::ge(1, 1i64)]);
         let vq = VirtualQuery::build(&t, &schema, &q);
         let exact = exhaustive_selectivity(&model.snapshot(&store), &schema, &vq);
         let cfg = DpsConfig { tau: 0.2, samples: 2000 };
         let mut rng = seeded_rng(6);
         let est = dps_forward_only(&model, &store, &schema, &[vq], &cfg, &mut rng)[0];
-        assert!(
-            (est - exact).abs() < 0.08 * exact.max(0.05),
-            "dps {est} vs exhaustive {exact}"
-        );
+        assert!((est - exact).abs() < 0.08 * exact.max(0.05), "dps {est} vs exhaustive {exact}");
     }
 
     #[test]
@@ -295,7 +296,11 @@ mod tests {
         let cfg = DpsConfig { tau: 1.0, samples: 3 };
         let res = gradient_check(&mut store, 2e-3, |tape| {
             // Identical Gumbel noise on every rebuild → pure function of θ.
-            let mut rng = seeded_rng(42);
+            // The noise seed is chosen so no straight-through argmax or
+            // q-error `max` branch sits close enough to a decision boundary
+            // to flip under the finite-difference perturbation (a flip makes
+            // the numeric gradient meaningless there).
+            let mut rng = seeded_rng(10);
             let model = model.clone();
             let sel = dps_selectivities(tape, &model, &schema, &[vq.clone()], &cfg, &mut rng);
             qerror_loss(tape, sel, &[0.25])

@@ -78,9 +78,10 @@ impl ColumnCodec {
 }
 
 /// How tuple values are presented to the network (§4.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EncodingMode {
     /// `ceil(log2 |A|)` binary bits plus a presence bit (paper default).
+    #[default]
     Binary,
     /// A learnable `|A| x dim` embedding per column — the paper's first
     /// option for columns with very large NDVs.
@@ -88,12 +89,6 @@ pub enum EncodingMode {
         /// Embedding width per column.
         dim: usize,
     },
-}
-
-impl Default for EncodingMode {
-    fn default() -> Self {
-        EncodingMode::Binary
-    }
 }
 
 /// How one original column maps onto virtual (model) columns.
@@ -129,11 +124,7 @@ impl VirtualSchema {
     }
 
     /// Build a schema with an explicit input [`EncodingMode`].
-    pub fn build_with_mode(
-        table: &Table,
-        factor_threshold: usize,
-        mode: EncodingMode,
-    ) -> Self {
+    pub fn build_with_mode(table: &Table, factor_threshold: usize, mode: EncodingMode) -> Self {
         let mut entries = Vec::with_capacity(table.num_cols());
         let mut domains: Vec<usize> = Vec::new();
         for col in table.columns() {
@@ -368,9 +359,7 @@ mod tests {
             let mut buf = vec![0.0; codec.width()];
             codec.encode_into(code, &mut buf);
             assert_eq!(buf[0], 1.0, "presence bit");
-            let decoded: u32 = (0..codec.width() - 1)
-                .map(|b| (buf[b + 1] as u32) << b)
-                .sum();
+            let decoded: u32 = (0..codec.width() - 1).map(|b| (buf[b + 1] as u32) << b).sum();
             assert_eq!(decoded, code);
         }
     }
@@ -453,8 +442,8 @@ mod tests {
         // Exactness: every original code is admitted iff (hi, lo) pair is.
         for code in 0..50u32 {
             let (h, l) = (code >> 3, code & 7);
-            let admitted = hi.contains(h)
-                && VirtualSchema::lo_region_given_hi(&region, 3, h, 8).contains(l);
+            let admitted =
+                hi.contains(h) && VirtualSchema::lo_region_given_hi(&region, 3, h, 8).contains(l);
             assert_eq!(admitted, region.contains(code), "code {code}");
         }
     }

@@ -4,13 +4,13 @@
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
 use uae_data::Table;
 use uae_query::{CardinalityEstimator, LabeledQuery, Query};
 use uae_tensor::{Adam, GradStore, Optimizer, ParamStore, Tape};
 
 use crate::encoding::VirtualSchema;
-use crate::infer::progressive_sample;
+use crate::infer::{progressive_sample, progressive_sample_batch};
 use crate::model::{RawModel, ResMade, ResMadeConfig};
 use crate::train::{data_loss, query_loss, TrainConfig, TrainQuery};
 use crate::vquery::VirtualQuery;
@@ -85,8 +85,7 @@ impl Uae {
             col_remap[orig] = pos;
         }
         let table = table.select_columns(&perm);
-        let schema =
-            VirtualSchema::build_with_mode(&table, cfg.factor_threshold, cfg.encoding);
+        let schema = VirtualSchema::build_with_mode(&table, cfg.factor_threshold, cfg.encoding);
         let mut store = ParamStore::new();
         let model = ResMade::new(&mut store, &schema, &cfg.model);
         let rows =
@@ -150,10 +149,7 @@ impl Uae {
     pub fn prepare_queries(&self, workload: &[LabeledQuery]) -> Vec<TrainQuery> {
         workload
             .iter()
-            .map(|lq| TrainQuery {
-                vquery: self.translate(&lq.query),
-                selectivity: lq.selectivity,
-            })
+            .map(|lq| TrainQuery { vquery: self.translate(&lq.query), selectivity: lq.selectivity })
             .collect()
     }
 
@@ -215,6 +211,11 @@ impl Uae {
 
     /// Estimate the selectivity of a pre-translated query (supports
     /// [`crate::vquery::StepRegion::Weighted`] fanout scaling).
+    ///
+    /// Each query runs on a private RNG seeded from the estimator's stream,
+    /// so a sequence of `estimate_vquery` calls and one
+    /// [`Uae::estimate_vquery_batch`] call over the same queries consume
+    /// the stream identically and return bit-identical estimates.
     pub fn estimate_vquery(&self, vq: &VirtualQuery) -> f64 {
         let mut est = self.est.lock();
         if est.raw.is_none() {
@@ -222,7 +223,32 @@ impl Uae {
         }
         let EstCache { raw, rng } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
-        progressive_sample(raw, &self.schema, vq, self.cfg.estimate_samples, rng)
+        let mut qrng = StdRng::seed_from_u64(rng.next_u64());
+        progressive_sample(raw, &self.schema, vq, self.cfg.estimate_samples, &mut qrng)
+    }
+
+    /// Estimate the selectivities of a batch of pre-translated queries via
+    /// the cross-query batched sampler ([`crate::infer_batch`]): queries
+    /// advance in lock-step column rounds sharing stacked forwards, the
+    /// first-step distribution is memoized per weight snapshot, and sample
+    /// rows with identical sampled prefixes share one forward row.
+    pub fn estimate_vquery_batch(&self, vqs: &[VirtualQuery]) -> Vec<f64> {
+        let mut est = self.est.lock();
+        if est.raw.is_none() {
+            est.raw = Some(self.model.snapshot(&self.store));
+        }
+        let EstCache { raw, rng } = &mut *est;
+        let raw = raw.as_ref().expect("snapshot just created");
+        let seeds: Vec<u64> = vqs.iter().map(|_| rng.next_u64()).collect();
+        progressive_sample_batch(raw, &self.schema, vqs, self.cfg.estimate_samples, &seeds)
+    }
+
+    /// Estimated selectivities of a batch of queries (the batched
+    /// counterpart of [`Uae::estimate_selectivity`]; identical estimates
+    /// under a matched RNG state, computed with far fewer forward passes).
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let vqs: Vec<VirtualQuery> = queries.iter().map(|q| self.translate(q)).collect();
+        self.estimate_vquery_batch(&vqs)
     }
 
     /// Ingest new rows (incremental data, §4.5): append and refine with the
@@ -435,6 +461,11 @@ impl CardinalityEstimator for Uae {
         self.estimate_selectivity(query) * self.table.num_rows() as f64
     }
 
+    fn estimate_cards(&self, queries: &[Query]) -> Vec<f64> {
+        let rows = self.table.num_rows() as f64;
+        self.estimate_batch(queries).into_iter().map(|sel| sel * rows).collect()
+    }
+
     fn size_bytes(&self) -> usize {
         self.store.size_bytes()
     }
@@ -468,10 +499,7 @@ mod tests {
         let t = census_like(1500, 3);
         let mut uae = Uae::new(&t, quick_cfg()).with_name("Naru");
         let losses = uae.train_data(4);
-        assert!(
-            losses.last().unwrap() < &(losses[0] * 0.9),
-            "data loss should drop: {losses:?}"
-        );
+        assert!(losses.last().unwrap() < &(losses[0] * 0.9), "data loss should drop: {losses:?}");
         let w = generate_workload(&t, &WorkloadSpec::random(25, 7), &HashSet::new());
         let ev = evaluate(&uae, &w);
         assert!(ev.errors.median < 4.0, "median q-error {}", ev.errors.median);

@@ -16,6 +16,8 @@ use crate::encoding::VirtualSchema;
 use crate::model::RawModel;
 use crate::vquery::{StepRegion, VirtualQuery};
 
+pub use crate::infer_batch::progressive_sample_batch;
+
 /// Estimate the selectivity of one translated query with `s` progressive
 /// samples. Returns a value in `[0, 1]`.
 pub fn progressive_sample(
@@ -47,9 +49,7 @@ pub fn progressive_sample(
         let domain = codec.domain() as u32;
         let hidden = raw.hidden(&inputs);
         let mut probs = raw.logits_col(&hidden, v);
-        for r in 0..s {
-            softmax_in_place(probs.row_mut(r));
-        }
+        probs.softmax_rows_in_place();
         let need_sample = v < last;
         let mut codes = vec![0u32; s];
         if let StepRegion::Weighted(w) = step {
@@ -60,8 +60,7 @@ pub fn progressive_sample(
                     continue;
                 }
                 let row = probs.row(r);
-                let p_w: f64 =
-                    row.iter().zip(w.iter()).map(|(&p, &wv)| p as f64 * wv).sum();
+                let p_w: f64 = row.iter().zip(w.iter()).map(|(&p, &wv)| p as f64 * wv).sum();
                 if p_w <= 0.0 {
                     p_hat[r] = 0.0;
                     alive[r] = false;
@@ -96,9 +95,7 @@ pub fn progressive_sample(
             let region = match step {
                 StepRegion::Fixed(region) => region.clone(),
                 StepRegion::LoOfSplit { hi_vcol, .. } => {
-                    let hi_code = sampled[*hi_vcol]
-                        .as_ref()
-                        .expect("hi sampled before lo")[r];
+                    let hi_code = sampled[*hi_vcol].as_ref().expect("hi sampled before lo")[r];
                     vq.lo_region(v, hi_code, domain)
                 }
                 StepRegion::Wildcard | StepRegion::Weighted(_) => unreachable!(),
@@ -126,8 +123,9 @@ pub fn progressive_sample(
 }
 
 /// Inverse-CDF draw from `probs` restricted to `region` (total in-region
-/// mass `p_in`).
-fn sample_in_region(
+/// mass `p_in`). Shared with the batched engine so both paths consume the
+/// RNG identically.
+pub(crate) fn sample_in_region(
     probs: &[f32],
     region: &uae_query::Region,
     p_in: f64,
@@ -175,11 +173,15 @@ pub fn uniform_sample_estimate(
     enum Choice {
         Free(Vec<u32>),
         /// (hi vcol, cumulative pair counts aligned with hi codes).
-        LoPairs { hi_vcol: usize, hi_codes: Vec<u32>, cum: Vec<u64> },
+        LoPairs {
+            hi_vcol: usize,
+            hi_codes: Vec<u32>,
+            cum: Vec<u64>,
+        },
     }
     let mut total: f64 = 1.0;
     let mut choices: Vec<Option<Choice>> = vec![None; nv];
-    for v in 0..=last {
+    for (v, slot) in choices.iter_mut().enumerate().take(last + 1) {
         match vq.step(v) {
             StepRegion::Wildcard => {}
             StepRegion::Weighted(_) => {
@@ -198,7 +200,7 @@ pub fn uniform_sample_estimate(
                 if !is_split_hi {
                     total *= codes.len() as f64;
                 }
-                choices[v] = Some(Choice::Free(codes));
+                *slot = Some(Choice::Free(codes));
             }
             StepRegion::LoOfSplit { hi_vcol, .. } => {
                 let lo_domain = schema.codec(v).domain() as u32;
@@ -216,7 +218,7 @@ pub fn uniform_sample_estimate(
                     return 0.0;
                 }
                 total *= acc as f64;
-                choices[v] = Some(Choice::LoPairs { hi_vcol: *hi_vcol, hi_codes, cum });
+                *slot = Some(Choice::LoPairs { hi_vcol: *hi_vcol, hi_codes, cum });
             }
         }
     }
@@ -230,23 +232,21 @@ pub fn uniform_sample_estimate(
         let Some(choice) = &choices[v] else { continue };
         match choice {
             Choice::Free(codes) => {
-                for r in 0..s {
-                    let c = codes[rng.random_range(0..codes.len())];
-                    sampled_codes[r][v] = c;
+                for row in &mut sampled_codes {
+                    row[v] = codes[rng.random_range(0..codes.len())];
                 }
             }
             Choice::LoPairs { hi_vcol, hi_codes, cum } => {
                 let lo_domain = schema.codec(v).domain() as u32;
-                for r in 0..s {
+                for row in &mut sampled_codes {
                     let target = rng.random_range(0..*cum.last().expect("nonempty"));
                     let idx = cum.partition_point(|&c| c <= target);
                     let h = hi_codes[idx.min(hi_codes.len() - 1)];
                     let prev = if idx == 0 { 0 } else { cum[idx - 1] };
                     let offset = (target - prev) as usize;
-                    let lo_codes: Vec<u32> =
-                        vq.lo_region(v, h, lo_domain).iter_codes().collect();
-                    sampled_codes[r][*hi_vcol] = h;
-                    sampled_codes[r][v] = lo_codes[offset.min(lo_codes.len() - 1)];
+                    let lo_codes: Vec<u32> = vq.lo_region(v, h, lo_domain).iter_codes().collect();
+                    row[*hi_vcol] = h;
+                    row[v] = lo_codes[offset.min(lo_codes.len() - 1)];
                 }
             }
         }
@@ -275,13 +275,13 @@ pub fn uniform_sample_estimate(
 pub fn joint_probability(raw: &RawModel, schema: &VirtualSchema, vcodes: &[u32]) -> f64 {
     let mut p = 1.0f64;
     let mut inputs = Tensor::zeros(1, schema.input_width());
-    for v in 0..schema.num_virtual() {
+    for (v, &code) in vcodes.iter().enumerate().take(schema.num_virtual()) {
         let hidden = raw.hidden(&inputs);
         let mut probs = raw.logits_col(&hidden, v);
         softmax_in_place(probs.row_mut(0));
-        p *= probs.at(0, vcodes[v] as usize) as f64;
+        p *= probs.at(0, code as usize) as f64;
         let (bs, be) = schema.input_slice(v);
-        raw.encode_into(v, vcodes[v], &mut inputs.row_mut(0)[bs..be]);
+        raw.encode_into(v, code, &mut inputs.row_mut(0)[bs..be]);
     }
     p
 }
@@ -443,10 +443,7 @@ mod tests {
         let exact = exhaustive_selectivity(&raw, &schema, &vq);
         let mut rng = seeded_rng(31);
         let est = uniform_sample_estimate(&raw, &schema, &vq, 6000, &mut rng);
-        assert!(
-            (est - exact).abs() < 0.1 * exact.max(0.05),
-            "uniform {est} vs exhaustive {exact}"
-        );
+        assert!((est - exact).abs() < 0.1 * exact.max(0.05), "uniform {est} vs exhaustive {exact}");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Cross-query batched progressive sampling — the serving fast path.
+//!
+//! [`progressive_sample`](crate::infer::progressive_sample) walks one query
+//! at a time: every constrained column costs a full `S`-row forward pass,
+//! even though (a) the first constrained column's input is the all-wildcard
+//! zero row — identical for every sample of every query — and (b) after
+//! sampling column `v`, many of the `S` rows share the same sampled code
+//! and therefore the same model input.
+//!
+//! [`progressive_sample_batch`] removes both redundancies while producing
+//! **bit-identical estimates** to the sequential walk under matched
+//! per-query RNG seeds:
+//!
+//! * **Column rounds.** All queries advance in lock-step over virtual
+//!   columns. At round `v`, every not-yet-finished query whose step `v` is
+//!   constrained participates; queries with a wildcard at `v` skip the
+//!   round entirely (per-query wildcard skipping, §4.6). Participants share
+//!   one stacked `hidden()` forward and one `logits_col(v)` projection, so
+//!   the `w_out` column slice and the weight traversals are paid once per
+//!   round instead of once per query.
+//! * **First-step memoization.** A query that has not sampled anything yet
+//!   feeds the all-zero input, whose softmaxed logits are row-constant.
+//!   Those queries read [`RawModel::first_step_probs`] — computed once per
+//!   weight snapshot — and contribute **zero** rows to the stacked forward.
+//! * **Prefix deduplication + dead-sample compaction.** Per query, sample
+//!   rows are represented by an interned *prefix id* (the tuple of codes
+//!   sampled so far). The forward at round `v` runs over distinct live
+//!   prefixes only; rows sharing a prefix share one computed distribution.
+//!   The prefix table is rebuilt from the pairs drawn each round, so
+//!   prefixes referenced only by dead rows vanish. Correctness rests on the
+//!   model's forward being row-independent: `hidden()` and `logits_col()`
+//!   compute each output row from its input row alone, so deduplicating
+//!   identical rows cannot change any value.
+//!
+//! Equivalence with the sequential walk holds because each query draws from
+//! its own seeded RNG, and within a query the draw order is identical:
+//! ascending constrained column, then ascending row index over live rows.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uae_tensor::Tensor;
+
+use crate::encoding::VirtualSchema;
+use crate::infer::sample_in_region;
+use crate::model::RawModel;
+use crate::vquery::{StepRegion, VirtualQuery};
+
+/// Per-query sampler state between column rounds.
+struct QueryState<'a> {
+    vq: &'a VirtualQuery,
+    rng: StdRng,
+    last: usize,
+    /// Distinct live sampled-prefix input rows (model-input encoding).
+    prefix_rows: Tensor,
+    /// Prefix id of each sample row; only meaningful while the row lives.
+    row_prefix: Vec<usize>,
+    p_hat: Vec<f64>,
+    alive: Vec<bool>,
+    /// Sampled hard codes per virtual column (split lo-steps look these up).
+    sampled: Vec<Option<Vec<u32>>>,
+    /// No code sampled yet: inputs are the all-wildcard zeros, so the
+    /// memoized first-step distribution applies.
+    virgin: bool,
+    done: bool,
+}
+
+/// Estimate the selectivities of a batch of translated queries with `s`
+/// progressive samples each, one RNG seed per query. Returns one value in
+/// `[0, 1]` per query, bit-identical to running
+/// [`crate::infer::progressive_sample`] per query with
+/// `StdRng::seed_from_u64(seeds[i])`.
+pub fn progressive_sample_batch(
+    raw: &RawModel,
+    schema: &VirtualSchema,
+    vqs: &[VirtualQuery],
+    s: usize,
+    seeds: &[u64],
+) -> Vec<f64> {
+    assert_eq!(vqs.len(), seeds.len(), "one seed per query");
+    let s = s.max(1);
+    let width = schema.input_width();
+    let mut results = vec![0.0f64; vqs.len()];
+    let mut states: Vec<Option<QueryState<'_>>> = Vec::with_capacity(vqs.len());
+    let mut max_last = 0usize;
+    for (i, vq) in vqs.iter().enumerate() {
+        if vq.is_empty() {
+            states.push(None);
+            continue;
+        }
+        let Some(last) = vq.last_constrained() else {
+            results[i] = 1.0; // no predicates
+            states.push(None);
+            continue;
+        };
+        max_last = max_last.max(last);
+        states.push(Some(QueryState {
+            vq,
+            rng: StdRng::seed_from_u64(seeds[i]),
+            last,
+            prefix_rows: Tensor::zeros(1, width),
+            row_prefix: vec![0; s],
+            p_hat: vec![1.0; s],
+            alive: vec![true; s],
+            sampled: vec![None; schema.num_virtual()],
+            virgin: true,
+            done: false,
+        }));
+    }
+    if states.iter().all(Option::is_none) {
+        return results;
+    }
+
+    for v in 0..=max_last {
+        let round: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, st)| {
+                let st = st.as_ref()?;
+                (!st.done && v <= st.last && st.vq.step(v).is_constrained()).then_some(i)
+            })
+            .collect();
+        if round.is_empty() {
+            continue;
+        }
+
+        // One stacked forward over the distinct live prefixes of every
+        // non-virgin participant.
+        let mut offsets: HashMap<usize, usize> = HashMap::new();
+        let mut stacked_data: Vec<f32> = Vec::new();
+        let mut total_rows = 0usize;
+        let mut any_virgin = false;
+        for &i in &round {
+            let st = states[i].as_ref().expect("round member");
+            if st.virgin {
+                any_virgin = true;
+                continue;
+            }
+            offsets.insert(i, total_rows);
+            total_rows += st.prefix_rows.rows();
+            stacked_data.extend_from_slice(st.prefix_rows.data());
+        }
+        let probs: Option<Tensor> = (total_rows > 0).then(|| {
+            let stacked = Tensor::from_vec(total_rows, width, stacked_data);
+            let hidden = raw.hidden(&stacked);
+            let mut p = raw.logits_col(&hidden, v);
+            p.softmax_rows_in_place();
+            p
+        });
+        // Virgin participants all see the same memoized distribution.
+        let first: Option<Arc<Vec<f32>>> = any_virgin.then(|| raw.first_step_probs(v));
+
+        for &i in &round {
+            let st = states[i].as_mut().expect("round member");
+            let offset = offsets.get(&i).copied();
+            let first_row = first.as_ref().map(|a| a.as_slice());
+            advance_query(raw, schema, st, v, probs.as_ref(), offset, first_row);
+            if st.done {
+                results[i] = st.p_hat.iter().sum::<f64>() / s as f64;
+            }
+        }
+    }
+    results
+}
+
+/// Run one column round for one query, mirroring the per-step logic of
+/// `progressive_sample` exactly (same kills, same p-hat updates, same RNG
+/// consumption over live rows in ascending order).
+#[allow(clippy::too_many_arguments)]
+fn advance_query(
+    raw: &RawModel,
+    schema: &VirtualSchema,
+    st: &mut QueryState<'_>,
+    v: usize,
+    probs: Option<&Tensor>,
+    offset: Option<usize>,
+    first: Option<&[f32]>,
+) {
+    let s = st.p_hat.len();
+    let domain = schema.codec(v).domain() as u32;
+    let need_sample = v < st.last;
+    let virgin = st.virgin;
+    // Prefix-id interner for the codes drawn this round.
+    let mut intern: HashMap<(usize, u32), usize> = HashMap::new();
+    let mut created: Vec<(usize, u32)> = Vec::new();
+    let mut codes = vec![0u32; s];
+
+    let step = st.vq.step(v);
+    if let StepRegion::Weighted(w) = step {
+        // Fanout scaling: multiply by E[w(v) | z_<v] and importance-sample
+        // from the reweighted conditional.
+        // Range loop: `r` walks five parallel per-sample arrays at once.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..s {
+            if !st.alive[r] {
+                continue;
+            }
+            let row: &[f32] = if virgin {
+                first.expect("first-step probs for virgin query")
+            } else {
+                let p = probs.expect("stacked probs for sampled query");
+                p.row(offset.expect("stack offset") + st.row_prefix[r])
+            };
+            let p_w: f64 = row.iter().zip(w.iter()).map(|(&p, &wv)| p as f64 * wv).sum();
+            if p_w <= 0.0 {
+                st.p_hat[r] = 0.0;
+                st.alive[r] = false;
+                continue;
+            }
+            st.p_hat[r] *= p_w;
+            if need_sample {
+                let target: f64 = st.rng.random::<f64>() * p_w;
+                let mut acc = 0.0f64;
+                let mut code = domain - 1;
+                for (c, (&p, &wv)) in row.iter().zip(w.iter()).enumerate() {
+                    acc += p as f64 * wv;
+                    if acc >= target {
+                        code = c as u32;
+                        break;
+                    }
+                }
+                codes[r] = code;
+                st.row_prefix[r] = intern_pair(&mut intern, &mut created, (st.row_prefix[r], code));
+            }
+        }
+    } else {
+        // Range loop: `r` walks five parallel per-sample arrays at once.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..s {
+            if !st.alive[r] {
+                continue;
+            }
+            let region = match step {
+                StepRegion::Fixed(region) => region.clone(),
+                StepRegion::LoOfSplit { hi_vcol, .. } => {
+                    let hi_code = st.sampled[*hi_vcol].as_ref().expect("hi sampled before lo")[r];
+                    st.vq.lo_region(v, hi_code, domain)
+                }
+                StepRegion::Wildcard | StepRegion::Weighted(_) => unreachable!(),
+            };
+            let row: &[f32] = if virgin {
+                first.expect("first-step probs for virgin query")
+            } else {
+                let p = probs.expect("stacked probs for sampled query");
+                p.row(offset.expect("stack offset") + st.row_prefix[r])
+            };
+            let p_in: f64 = region.iter_codes().map(|c| row[c as usize] as f64).sum();
+            if p_in <= 0.0 || region.is_empty() {
+                st.p_hat[r] = 0.0;
+                st.alive[r] = false;
+                continue;
+            }
+            st.p_hat[r] *= p_in.min(1.0);
+            if need_sample {
+                let code = sample_in_region(row, &region, p_in, &mut st.rng);
+                codes[r] = code;
+                st.row_prefix[r] = intern_pair(&mut intern, &mut created, (st.row_prefix[r], code));
+            }
+        }
+    }
+
+    if !need_sample {
+        st.done = true; // v == last: the walk (and the estimate) is complete
+        return;
+    }
+    st.sampled[v] = Some(codes);
+    // Rebuild the prefix table from the pairs drawn this round. Prefixes
+    // referenced only by dead rows are never interned, so they vanish here
+    // (dead-sample compaction).
+    let (bs, be) = schema.input_slice(v);
+    let mut new_rows = Tensor::zeros(created.len(), schema.input_width());
+    for (id, &(parent, code)) in created.iter().enumerate() {
+        let dst = new_rows.row_mut(id);
+        dst.copy_from_slice(st.prefix_rows.row(parent));
+        raw.encode_into(v, code, &mut dst[bs..be]);
+    }
+    st.prefix_rows = new_rows;
+    st.virgin = false;
+    if created.is_empty() {
+        // Every sample died; all later rounds would be no-ops with p̂ = 0.
+        st.done = true;
+    }
+}
+
+fn intern_pair(
+    intern: &mut HashMap<(usize, u32), usize>,
+    created: &mut Vec<(usize, u32)>,
+    key: (usize, u32),
+) -> usize {
+    *intern.entry(key).or_insert_with(|| {
+        created.push(key);
+        created.len() - 1
+    })
+}

@@ -38,6 +38,7 @@ pub mod dps;
 pub mod encoding;
 pub mod estimator;
 pub mod infer;
+pub mod infer_batch;
 pub mod model;
 pub mod ordering;
 pub mod serialize;

@@ -84,9 +84,8 @@ impl ResMade {
 
         // Hidden degrees cycle over 1..=n-1 (or all 0 for a 1-column table,
         // where the single output must connect to nothing).
-        let hidden_deg: Vec<usize> = (0..hidden)
-            .map(|h| if n > 1 { (h % (n - 1)) + 1 } else { 0 })
-            .collect();
+        let hidden_deg: Vec<usize> =
+            (0..hidden).map(|h| if n > 1 { (h % (n - 1)) + 1 } else { 0 }).collect();
 
         let mask_in = {
             let mut m = Tensor::zeros(input_width, hidden);
@@ -310,12 +309,13 @@ impl ResMade {
                     EncTable::Learned(id) => store.get(*id).clone(),
                 })
                 .collect(),
+            first_step: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
 }
 
 /// Pre-masked weights for tape-free forwards.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RawModel {
     w_in: Tensor,
     b_in: Tensor,
@@ -325,6 +325,30 @@ pub struct RawModel {
     logit_slices: Vec<(usize, usize)>,
     /// Materialized per-column input encodings (`enc[v].row(code)`).
     enc: Vec<Tensor>,
+    /// Memoized first-step distributions, keyed by virtual column: the
+    /// first constrained column of every query sees the all-wildcard
+    /// (all-zero) input, so its softmaxed logits are identical across all
+    /// sample rows and across queries. Weight changes invalidate this
+    /// implicitly — `ResMade::snapshot` builds a fresh `RawModel` (with an
+    /// empty cache) and the estimator drops its snapshot on every training
+    /// step and weight load.
+    first_step: parking_lot::Mutex<std::collections::HashMap<usize, std::sync::Arc<Vec<f32>>>>,
+}
+
+impl Clone for RawModel {
+    fn clone(&self) -> Self {
+        RawModel {
+            w_in: self.w_in.clone(),
+            b_in: self.b_in.clone(),
+            blocks: self.blocks.clone(),
+            w_out: self.w_out.clone(),
+            b_out: self.b_out.clone(),
+            logit_slices: self.logit_slices.clone(),
+            enc: self.enc.clone(),
+            // The memo is derived state; a fresh clone recomputes on demand.
+            first_step: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -364,6 +388,25 @@ impl RawModel {
     /// (a slice of a model-input row).
     pub fn encode_into(&self, v: usize, code: u32, out: &mut [f32]) {
         out.copy_from_slice(self.enc[v].row(code as usize));
+    }
+
+    /// Softmaxed distribution of virtual column `v` under the all-wildcard
+    /// input — the distribution every query sees at its *first* constrained
+    /// column, where nothing has been sampled yet and the model input is
+    /// all zeros. The result is row-constant across any sample batch, so
+    /// it is computed once per snapshot and memoized; repeated calls return
+    /// the same `Arc` until the estimator takes a fresh snapshot.
+    pub fn first_step_probs(&self, v: usize) -> std::sync::Arc<Vec<f32>> {
+        if let Some(p) = self.first_step.lock().get(&v) {
+            return p.clone();
+        }
+        let x = Tensor::zeros(1, self.w_in.rows());
+        let h = self.hidden(&x);
+        let mut logits = self.logits_col(&h, v);
+        logits.softmax_rows_in_place();
+        let probs = std::sync::Arc::new(logits.row(0).to_vec());
+        self.first_step.lock().insert(v, probs.clone());
+        probs
     }
 
     /// Full logits (all columns).

@@ -103,9 +103,7 @@ fn greedy_mi_order(table: &Table) -> Vec<usize> {
         m
     };
 
-    let first = (0..n)
-        .max_by(|&a, &b| entropy(a).total_cmp(&entropy(b)))
-        .expect("nonempty");
+    let first = (0..n).max_by(|&a, &b| entropy(a).total_cmp(&entropy(b))).expect("nonempty");
     let mut order = vec![first];
     let mut remaining: Vec<usize> = (0..n).filter(|&c| c != first).collect();
     while !remaining.is_empty() {

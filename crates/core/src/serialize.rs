@@ -94,10 +94,8 @@ pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> Result<(), LoadError
             )));
         }
         let raw = r.take(rows * cols * 4)?;
-        let data: Vec<f32> = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let data: Vec<f32> =
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         tensors.push(Tensor::from_vec(rows, cols, data));
     }
     if r.pos != bytes.len() {
@@ -161,10 +159,7 @@ mod tests {
         let mut s = store();
         assert_eq!(load_params(&mut s, b"nope"), Err(LoadError::BadMagic));
         let blob = save_params(&store());
-        assert!(matches!(
-            load_params(&mut s, &blob[..blob.len() - 3]),
-            Err(LoadError::Corrupt(_))
-        ));
+        assert!(matches!(load_params(&mut s, &blob[..blob.len() - 3]), Err(LoadError::Corrupt(_))));
     }
 
     #[test]
@@ -172,17 +167,11 @@ mod tests {
         let blob = save_params(&store());
         let mut other = ParamStore::new();
         other.add("w", Tensor::zeros(2, 3));
-        assert!(matches!(
-            load_params(&mut other, &blob),
-            Err(LoadError::ShapeMismatch(_))
-        ));
+        assert!(matches!(load_params(&mut other, &blob), Err(LoadError::ShapeMismatch(_))));
         let mut renamed = ParamStore::new();
         renamed.add("w", Tensor::zeros(2, 3));
         renamed.add("c", Tensor::zeros(1, 3));
-        assert!(matches!(
-            load_params(&mut renamed, &blob),
-            Err(LoadError::ShapeMismatch(_))
-        ));
+        assert!(matches!(load_params(&mut renamed, &blob), Err(LoadError::ShapeMismatch(_))));
     }
 
     #[test]

@@ -72,8 +72,7 @@ fn sample_path(
         };
         // Sample from the mask-reweighted conditional.
         let row = probs.row(0);
-        let total: f64 =
-            row.iter().zip(&mask).map(|(&p, &m)| p as f64 * m as f64).sum();
+        let total: f64 = row.iter().zip(&mask).map(|(&p, &m)| p as f64 * m as f64).sum();
         let code = if total <= 0.0 {
             // Dead path: fall back to the first admitted code (or 0).
             mask.iter().position(|&m| m > 0.0).unwrap_or(0) as u32
@@ -252,10 +251,7 @@ mod tests {
     fn score_function_training_converges_on_one_query() {
         let (t, schema, mut store, model) = setup();
         let q = Query::new(vec![Predicate::eq(0, 1i64)]);
-        let tq = TrainQuery {
-            vquery: VirtualQuery::build(&t, &schema, &q),
-            selectivity: 0.25,
-        };
+        let tq = TrainQuery { vquery: VirtualQuery::build(&t, &schema, &q), selectivity: 0.25 };
         let mut rng = seeded_rng(5);
         let mut opt = Adam::new(5e-3);
         let mut baseline = SfBaseline::default();
@@ -303,10 +299,7 @@ mod tests {
     fn gradients_are_nonzero_for_all_parameters() {
         let (t, schema, store, model) = setup();
         let q = Query::new(vec![Predicate::le(0, 2i64), Predicate::eq(1, 0i64)]);
-        let tq = TrainQuery {
-            vquery: VirtualQuery::build(&t, &schema, &q),
-            selectivity: 0.4,
-        };
+        let tq = TrainQuery { vquery: VirtualQuery::build(&t, &schema, &q), selectivity: 0.4 };
         let mut rng = seeded_rng(6);
         let mut baseline = SfBaseline::default();
         let mut grads = GradStore::zeros_like(&store);
@@ -322,10 +315,8 @@ mod tests {
             &mut rng,
         );
         tape.backward(loss, &mut grads);
-        let nonzero = store
-            .ids()
-            .filter(|&id| grads.get(id).data().iter().any(|&g| g != 0.0))
-            .count();
+        let nonzero =
+            store.ids().filter(|&id| grads.get(id).data().iter().any(|&g| g != 0.0)).count();
         assert!(nonzero >= store.len() - 2, "only {nonzero}/{} params got gradient", store.len());
     }
 }

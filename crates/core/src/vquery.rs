@@ -68,11 +68,8 @@ impl VirtualQuery {
                     let hi_domain = schema.codec(hi).domain() as u32;
                     steps[hi] =
                         StepRegion::Fixed(VirtualSchema::hi_region(region, lo_bits, hi_domain));
-                    steps[lo] = StepRegion::LoOfSplit {
-                        original: region.clone(),
-                        lo_bits,
-                        hi_vcol: hi,
-                    };
+                    steps[lo] =
+                        StepRegion::LoOfSplit { original: region.clone(), lo_bits, hi_vcol: hi };
                 }
             }
         }

@@ -49,9 +49,7 @@ fn ordering_permutes_internal_table_only() {
     let desc = Uae::new(&table, quick_cfg(ColumnOrder::DomainDesc));
     assert_eq!(natural.table().column(0).name(), table.column(0).name());
     // DomainDesc puts the widest column first internally.
-    let widest = (0..table.num_cols())
-        .max_by_key(|&c| table.column(c).domain_size())
-        .unwrap();
+    let widest = (0..table.num_cols()).max_by_key(|&c| table.column(c).domain_size()).unwrap();
     assert_eq!(desc.table().column(0).name(), table.column(widest).name());
 }
 
@@ -137,11 +135,7 @@ fn embedding_encoding_trains_and_estimates() {
     assert_ne!(before, after, "weights must change");
 
     let ev = evaluate(&model, &w);
-    assert!(
-        ev.errors.median < 8.0,
-        "embedding-encoded model median q-error {}",
-        ev.errors.median
-    );
+    assert!(ev.errors.median < 8.0, "embedding-encoded model median q-error {}", ev.errors.median);
     // The embedding parameters exist and are sized |A| x dim.
     let extra_params = {
         let mut cfg_b = quick_cfg(ColumnOrder::Natural);

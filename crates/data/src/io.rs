@@ -80,7 +80,11 @@ impl std::error::Error for CsvError {}
 /// assert_eq!(t.num_rows(), 2);
 /// assert_eq!(t.column(1).value(0), &Value::Int(700));
 /// ```
-pub fn table_from_csv(name: &str, input: impl BufRead, opts: &CsvOptions) -> Result<Table, CsvError> {
+pub fn table_from_csv(
+    name: &str,
+    input: impl BufRead,
+    opts: &CsvOptions,
+) -> Result<Table, CsvError> {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut header: Option<Vec<String>> = None;
     for (lineno, line) in input.lines().enumerate() {
@@ -127,9 +131,7 @@ pub fn table_from_csv(name: &str, input: impl BufRead, opts: &CsvOptions) -> Res
 
     // Type inference: integer column iff every non-empty cell parses.
     let is_int: Vec<bool> = (0..ncols)
-        .map(|c| {
-            rows.iter().all(|r| r[c].is_empty() || r[c].trim().parse::<i64>().is_ok())
-        })
+        .map(|c| rows.iter().all(|r| r[c].is_empty() || r[c].trim().parse::<i64>().is_ok()))
         .collect();
     let columns = (0..ncols)
         .map(|c| {
@@ -244,8 +246,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_an_error() {
-        let err =
-            table_from_csv("t", Cursor::new("a,b\n"), &CsvOptions::default()).unwrap_err();
+        let err = table_from_csv("t", Cursor::new("a,b\n"), &CsvOptions::default()).unwrap_err();
         assert_eq!(err, CsvError::Empty);
     }
 

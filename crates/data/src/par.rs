@@ -1,15 +1,17 @@
-//! Tiny scoped-thread helpers for data-parallel scans.
+//! Data-parallel scan helpers backed by the persistent worker pool.
 //!
 //! Ground-truth query execution and dataset statistics are embarrassingly
-//! parallel over rows or queries; these helpers split index ranges across a
-//! bounded number of OS threads with no external dependencies.
+//! parallel over rows or queries; these helpers split index ranges into
+//! contiguous chunks and run them on `uae_tensor::pool` — the same
+//! process-wide pool the matmul kernels use — instead of spawning fresh
+//! scoped threads per call.
 
 use std::ops::Range;
 
 /// Number of worker threads to use by default: available parallelism capped
 /// at 8 (the workloads here are memory-bound beyond that).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+    uae_tensor::pool::pool_threads()
 }
 
 /// Split `0..n` into at most `threads` contiguous chunks.
@@ -41,11 +43,7 @@ where
     if ranges.len() <= 1 {
         return ranges.into_iter().map(&f).collect();
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            ranges.into_iter().map(|r| scope.spawn(|| f(r))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
+    uae_tensor::pool::parallel_map(ranges.len(), |i| f(ranges[i].clone()))
 }
 
 /// Parallel map over a slice, preserving order.
@@ -55,9 +53,8 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let per_chunk = par_map_ranges(items.len(), threads, |r| {
-        items[r].iter().map(&f).collect::<Vec<_>>()
-    });
+    let per_chunk =
+        par_map_ranges(items.len(), threads, |r| items[r].iter().map(&f).collect::<Vec<_>>());
     per_chunk.into_iter().flatten().collect()
 }
 

@@ -80,9 +80,8 @@ pub fn ncc(a: &Column, b_col: &Column, b: usize) -> f64 {
             }
         }
     }
-    let entropy = |ps: &[f64]| -> f64 {
-        ps.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
-    };
+    let entropy =
+        |ps: &[f64]| -> f64 { ps.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum() };
     let h = entropy(&pa).min(entropy(&pb));
     if h < 1e-9 {
         return 0.0;

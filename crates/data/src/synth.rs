@@ -93,13 +93,22 @@ pub fn dmv_like(rows: usize, seed: u64) -> Table {
 
     // Deterministic dependency maps (value-level, not cluster-level).
     let dep = |a: i64, tag: u64, domain: usize| -> i64 {
-        (splitmix64(seed ^ (a as u64).wrapping_mul(0x9e37_79b9) ^ (tag << 23))
-            % domain as u64) as i64
+        (splitmix64(seed ^ (a as u64).wrapping_mul(0x9e37_79b9) ^ (tag << 23)) % domain as u64)
+            as i64
     };
 
     let names = [
-        "reg_valid_date", "state", "reg_class", "color", "county", "body_type",
-        "fuel_type", "use_type", "scofflaw", "suspension", "revocation",
+        "reg_valid_date",
+        "state",
+        "reg_class",
+        "color",
+        "county",
+        "body_type",
+        "fuel_type",
+        "use_type",
+        "scofflaw",
+        "suspension",
+        "revocation",
     ];
     let mut cols: Vec<Vec<Value>> = names.iter().map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
@@ -153,8 +162,7 @@ pub fn dmv_like(rows: usize, seed: u64) -> Table {
             col.push(Value::Int(v));
         }
     }
-    let columns =
-        names.iter().zip(cols).map(|(n, vs)| Column::from_values(*n, &vs)).collect();
+    let columns = names.iter().zip(cols).map(|(n, vs)| Column::from_values(*n, &vs)).collect();
     Table::new("dmv_like", columns)
 }
 
@@ -173,8 +181,7 @@ pub fn dmv_large_like(rows: usize, seed: u64) -> Table {
         let j = rng.random_range(0..=i);
         vins.swap(i, j);
     }
-    let vin_col =
-        Column::from_values("vin", &vins.into_iter().map(Value::Int).collect::<Vec<_>>());
+    let vin_col = Column::from_values("vin", &vins.into_iter().map(Value::Int).collect::<Vec<_>>());
     let city_col = Column::from_values(
         "city",
         &(0..rows).map(|_| Value::Int(city_z.sample(&mut rng) as i64)).collect::<Vec<_>>(),
@@ -210,9 +217,20 @@ pub fn census_like(rows: usize, seed: u64) -> Table {
     let country_z = Zipf::new(42, 1.2);
 
     let names = [
-        "age", "workclass", "education", "education_num", "marital_status", "occupation",
-        "relationship", "race", "sex", "capital_gain", "capital_loss", "hours_per_week",
-        "native_country", "income",
+        "age",
+        "workclass",
+        "education",
+        "education_num",
+        "marital_status",
+        "occupation",
+        "relationship",
+        "race",
+        "sex",
+        "capital_gain",
+        "capital_loss",
+        "hours_per_week",
+        "native_country",
+        "income",
     ];
     let mut cols: Vec<Vec<Value>> = names.iter().map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
@@ -221,11 +239,8 @@ pub fn census_like(rows: usize, seed: u64) -> Table {
         let workclass = workclass_z.sample(&mut rng) as i64;
         let education = education_z.sample(&mut rng) as i64;
         // education_num tracks education closely (the one strong pair).
-        let education_num = if rng.random::<f64>() < 0.92 {
-            education
-        } else {
-            rng.random_range(0..16i64)
-        };
+        let education_num =
+            if rng.random::<f64>() < 0.92 { education } else { rng.random_range(0..16i64) };
         let marital = marital_z.sample(&mut rng) as i64;
         // occupation mildly correlated with workclass.
         let occupation = if rng.random::<f64>() < 0.25 {
@@ -244,17 +259,25 @@ pub fn census_like(rows: usize, seed: u64) -> Table {
         let p_high = 0.08 + 0.02 * education as f64 + if age > 35 { 0.10 } else { 0.0 };
         let income = i64::from(rng.random::<f64>() < p_high);
         for (col, v) in cols.iter_mut().zip([
-            age, workclass, education, education_num, marital, occupation, relationship, race,
-            sex, gain, loss, hours, country, income,
+            age,
+            workclass,
+            education,
+            education_num,
+            marital,
+            occupation,
+            relationship,
+            race,
+            sex,
+            gain,
+            loss,
+            hours,
+            country,
+            income,
         ]) {
             col.push(Value::Int(v));
         }
     }
-    let columns = names
-        .iter()
-        .zip(cols)
-        .map(|(n, vs)| Column::from_values(*n, &vs))
-        .collect();
+    let columns = names.iter().zip(cols).map(|(n, vs)| Column::from_values(*n, &vs)).collect();
     Table::new("census_like", columns)
 }
 
@@ -275,18 +298,13 @@ pub fn kddcup_like(rows: usize, ncols: usize, seed: u64) -> Table {
     let group_latent = Zipf::new(LATENTS, 1.3);
     // Per-(latent, column) shared values within each group.
     let cluster_vals: Vec<Vec<i64>> = (0..LATENTS)
-        .map(|c| {
-            (0..ncols)
-                .map(|j| cluster_value(seed, c as u64, j as u64, domains[j]))
-                .collect()
-        })
+        .map(|c| (0..ncols).map(|j| cluster_value(seed, c as u64, j as u64, domains[j])).collect())
         .collect();
 
     let mut cols: Vec<Vec<Value>> = (0..ncols).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         // One latent per group; groups are independent of each other.
-        let latents: Vec<usize> =
-            (0..ngroups).map(|_| group_latent.sample(&mut rng)).collect();
+        let latents: Vec<usize> = (0..ngroups).map(|_| group_latent.sample(&mut rng)).collect();
         for j in 0..ncols {
             let g = j / GROUP;
             let v = if rng.random::<f64>() < 0.60 {
@@ -297,9 +315,7 @@ pub fn kddcup_like(rows: usize, ncols: usize, seed: u64) -> Table {
             cols[j].push(Value::Int(v));
         }
     }
-    let columns = (0..ncols)
-        .map(|j| Column::from_values(format!("f{j:03}"), &cols[j]))
-        .collect();
+    let columns = (0..ncols).map(|j| Column::from_values(format!("f{j:03}"), &cols[j])).collect();
     Table::new("kddcup_like", columns)
 }
 
@@ -371,8 +387,10 @@ mod tests {
     fn kddcup_like_shape_and_domains() {
         let t = kddcup_like(1500, 100, 5);
         assert_eq!(t.num_cols(), 100);
-        assert!(t.domain_sizes().iter().all(|&s| (2..=43).contains(&s)),
-            "domains must stay in 2..=43");
+        assert!(
+            t.domain_sizes().iter().all(|&s| (2..=43).contains(&s)),
+            "domains must stay in 2..=43"
+        );
     }
 
     #[test]

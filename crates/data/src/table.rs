@@ -130,12 +130,8 @@ impl Table {
     }
 
     /// Build a table from per-column raw values.
-    pub fn from_columns(
-        name: impl Into<String>,
-        cols: Vec<(String, Vec<Value>)>,
-    ) -> Self {
-        let columns =
-            cols.into_iter().map(|(n, vs)| Column::from_values(n, &vs)).collect();
+    pub fn from_columns(name: impl Into<String>, cols: Vec<(String, Vec<Value>)>) -> Self {
+        let columns = cols.into_iter().map(|(n, vs)| Column::from_values(n, &vs)).collect();
         Table::new(name, columns)
     }
 

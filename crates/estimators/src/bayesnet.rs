@@ -58,11 +58,8 @@ impl Binning {
         if lo >= hi {
             return 0.0;
         }
-        let overlap: u32 = region
-            .ranges()
-            .iter()
-            .map(|&(rlo, rhi)| rhi.min(hi).saturating_sub(rlo.max(lo)))
-            .sum();
+        let overlap: u32 =
+            region.ranges().iter().map(|&(rlo, rhi)| rhi.min(hi).saturating_sub(rlo.max(lo))).sum();
         overlap as f64 / (hi - lo) as f64
     }
 }

@@ -12,8 +12,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -51,9 +50,8 @@ impl KdeEstimator {
         let d = table.num_cols();
         let sample = sample_table(table, ratio, seed);
         let m = sample.num_rows();
-        let points: Vec<Vec<f64>> = (0..d)
-            .map(|c| sample.column(c).codes().iter().map(|&v| v as f64).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..d).map(|c| sample.column(c).codes().iter().map(|&v| v as f64).collect()).collect();
         let bandwidths = points
             .iter()
             .map(|xs| {
@@ -302,9 +300,8 @@ mod tests {
     fn feedback_kde_does_not_hurt_on_training_workload() {
         let t = table();
         let kde = KdeEstimator::new(&t, 0.3, 2);
-        let queries: Vec<Query> = (0..20)
-            .map(|i| Query::new(vec![Predicate::le(0, (i * 5) as i64)]))
-            .collect();
+        let queries: Vec<Query> =
+            (0..20).map(|i| Query::new(vec![Predicate::le(0, (i * 5) as i64)])).collect();
         let workload = label_queries(&t, queries);
         let base_err: f64 = workload
             .iter()

@@ -39,8 +39,7 @@ impl LinearRegressionEstimator {
         for i in 0..dim {
             xtx[i * dim + i] += alpha;
         }
-        let weights = cholesky_solve(&mut xtx, &xty, dim)
-            .unwrap_or_else(|| vec![0.0; dim]);
+        let weights = cholesky_solve(&mut xtx, &xty, dim).unwrap_or_else(|| vec![0.0; dim]);
         LinearRegressionEstimator {
             name: "LR".to_owned(),
             featurizer,
@@ -140,13 +139,10 @@ mod tests {
     fn lr_fits_uniform_ranges_reasonably() {
         // On uniform data, log-sel of a range is roughly linear in (hi - lo)
         // for moderate widths — LR should at least capture the trend.
-        let t = Table::from_columns(
-            "t",
-            vec![("x".into(), (0..1000i64).map(Value::Int).collect())],
-        );
-        let queries: Vec<Query> = (1..40)
-            .map(|i| Query::new(vec![Predicate::le(0, (i * 25) as i64)]))
-            .collect();
+        let t =
+            Table::from_columns("t", vec![("x".into(), (0..1000i64).map(Value::Int).collect())]);
+        let queries: Vec<Query> =
+            (1..40).map(|i| Query::new(vec![Predicate::le(0, (i * 25) as i64)])).collect();
         let workload = label_queries(&t, queries);
         let lr = LinearRegressionEstimator::new(&t, &workload, 1e-3);
         // Wider range must estimate higher than a narrow one.

@@ -37,9 +37,7 @@ impl MhistEstimator {
     pub fn new(table: &Table, max_buckets: usize) -> Self {
         let ncols = table.num_cols();
         let root = Bucket {
-            bounds: (0..ncols)
-                .map(|c| (0u32, table.column(c).domain_size() as u32))
-                .collect(),
+            bounds: (0..ncols).map(|c| (0u32, table.column(c).domain_size() as u32)).collect(),
             rows: (0..table.num_rows() as u32).collect(),
         };
         let mut buckets = vec![root];

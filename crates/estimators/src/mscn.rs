@@ -126,8 +126,7 @@ impl MscnEstimator {
         if workload.is_empty() {
             return;
         }
-        let feats: Vec<Vec<f32>> =
-            workload.iter().map(|lq| self.features(&lq.query)).collect();
+        let feats: Vec<Vec<f32>> = workload.iter().map(|lq| self.features(&lq.query)).collect();
         let targets: Vec<f32> = workload.iter().map(|lq| self.target(lq.selectivity)).collect();
         let mut opt = Adam::new(cfg.lr);
         let n = workload.len();

@@ -62,8 +62,8 @@ impl QuickSelEstimator {
         for p in 0..k {
             xtx[p * k + p] += 1e-6;
         }
-        let mut w = crate::lr::cholesky_solve(&mut xtx, &xty, k)
-            .unwrap_or_else(|| vec![1.0 / k as f64; k]);
+        let mut w =
+            crate::lr::cholesky_solve(&mut xtx, &xty, k).unwrap_or_else(|| vec![1.0 / k as f64; k]);
         for wj in &mut w {
             *wj = wj.max(0.0);
         }
@@ -163,10 +163,7 @@ mod tests {
     use uae_query::{label_queries, Predicate};
 
     fn table() -> Table {
-        Table::from_columns(
-            "t",
-            vec![("x".into(), (0..1000i64).map(Value::Int).collect())],
-        )
+        Table::from_columns("t", vec![("x".into(), (0..1000i64).map(Value::Int).collect())])
     }
 
     #[test]
@@ -208,9 +205,8 @@ mod tests {
     #[test]
     fn interpolates_between_training_queries() {
         let t = table();
-        let queries: Vec<Query> = (1..=10)
-            .map(|i| Query::new(vec![Predicate::le(0, (i * 100 - 1) as i64)]))
-            .collect();
+        let queries: Vec<Query> =
+            (1..=10).map(|i| Query::new(vec![Predicate::le(0, (i * 100 - 1) as i64)])).collect();
         let workload = label_queries(&t, queries);
         let qs = QuickSelEstimator::new(&t, &workload, 16);
         // An unseen half-way query should land between its neighbours.

@@ -107,8 +107,7 @@ fn learn(table: &Table, rows: &[u32], cols: &[usize], cfg: &SpnConfig, depth: us
     if depth < cfg.max_depth {
         let comps = independent_components(table, rows, cols, cfg);
         if comps.len() > 1 {
-            let children =
-                comps.iter().map(|g| learn(table, rows, g, cfg, depth + 1)).collect();
+            let children = comps.iter().map(|g| learn(table, rows, g, cfg, depth + 1)).collect();
             return Node::Product { children };
         }
     }
@@ -157,9 +156,7 @@ fn independent_components(
             let col = table.column(c);
             let d = col.domain_size() as u64;
             let nb = cfg.test_bins.min(col.domain_size()) as u64;
-            rows.iter()
-                .map(|&r| ((col.code(r as usize) as u64 * nb) / d) as u32)
-                .collect()
+            rows.iter().map(|&r| ((col.code(r as usize) as u64 * nb) / d) as u32).collect()
         })
         .collect();
     let mut dsu: Vec<usize> = (0..k).collect();
@@ -179,9 +176,9 @@ fn independent_components(
         }
     }
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for i in 0..k {
+    for (i, &col) in cols.iter().enumerate().take(k) {
         let r = find(&mut dsu, i);
-        groups[r].push(cols[i]);
+        groups[r].push(col);
     }
     groups.into_iter().filter(|g| !g.is_empty()).collect()
 }
@@ -296,20 +293,17 @@ fn eval(node: &Node, regions: &[Option<&Region>], col_weights: &[Option<Vec<f64>
                 (None, None) => 1.0,
                 (Some(region), None) => region.iter_codes().map(|c| freqs[c as usize]).sum(),
                 (None, Some(w)) => freqs.iter().zip(w).map(|(f, wv)| f * wv).sum(),
-                (Some(region), Some(w)) => region
-                    .iter_codes()
-                    .map(|c| freqs[c as usize] * w[c as usize])
-                    .sum(),
+                (Some(region), Some(w)) => {
+                    region.iter_codes().map(|c| freqs[c as usize] * w[c as usize]).sum()
+                }
             }
         }
         Node::Product { children } => {
             children.iter().map(|ch| eval(ch, regions, col_weights)).product()
         }
-        Node::Sum { weights, children } => weights
-            .iter()
-            .zip(children)
-            .map(|(w, ch)| w * eval(ch, regions, col_weights))
-            .sum(),
+        Node::Sum { weights, children } => {
+            weights.iter().zip(children).map(|(w, ch)| w * eval(ch, regions, col_weights)).sum()
+        }
     }
 }
 

@@ -49,8 +49,8 @@ struct Bucket {
 impl Bucket {
     /// Volume owned by this bucket = box volume − children volumes.
     fn own_volume(&self) -> f64 {
-        let v = box_volume(&self.bbox)
-            - self.children.iter().map(|c| box_volume(&c.bbox)).sum::<f64>();
+        let v =
+            box_volume(&self.bbox) - self.children.iter().map(|c| box_volume(&c.bbox)).sum::<f64>();
         v.max(1.0)
     }
 
@@ -107,9 +107,7 @@ impl Bucket {
             if let Some(inter) = box_intersect(&ch.bbox, &shrunk) {
                 // Shrink along the axis that loses the least volume.
                 let mut best: Option<(usize, bool, f64)> = None;
-                for (axis, (&(ilo, ihi), &(slo, shi))) in
-                    inter.iter().zip(&shrunk).enumerate()
-                {
+                for (axis, (&(ilo, ihi), &(slo, shi))) in inter.iter().zip(&shrunk).enumerate() {
                     // Cut below or above the intersection on this axis.
                     let cut_low = (ihi - slo) as f64 / (shi - slo).max(1) as f64;
                     let cut_high = (shi - ilo) as f64 / (shi - slo).max(1) as f64;
@@ -183,8 +181,7 @@ pub struct StHolesEstimator {
 impl StHolesEstimator {
     /// An empty histogram (one root bucket with uniformity assumptions).
     pub fn new(table: &Table, max_buckets: usize) -> Self {
-        let bbox: BBox =
-            table.columns().iter().map(|c| (0u32, c.domain_size() as u32)).collect();
+        let bbox: BBox = table.columns().iter().map(|c| (0u32, c.domain_size() as u32)).collect();
         StHolesEstimator {
             name: "STHoles".to_owned(),
             root: Bucket { bbox, frequency: table.num_rows() as f64, children: Vec::new() },

@@ -117,11 +117,8 @@ mod tests {
     fn join_mscn_learns_focused_workload() {
         let s = imdb_like(400, 22);
         let sample = sample_outer_join(&s, 3000, 16, 2);
-        let train = generate_join_workload(
-            &s,
-            &JoinWorkloadSpec::focused(0, 60, 5),
-            &HashSet::new(),
-        );
+        let train =
+            generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 60, 5), &HashSet::new());
         let mscn = JoinMscn::new(
             sample,
             &train,

@@ -16,6 +16,12 @@ pub trait JoinCardinalityEstimator {
     fn name(&self) -> &str;
     /// Estimated cardinality of a join query.
     fn estimate_join_card(&self, query: &JoinQuery) -> f64;
+    /// Estimated cardinalities of a batch of join queries. The default
+    /// loops over [`JoinCardinalityEstimator::estimate_join_card`];
+    /// [`JoinUae`] overrides it with the cross-query batched sampler.
+    fn estimate_join_cards(&self, queries: &[JoinQuery]) -> Vec<f64> {
+        queries.iter().map(|q| self.estimate_join_card(q)).collect()
+    }
     /// Model size in bytes.
     fn size_bytes(&self) -> usize;
 }
@@ -44,6 +50,12 @@ impl JoinUae {
     /// The underlying single-table estimator.
     pub fn uae(&self) -> &Uae {
         &self.uae
+    }
+
+    /// Mutable access to the underlying estimator (e.g. to change the
+    /// progressive-sample budget between benchmark sweeps).
+    pub fn uae_mut(&mut self) -> &mut Uae {
+        &mut self.uae
     }
 
     /// Unsupervised training on the join sample (NeuroCard).
@@ -89,6 +101,15 @@ impl JoinUae {
     pub fn estimate(&self, q: &JoinQuery) -> f64 {
         let vq = self.translate(q);
         self.uae.estimate_vquery(&vq) * self.sample.outer_size as f64
+    }
+
+    /// Estimated cardinalities for a batch of join queries through the
+    /// cross-query batched sampler (one stacked forward per column round
+    /// instead of one per query).
+    pub fn estimate_batch(&self, qs: &[JoinQuery]) -> Vec<f64> {
+        let vqs: Vec<VirtualQuery> = qs.iter().map(|q| self.translate(q)).collect();
+        let outer = self.sample.outer_size as f64;
+        self.uae.estimate_vquery_batch(&vqs).into_iter().map(|sel| sel * outer).collect()
     }
 
     /// The materialized sample (diagnostics / tests).
@@ -165,6 +186,10 @@ impl JoinCardinalityEstimator for JoinUae {
         self.estimate(query)
     }
 
+    fn estimate_join_cards(&self, queries: &[JoinQuery]) -> Vec<f64> {
+        self.estimate_batch(queries)
+    }
+
     fn size_bytes(&self) -> usize {
         use uae_query::CardinalityEstimator as _;
         self.uae.size_bytes()
@@ -199,7 +224,7 @@ mod tests {
             model: ResMadeConfig { hidden: 32, blocks: 1, seed: 11 },
             factor_threshold: usize::MAX,
             order: uae_core::ColumnOrder::Natural,
-        encoding: uae_core::encoding::EncodingMode::Binary,
+            encoding: uae_core::encoding::EncodingMode::Binary,
             train: TrainConfig {
                 batch_size: 128,
                 query_batch: 8,
@@ -229,6 +254,39 @@ mod tests {
             .filter(|s| matches!(s, uae_core::vquery::StepRegion::Weighted(_)))
             .count();
         assert_eq!(weighted, 2);
+    }
+
+    #[test]
+    fn batched_join_estimates_match_sequential() {
+        use crate::workload::{generate_join_workload, JoinWorkloadSpec};
+        let s = imdb_like(300, 7);
+        // Two identical estimators: `Uae::clone`/fresh construction reseed
+        // the estimation RNG, so sequential and batched runs start from the
+        // same stream.
+        let mk = || {
+            let sample = sample_outer_join(&s, 1500, 16, 1);
+            let mut ju = JoinUae::new(sample, quick_cfg());
+            ju.train_data(1);
+            ju
+        };
+        // Random subsets exercise fanout (weighted) steps and indicators.
+        let w = generate_join_workload(
+            &s,
+            &JoinWorkloadSpec::random(12, 9),
+            &std::collections::HashSet::new(),
+        );
+        let queries: Vec<JoinQuery> = w.iter().map(|lq| lq.query.clone()).collect();
+        let a = mk();
+        let seq: Vec<f64> = queries.iter().map(|q| a.estimate(q)).collect();
+        let b = mk();
+        let bat = b.estimate_batch(&queries);
+        for (i, (s_est, b_est)) in seq.iter().zip(&bat).enumerate() {
+            let denom = s_est.abs().max(1e-12);
+            assert!(
+                ((s_est - b_est) / denom).abs() <= 1e-9,
+                "query {i}: sequential {s_est} vs batched {b_est}"
+            );
+        }
     }
 
     #[test]

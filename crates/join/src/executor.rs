@@ -76,9 +76,7 @@ impl<'a> JoinExecutor<'a> {
     /// Cardinalities of many queries, parallelized over queries.
     pub fn cardinalities(&self, queries: &[JoinQuery]) -> Vec<u64> {
         let schema = self.schema;
-        par_map_slice(queries, self.threads, |q| {
-            JoinExecutor { schema, threads: 1 }.cardinality(q)
-        })
+        par_map_slice(queries, self.threads, |q| JoinExecutor { schema, threads: 1 }.cardinality(q))
     }
 }
 
@@ -141,11 +139,8 @@ mod tests {
     fn fact_only_query_counts_fact_rows() {
         let s = schema();
         let exec = JoinExecutor::new(&s);
-        let q = JoinQuery {
-            dims: vec![],
-            fact_preds: vec![Predicate::ge(0, 2i64)],
-            dim_preds: vec![],
-        };
+        let q =
+            JoinQuery { dims: vec![], fact_preds: vec![Predicate::ge(0, 2i64)], dim_preds: vec![] };
         assert_eq!(exec.cardinality(&q), 2);
     }
 
@@ -153,8 +148,7 @@ mod tests {
     fn batch_labels_match_singles() {
         let s = schema();
         let exec = JoinExecutor::new(&s);
-        let queries =
-            vec![JoinQuery { dims: vec![0], ..Default::default() }, JoinQuery::default()];
+        let queries = vec![JoinQuery { dims: vec![0], ..Default::default() }, JoinQuery::default()];
         let labeled = label_join_queries(&s, queries.clone());
         for (q, lq) in queries.iter().zip(&labeled) {
             assert_eq!(exec.cardinality(q), lq.cardinality);

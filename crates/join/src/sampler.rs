@@ -55,7 +55,12 @@ pub struct JoinSample {
 }
 
 /// Draw `n` uniform rows from the full outer join of `schema`.
-pub fn sample_outer_join(schema: &StarSchema, n: usize, fanout_cap: usize, seed: u64) -> JoinSample {
+pub fn sample_outer_join(
+    schema: &StarSchema,
+    n: usize,
+    fanout_cap: usize,
+    seed: u64,
+) -> JoinSample {
     assert!(n > 0 && fanout_cap >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let nfact = schema.fact.num_rows();
@@ -63,8 +68,7 @@ pub fn sample_outer_join(schema: &StarSchema, n: usize, fanout_cap: usize, seed:
     let mut cum = Vec::with_capacity(nfact);
     let mut acc = 0.0f64;
     for t in 0..nfact {
-        let w: u64 =
-            (0..schema.num_dims()).map(|d| schema.fanout(d, t).max(1) as u64).product();
+        let w: u64 = (0..schema.num_dims()).map(|d| schema.fanout(d, t).max(1) as u64).product();
         acc += w as f64;
         cum.push(acc);
     }
@@ -129,10 +133,7 @@ pub fn sample_outer_join(schema: &StarSchema, n: usize, fanout_cap: usize, seed:
         let content_start = cols.len();
         let content_cols = build.content.len();
         for (c, vals) in build.content.into_iter().enumerate() {
-            cols.push((
-                format!("{name}.{}", schema.dims[d].content.column(c).name()),
-                vals,
-            ));
+            cols.push((format!("{name}.{}", schema.dims[d].content.column(c).name()), vals));
         }
         dims.push(DimLayout { indicator, fanout, content_start, content_cols });
     }
@@ -194,10 +195,9 @@ mod tests {
         let js = sample_outer_join(&s, 8000, 32, 3);
         let d = &js.layout.dims[0];
         let ind = js.table.column(d.indicator);
-        let sampled: f64 = (0..js.table.num_rows())
-            .map(|r| ind.value(r).as_int().unwrap() as f64)
-            .sum::<f64>()
-            / js.table.num_rows() as f64;
+        let sampled: f64 =
+            (0..js.table.num_rows()).map(|r| ind.value(r).as_int().unwrap() as f64).sum::<f64>()
+                / js.table.num_rows() as f64;
         // Exact probability from the schema.
         let mut num = 0u64;
         for t in 0..s.fact.num_rows() {

@@ -68,11 +68,7 @@ impl StarSchema {
     /// Size of the full outer join `Σ_t Π_d max(fanout_d(t), 1)`.
     pub fn outer_join_size(&self) -> u64 {
         (0..self.fact.num_rows())
-            .map(|t| {
-                (0..self.num_dims())
-                    .map(|d| self.fanout(d, t).max(1) as u64)
-                    .product::<u64>()
-            })
+            .map(|t| (0..self.num_dims()).map(|d| self.fanout(d, t).max(1) as u64).product::<u64>())
             .sum()
     }
 }
@@ -118,11 +114,7 @@ impl JoinQuery {
     /// The predicates on one dimension as a single-table [`Query`].
     pub fn dim_query(&self, dim: usize) -> Query {
         Query::new(
-            self.dim_preds
-                .iter()
-                .filter(|(d, _)| *d == dim)
-                .map(|(_, p)| p.clone())
-                .collect(),
+            self.dim_preds.iter().filter(|(d, _)| *d == dim).map(|(_, p)| p.clone()).collect(),
         )
     }
 
@@ -133,12 +125,7 @@ impl JoinQuery {
         JoinQuery {
             dims: dims.clone(),
             fact_preds: self.fact_preds.clone(),
-            dim_preds: self
-                .dim_preds
-                .iter()
-                .filter(|(d, _)| dims.contains(d))
-                .cloned()
-                .collect(),
+            dim_preds: self.dim_preds.iter().filter(|(d, _)| dims.contains(d)).cloned().collect(),
         }
     }
 }

@@ -49,17 +49,20 @@ pub fn imdb_like(titles: usize, seed: u64) -> StarSchema {
     let mut mc_country = Vec::new();
     for t in 0..titles {
         let year = years[t].as_int().expect("int year");
-        let base = if year > 90 { 3.0 } else if year > 60 { 1.5 } else { 0.8 };
+        let base = if year > 90 {
+            3.0
+        } else if year > 60 {
+            1.5
+        } else {
+            0.8
+        };
         let fanout = sample_fanout(&mut rng, base, 6);
         for _ in 0..fanout {
             mc_fk.push(t as u32);
             // company type correlated with title kind
             let kind = kinds[t].as_int().expect("int kind");
-            let ct = if rng.random::<f64>() < 0.6 {
-                kind % 4
-            } else {
-                ctype_z.sample(&mut rng) as i64
-            };
+            let ct =
+                if rng.random::<f64>() < 0.6 { kind % 4 } else { ctype_z.sample(&mut rng) as i64 };
             mc_ctype.push(Value::Int(ct));
             mc_country.push(Value::Int(country_z.sample(&mut rng) as i64));
         }
@@ -77,8 +80,8 @@ pub fn imdb_like(titles: usize, seed: u64) -> StarSchema {
     let mut mi_fk = Vec::new();
     let mut mi_itype = Vec::new();
     let mut mi_rating = Vec::new();
-    for t in 0..titles {
-        let year = years[t].as_int().expect("int year");
+    for (t, year) in years.iter().enumerate().take(titles) {
+        let year = year.as_int().expect("int year");
         let fanout = sample_fanout(&mut rng, 1.8, 8);
         for _ in 0..fanout {
             mi_fk.push(t as u32);
@@ -100,23 +103,17 @@ pub fn imdb_like(titles: usize, seed: u64) -> StarSchema {
     let role_z = Zipf::new(12, 1.0);
     let mut ci_fk = Vec::new();
     let mut ci_role = Vec::new();
-    for t in 0..titles {
+    for (t, kind) in kinds.iter().enumerate().take(titles) {
         let fanout = sample_fanout(&mut rng, 2.2, 10);
-        let kind = kinds[t].as_int().expect("int kind");
+        let kind = kind.as_int().expect("int kind");
         for _ in 0..fanout {
             ci_fk.push(t as u32);
-            let role = if rng.random::<f64>() < 0.4 {
-                kind % 12
-            } else {
-                role_z.sample(&mut rng) as i64
-            };
+            let role =
+                if rng.random::<f64>() < 0.4 { kind % 12 } else { role_z.sample(&mut rng) as i64 };
             ci_role.push(Value::Int(role));
         }
     }
-    let ci = DimTable::new(
-        Table::from_columns("cast_info", vec![("role".into(), ci_role)]),
-        ci_fk,
-    );
+    let ci = DimTable::new(Table::from_columns("cast_info", vec![("role".into(), ci_role)]), ci_fk);
 
     StarSchema::new(fact, vec![mc, mi, ci])
 }

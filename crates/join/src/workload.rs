@@ -48,13 +48,7 @@ impl JoinWorkloadSpec {
     /// JOB-light-style random workload: no bounded attribute, random
     /// dimension subsets.
     pub fn random(num_queries: usize, seed: u64) -> Self {
-        JoinWorkloadSpec {
-            seed,
-            num_queries,
-            bounded: None,
-            nf_range: (1, 3),
-            all_dims: false,
-        }
+        JoinWorkloadSpec { seed, num_queries, bounded: None, nf_range: (1, 3), all_dims: false }
     }
 }
 
@@ -208,11 +202,7 @@ mod tests {
     #[test]
     fn focused_workload_joins_all_dims_and_is_satisfiable() {
         let s = imdb_like(500, 2);
-        let w = generate_join_workload(
-            &s,
-            &JoinWorkloadSpec::focused(0, 25, 3),
-            &HashSet::new(),
-        );
+        let w = generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 25, 3), &HashSet::new());
         assert_eq!(w.len(), 25);
         assert!(w.iter().all(|lq| lq.cardinality >= 1));
         assert!(w.iter().all(|lq| lq.query.dims == vec![0, 1, 2]));
@@ -225,8 +215,7 @@ mod tests {
     #[test]
     fn random_workload_varies_join_subsets() {
         let s = imdb_like(500, 2);
-        let w =
-            generate_join_workload(&s, &JoinWorkloadSpec::random(30, 5), &HashSet::new());
+        let w = generate_join_workload(&s, &JoinWorkloadSpec::random(30, 5), &HashSet::new());
         assert_eq!(w.len(), 30);
         let distinct_subsets: HashSet<Vec<usize>> =
             w.iter().map(|lq| lq.query.dims.clone()).collect();
@@ -236,14 +225,10 @@ mod tests {
     #[test]
     fn workloads_deduplicate_across_exclusions() {
         let s = imdb_like(400, 4);
-        let train = generate_join_workload(
-            &s,
-            &JoinWorkloadSpec::focused(0, 20, 1),
-            &HashSet::new(),
-        );
+        let train =
+            generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 20, 1), &HashSet::new());
         let excl = fingerprints(&train);
-        let test =
-            generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 20, 2), &excl);
+        let test = generate_join_workload(&s, &JoinWorkloadSpec::focused(0, 20, 2), &excl);
         assert!(excl.is_disjoint(&fingerprints(&test)));
     }
 }

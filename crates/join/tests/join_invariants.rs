@@ -8,8 +8,7 @@ use uae_join::optimizer::{
     best_plan, permutations, plan_cost, PostgresLike, SubplanEstimator, TruthEstimator,
 };
 use uae_join::{
-    generate_join_workload, imdb_like, sample_outer_join, JoinExecutor, JoinQuery,
-    JoinWorkloadSpec,
+    generate_join_workload, imdb_like, sample_outer_join, JoinExecutor, JoinQuery, JoinWorkloadSpec,
 };
 use uae_query::Predicate;
 
@@ -25,9 +24,8 @@ fn sampler_is_unbiased_for_fanout_moments() {
         let mut num = 0.0f64;
         let mut den = 0.0f64;
         for t in 0..schema.fact.num_rows() {
-            let w: f64 = (0..schema.num_dims())
-                .map(|dd| schema.fanout(dd, t).max(1) as f64)
-                .product();
+            let w: f64 =
+                (0..schema.num_dims()).map(|dd| schema.fanout(dd, t).max(1) as f64).product();
             num += w * schema.fanout(d, t).min(32) as f64;
             den += w;
         }
@@ -124,10 +122,7 @@ fn postgres_like_is_exact_on_pure_pk_fk_joins() {
         let q = JoinQuery { dims: vec![d], ..Default::default() };
         let est = pg.subplan_card(&q);
         let truth = exec.cardinality(&q) as f64;
-        assert!(
-            (est - truth).abs() / truth < 0.02,
-            "dim {d}: pg {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() / truth < 0.02, "dim {d}: pg {est} vs truth {truth}");
     }
 }
 

@@ -46,14 +46,12 @@ impl<'a> Executor<'a> {
         }
         // Scan only constrained columns, cheapest (most selective) first is
         // unknowable without stats, so order by position; short-circuit per row.
-        let constrained: Vec<usize> = (0..self.table.num_cols())
-            .filter(|&i| region.column(i).is_some())
-            .collect();
+        let constrained: Vec<usize> =
+            (0..self.table.num_cols()).filter(|&i| region.column(i).is_some()).collect();
         if constrained.is_empty() {
             return self.table.num_rows() as u64;
         }
-        let cols: Vec<&[u32]> =
-            constrained.iter().map(|&i| self.table.column(i).codes()).collect();
+        let cols: Vec<&[u32]> = constrained.iter().map(|&i| self.table.column(i).codes()).collect();
         let regs: Vec<&crate::region::Region> =
             constrained.iter().map(|&i| region.column(i).expect("constrained")).collect();
         par_count(self.table.num_rows(), self.threads, |rows| {
@@ -80,9 +78,7 @@ impl<'a> Executor<'a> {
         // Parallelize across queries (each query scan stays single-threaded
         // to avoid nested thread pools).
         let table = self.table;
-        par_map_slice(queries, self.threads, |q| {
-            Executor::with_threads(table, 1).cardinality(q)
-        })
+        par_map_slice(queries, self.threads, |q| Executor::with_threads(table, 1).cardinality(q))
     }
 }
 
@@ -159,11 +155,13 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single(){
+    fn batch_matches_single() {
         let t = table();
         let exec = Executor::new(&t);
         let queries: Vec<Query> = (0..20)
-            .map(|i| Query::new(vec![Predicate::ge(0, i as i64 * 5), Predicate::eq(1, (i % 10) as i64)]))
+            .map(|i| {
+                Query::new(vec![Predicate::ge(0, i as i64 * 5), Predicate::eq(1, (i % 10) as i64)])
+            })
             .collect();
         let batch = exec.cardinalities(&queries);
         for (q, &c) in queries.iter().zip(&batch) {

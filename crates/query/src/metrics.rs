@@ -47,8 +47,7 @@ impl ErrorSummary {
     /// Summarize paired true/estimated cardinalities.
     pub fn from_estimates(truth: &[f64], estimates: &[f64]) -> Self {
         assert_eq!(truth.len(), estimates.len());
-        let errs: Vec<f64> =
-            truth.iter().zip(estimates).map(|(&t, &e)| q_error(t, e)).collect();
+        let errs: Vec<f64> = truth.iter().zip(estimates).map(|(&t, &e)| q_error(t, e)).collect();
         ErrorSummary::from_errors(&errs)
     }
 

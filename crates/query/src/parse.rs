@@ -107,10 +107,7 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
             '!' => {
                 chars.next();
                 if chars.next() != Some('=') {
-                    return Err(ParseError::Unexpected {
-                        found: "!".into(),
-                        expected: "`!=`",
-                    });
+                    return Err(ParseError::Unexpected { found: "!".into(), expected: "`!=`" });
                 }
                 out.push(Tok::Op(PredOp::Ne));
             }
@@ -252,16 +249,14 @@ fn parse_predicate(
 ) -> Result<(Predicate, usize), ParseError> {
     let Some(Tok::Ident(col_name)) = toks.get(pos) else {
         return Err(match toks.get(pos) {
-            Some(t) => ParseError::Unexpected {
-                found: format!("{t:?}"),
-                expected: "a column name",
-            },
+            Some(t) => {
+                ParseError::Unexpected { found: format!("{t:?}"), expected: "a column name" }
+            }
             None => ParseError::UnexpectedEnd("a column name"),
         });
     };
-    let column = table
-        .column_index(col_name)
-        .ok_or_else(|| ParseError::UnknownColumn(col_name.clone()))?;
+    let column =
+        table.column_index(col_name).ok_or_else(|| ParseError::UnknownColumn(col_name.clone()))?;
     match toks.get(pos + 1) {
         Some(Tok::Op(op)) => {
             let value = parse_literal(toks, pos + 2)?;
@@ -269,10 +264,7 @@ fn parse_predicate(
         }
         Some(Tok::In) => {
             if toks.get(pos + 2) != Some(&Tok::LParen) {
-                return Err(ParseError::Unexpected {
-                    found: "IN".into(),
-                    expected: "`IN (`",
-                });
+                return Err(ParseError::Unexpected { found: "IN".into(), expected: "`IN (`" });
             }
             let mut values = Vec::new();
             let mut p = pos + 3;
@@ -308,10 +300,7 @@ fn parse_literal(toks: &[Tok], pos: usize) -> Result<Value, ParseError> {
     match toks.get(pos) {
         Some(Tok::Int(v)) => Ok(Value::Int(*v)),
         Some(Tok::Str(s)) => Ok(Value::Str(s.clone())),
-        Some(t) => Err(ParseError::Unexpected {
-            found: format!("{t:?}"),
-            expected: "a literal",
-        }),
+        Some(t) => Err(ParseError::Unexpected { found: format!("{t:?}"), expected: "a literal" }),
         None => Err(ParseError::UnexpectedEnd("a literal")),
     }
 }
@@ -328,9 +317,7 @@ mod tests {
                 ("age".into(), (0..100i64).map(Value::Int).collect()),
                 (
                     "name".into(),
-                    (0..100)
-                        .map(|i| Value::from(["James", "Paul", "Tim"][i % 3]))
-                        .collect(),
+                    (0..100).map(|i| Value::from(["James", "Paul", "Tim"][i % 3])).collect(),
                 ),
             ],
         )
@@ -380,10 +367,7 @@ mod tests {
             parse_query(&t, "bogus = 1"),
             Err(ParseError::UnknownColumn(c)) if c == "bogus"
         ));
-        assert!(matches!(
-            parse_query(&t, "age >"),
-            Err(ParseError::UnexpectedEnd(_))
-        ));
+        assert!(matches!(parse_query(&t, "age >"), Err(ParseError::UnexpectedEnd(_))));
         assert!(matches!(
             parse_query(&t, "age < 5 OR age > 90"),
             Err(ParseError::DisjunctionNotAllowed)

@@ -210,10 +210,7 @@ impl QueryRegion {
 
     /// Whether a full row of codes satisfies the query.
     pub fn matches_row(&self, codes: &[u32]) -> bool {
-        self.regions
-            .iter()
-            .zip(codes)
-            .all(|(r, &c)| r.as_ref().is_none_or(|r| r.contains(c)))
+        self.regions.iter().zip(codes).all(|(r, &c)| r.as_ref().is_none_or(|r| r.contains(c)))
     }
 
     /// Number of constrained columns.
@@ -230,10 +227,7 @@ mod tests {
     fn table() -> Table {
         Table::from_columns(
             "t",
-            vec![(
-                "x".into(),
-                vec![10i64, 20, 30, 40, 50].into_iter().map(Value::Int).collect(),
-            )],
+            vec![("x".into(), vec![10i64, 20, 30, 40, 50].into_iter().map(Value::Int).collect())],
         )
     }
 

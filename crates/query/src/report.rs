@@ -63,11 +63,7 @@ mod tests {
     use crate::predicate::Query;
 
     fn lq(sel: f64) -> LabeledQuery {
-        LabeledQuery {
-            query: Query::default(),
-            cardinality: (sel * 1e6) as u64,
-            selectivity: sel,
-        }
+        LabeledQuery { query: Query::default(), cardinality: (sel * 1e6) as u64, selectivity: sel }
     }
 
     #[test]
@@ -76,9 +72,8 @@ mod tests {
         let h = SelectivityHistogram::from_workload(&w);
         assert_eq!(h.total, 5);
         // 0.5 → 1e-1 bucket, 0.05 → 1e-2, 0.005 (x2) → 1e-3, 1e-9 → <=1e-8.
-        let get = |label: &str| {
-            h.buckets.iter().find(|(l, _)| l == label).map(|(_, c)| *c).unwrap()
-        };
+        let get =
+            |label: &str| h.buckets.iter().find(|(l, _)| l == label).map(|(_, c)| *c).unwrap();
         assert_eq!(get("1e-1"), 1);
         assert_eq!(get("1e-2"), 1);
         assert_eq!(get("1e-3"), 2);

@@ -84,8 +84,5 @@ fn random_workloads_touch_diverse_columns() {
     for lq in &w {
         touched.extend(lq.query.touched_columns());
     }
-    assert!(
-        touched.len() > table.num_cols() / 2,
-        "random workload covers only {touched:?}"
-    );
+    assert!(touched.len() > table.num_cols() / 2, "random workload covers only {touched:?}");
 }

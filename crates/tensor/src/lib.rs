@@ -21,6 +21,7 @@
 
 pub mod check;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod tape;
 pub mod tensor;

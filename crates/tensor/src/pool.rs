@@ -1,0 +1,262 @@
+//! Persistent worker pool for data-parallel kernels.
+//!
+//! The seed implementation spawned fresh OS threads inside
+//! `std::thread::scope` on every large matmul — a per-call cost of tens of
+//! microseconds that dominates medium-sized kernels and throttles the
+//! progressive-sampling serving path. This module replaces per-call
+//! spawning with a **lazily initialized, process-wide pool** of detached
+//! workers fed through a channel of type-erased jobs.
+//!
+//! Design:
+//!
+//! * A job is a `Fn(usize)` run once for each index in `0..n`. Indices are
+//!   claimed from a shared atomic counter, so workers load-balance
+//!   automatically.
+//! * The **caller participates**: after enqueuing, the submitting thread
+//!   claims indices like any worker and then waits on a per-job latch.
+//!   This makes nested `parallel_for` calls deadlock-free — even if every
+//!   pool worker is busy, the caller drains its own job — and it keeps
+//!   single-core machines on a zero-handoff fast path.
+//! * Borrowed closures are sound because the caller does not return until
+//!   the latch reports every index finished; the job's lifetime is erased
+//!   only inside that window.
+//! * Worker panics are caught, the remaining indices are drained, and the
+//!   panic is re-raised on the calling thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Number of threads `parallel_for` spreads work across (workers + the
+/// participating caller).
+pub fn pool_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+}
+
+/// A type-erased parallel-for job. `func` points at a caller-owned closure;
+/// the caller guarantees it outlives the job by blocking on [`Job::wait`].
+struct Job {
+    /// `&dyn Fn(usize)` with its lifetime erased.
+    func: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Total number of indices.
+    total: usize,
+    /// Indices not yet finished, guarded for the completion latch.
+    remaining: Mutex<usize>,
+    /// Signaled when `remaining` reaches zero.
+    done: Condvar,
+    /// Set when any index panicked.
+    panicked: AtomicBool,
+}
+
+// SAFETY: `func` is only dereferenced between submission and latch
+// release, during which the caller keeps the closure alive; the closure
+// itself is `Sync`, so shared calls from several workers are allowed.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run indices until the job is exhausted.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: `i < total`, so the caller is still blocked in
+            // `wait` and the closure is alive.
+            let func = unsafe { &*self.func };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| func(i)));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut remaining = self.remaining.lock().expect("pool latch");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Block until every index has finished.
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("pool latch");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("pool latch");
+        }
+    }
+}
+
+/// The shared injector queue workers sleep on.
+struct Injector {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    ready: Condvar,
+}
+
+fn injector() -> &'static Injector {
+    static POOL: OnceLock<Injector> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let inj = Injector { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() };
+        // The caller always participates, so spawn one fewer worker than
+        // the target width. On a single-core machine this spawns nothing
+        // and `parallel_for` degenerates to an inline loop.
+        for i in 0..pool_threads().saturating_sub(1) {
+            std::thread::Builder::new()
+                .name(format!("uae-pool-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        inj
+    })
+}
+
+fn worker_loop() {
+    let inj = injector();
+    loop {
+        let job = {
+            let mut queue = inj.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inj.ready.wait(queue).expect("pool queue");
+            }
+        };
+        job.drain();
+    }
+}
+
+/// Run `f(i)` for every `i in 0..n`, spread across the persistent pool.
+/// Blocks until all indices complete; panics (on the caller) if any index
+/// panicked. `n` is expected to be small — a handful of chunks, not one
+/// call per element.
+pub fn parallel_for<F: Fn(usize) + Sync>(n: usize, f: F) {
+    match n {
+        0 => return,
+        1 => {
+            f(0);
+            return;
+        }
+        _ => {}
+    }
+    let workers = pool_threads() - 1;
+    if workers == 0 {
+        // Single-core: no pool threads exist; run inline.
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let erased: &(dyn Fn(usize) + Sync) = &f;
+    let job = Arc::new(Job {
+        // SAFETY: lifetime erasure; `wait` below outlives every deref.
+        func: unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(erased)
+        },
+        next: AtomicUsize::new(0),
+        total: n,
+        remaining: Mutex::new(n),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let inj = injector();
+    {
+        let mut queue = inj.queue.lock().expect("pool queue");
+        // One queue entry per helper that could usefully join; each entry
+        // is just a handle — indices are claimed from the shared counter.
+        for _ in 0..workers.min(n - 1) {
+            queue.push_back(Arc::clone(&job));
+        }
+    }
+    inj.ready.notify_all();
+    job.drain();
+    job.wait();
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("uae-pool job panicked");
+    }
+}
+
+/// Run `f(i)` for `i in 0..n` and collect the results in index order.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = SendPtr(out.as_mut_ptr());
+    parallel_for(n, |i| {
+        let slot = slots;
+        // SAFETY: each index is claimed exactly once, so writes are
+        // disjoint; the vec outlives `parallel_for`, which blocks.
+        unsafe { *slot.0.add(i) = Some(f(i)) };
+    });
+    out.into_iter().map(|v| v.expect("pool slot filled")).collect()
+}
+
+/// Raw-pointer wrapper for disjoint per-index writes from pool workers.
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: users of `SendPtr` uphold one-writer-per-disjoint-region.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_once() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(n, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, |i| i * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let total = AtomicU64::new(0);
+        parallel_for(4, |_| {
+            parallel_for(8, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let data: Vec<u64> = (0..1024).collect();
+        let sums = parallel_map(8, |c| data[c * 128..(c + 1) * 128].iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), (0..1024).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // Pool stays usable afterwards.
+        let out = parallel_map(8, |i| i);
+        assert_eq!(out.len(), 8);
+    }
+}

@@ -56,8 +56,7 @@ mod tests {
         // E[Gumbel(0,1)] = γ ≈ 0.5772.
         let mut rng = seeded_rng(42);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| gumbel_sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| gumbel_sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 0.5772).abs() < 0.02, "gumbel mean {mean}");
     }
 

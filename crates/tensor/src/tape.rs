@@ -559,7 +559,11 @@ impl<'a> Tape<'a> {
                 }
                 Op::Relu(x) => {
                     let xv = &self.nodes[x.index()].value;
-                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| if v > 0.0 { g } else { 0.0 }));
+                    accumulate(
+                        &mut node_grads,
+                        *x,
+                        gy.zip(xv, |g, v| if v > 0.0 { g } else { 0.0 }),
+                    );
                 }
                 Op::Sigmoid(x) => {
                     let s = &self.nodes[idx].value;
@@ -805,10 +809,8 @@ mod tests {
 
     #[test]
     fn embed_rows_looks_up_and_scatter_adds() {
-        let (store, ids) = store_with(&[(
-            "emb",
-            Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
-        )]);
+        let (store, ids) =
+            store_with(&[("emb", Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))]);
         let mut tape = Tape::new(&store);
         let e = tape.param(ids[0]);
         // Rows 2, 0, 0, wildcard.

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use crate::pool;
+
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
@@ -166,19 +168,15 @@ impl Tensor {
         );
         let flops = 2 * self.rows * self.cols * other.cols;
         if flops >= PAR_FLOP_THRESHOLD && self.rows >= 2 {
-            // Parallel over row chunks with per-thread partial outputs,
-            // reduced at the end.
-            let threads = par_threads();
+            // Parallel over row chunks with per-worker partial outputs,
+            // reduced at the end. Chunks run on the persistent pool.
+            let threads = pool::pool_threads();
             let chunk = self.rows.div_ceil(threads);
-            let partials: Vec<Tensor> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.rows)
-                    .step_by(chunk)
-                    .map(|start| {
-                        let end = (start + chunk).min(self.rows);
-                        scope.spawn(move || self.t_matmul_range(other, start, end))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("t_matmul worker")).collect()
+            let n_chunks = self.rows.div_ceil(chunk);
+            let partials: Vec<Tensor> = pool::parallel_map(n_chunks, |ci| {
+                let start = ci * chunk;
+                let end = (start + chunk).min(self.rows);
+                self.t_matmul_range(other, start, end)
             });
             let mut out = Tensor::zeros(self.cols, other.cols);
             for p in &partials {
@@ -218,17 +216,33 @@ impl Tensor {
         let mut out = Tensor::zeros(self.rows, other.rows);
         let flops = 2 * self.rows * self.cols * other.rows;
         if flops >= PAR_FLOP_THRESHOLD && self.rows >= 2 {
-            let threads = par_threads();
+            let threads = pool::pool_threads();
             let chunk = self.rows.div_ceil(threads);
             let a = self;
             let ocols = other.rows;
-            std::thread::scope(|scope| {
-                for (ci, orows) in out.data.chunks_mut(chunk * ocols).enumerate() {
-                    scope.spawn(move || {
-                        for (local_r, orow) in orows.chunks_mut(ocols).enumerate() {
-                            a.matmul_t_row(other, ci * chunk + local_r, orow);
-                        }
-                    });
+            let n_chunks = self.rows.div_ceil(chunk);
+            let base = pool::SendPtr(out.data.as_mut_ptr());
+            pool::parallel_for(n_chunks, |ci| {
+                // Rebind deliberately: without it the 2021-edition closure
+                // captures the raw `base.0` field (not `Send`) instead of
+                // the whole `SendPtr`.
+                #[allow(clippy::redundant_locals)]
+                // Rebind deliberately: capture the whole `SendPtr`, not `base.0`.
+                #[allow(clippy::redundant_locals)]
+                let base = base;
+                let row_start = ci * chunk;
+                let row_end = (row_start + chunk).min(a.rows);
+                // SAFETY: chunks are disjoint row ranges of `out`, each
+                // written by exactly one pool index, and `out` outlives the
+                // blocking `parallel_for` call.
+                let orows = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        base.0.add(row_start * ocols),
+                        (row_end - row_start) * ocols,
+                    )
+                };
+                for (local_r, orow) in orows.chunks_mut(ocols).enumerate() {
+                    a.matmul_t_row(other, row_start + local_r, orow);
                 }
             });
             return out;
@@ -266,11 +280,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise binary zip into a new tensor.
@@ -339,8 +349,34 @@ impl Tensor {
     /// Row-wise numerically stable softmax.
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
+        out.softmax_rows_in_place();
+        out
+    }
+
+    /// Row-wise numerically stable softmax, in place (no allocation).
+    pub fn softmax_rows_in_place(&mut self) {
         for r in 0..self.rows {
-            softmax_in_place(out.row_mut(r));
+            softmax_in_place(self.row_mut(r));
+        }
+    }
+
+    /// Copy of rows `start..end`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        Tensor {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// New tensor whose row `i` is `self.row(idx[i])`. Used by the batched
+    /// inference engine to broadcast deduplicated forward results back to
+    /// their sample rows and to compact away dead samples.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(idx.len(), self.cols);
+        for (o, &src) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(src));
         }
         out
     }
@@ -396,20 +432,16 @@ impl Tensor {
     /// Largest absolute difference to another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
-/// FLOP count above which matmuls split across threads.
-const PAR_FLOP_THRESHOLD: usize = 4_000_000;
-
-fn par_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
-}
+/// FLOP count above which matmuls split across pool workers. Dispatching a
+/// job onto the persistent pool costs a queue push plus a condvar wake
+/// (single-digit microseconds) instead of the tens of microseconds the old
+/// per-call `std::thread::scope` spawns paid, so the break-even point sits
+/// much lower than the seed's 4M-FLOP threshold.
+const PAR_FLOP_THRESHOLD: usize = 500_000;
 
 /// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
@@ -421,15 +453,27 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
     }
     let flops = 2 * a.rows * a.cols * b.cols;
     if flops >= PAR_FLOP_THRESHOLD && a.rows >= 2 {
-        let threads = par_threads();
+        let threads = pool::pool_threads();
         let chunk = a.rows.div_ceil(threads);
         let bcols = b.cols;
-        std::thread::scope(|scope| {
-            for (ci, orows) in out.data.chunks_mut(chunk * bcols).enumerate() {
-                scope.spawn(move || {
-                    matmul_rows(a, b, ci * chunk, orows, accumulate);
-                });
-            }
+        let n_chunks = a.rows.div_ceil(chunk);
+        let base = pool::SendPtr(out.data.as_mut_ptr());
+        pool::parallel_for(n_chunks, |ci| {
+            // Rebind deliberately: capture the whole `SendPtr`, not `base.0`.
+            #[allow(clippy::redundant_locals)]
+            let base = base;
+            let row_start = ci * chunk;
+            let row_end = (row_start + chunk).min(a.rows);
+            // SAFETY: chunks are disjoint row ranges of `out`, each written
+            // by exactly one pool index, and `out` outlives the blocking
+            // `parallel_for` call.
+            let orows = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.0.add(row_start * bcols),
+                    (row_end - row_start) * bcols,
+                )
+            };
+            matmul_rows(a, b, row_start, orows, accumulate);
         });
         return;
     }

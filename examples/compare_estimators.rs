@@ -27,8 +27,7 @@ fn main() {
     );
 
     let col = default_bounded_column(&table);
-    let train =
-        generate_workload(&table, &WorkloadSpec::in_workload(col, 250, 1), &HashSet::new());
+    let train = generate_workload(&table, &WorkloadSpec::in_workload(col, 250, 1), &HashSet::new());
     let test = generate_workload(
         &table,
         &WorkloadSpec::in_workload(col, 60, 2),

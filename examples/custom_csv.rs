@@ -13,9 +13,7 @@ use std::io::Cursor;
 
 use uae::core::{Uae, UaeConfig};
 use uae::data::{table_from_csv, CsvOptions};
-use uae::query::{
-    default_bounded_column, evaluate, generate_workload, WorkloadSpec,
-};
+use uae::query::{default_bounded_column, evaluate, generate_workload, WorkloadSpec};
 
 fn synthetic_csv() -> String {
     let mut csv = String::from("order_id,region,status,amount_bucket,priority\n");
@@ -23,7 +21,8 @@ fn synthetic_csv() -> String {
     for i in 0..6_000 {
         state = uae::data::synth::splitmix64(state);
         let region = state % 12;
-        let status = if region < 3 { "shipped" } else { ["new", "paid", "shipped"][(state % 3) as usize] };
+        let status =
+            if region < 3 { "shipped" } else { ["new", "paid", "shipped"][(state % 3) as usize] };
         let amount = (state >> 8) % 40;
         let priority = u64::from(amount > 30);
         csv.push_str(&format!("{i},{region},{status},{amount},{priority}\n"));
@@ -45,14 +44,20 @@ fn main() {
         "loaded `{}`: {} rows, columns: {:?}",
         table.name(),
         table.num_rows(),
-        table.columns().iter().map(|c| format!("{}({})", c.name(), c.domain_size())).collect::<Vec<_>>()
+        table
+            .columns()
+            .iter()
+            .map(|c| format!("{}({})", c.name(), c.domain_size()))
+            .collect::<Vec<_>>()
     );
 
     // Wide columns (like order_id) get factorized; inputs use learnable
     // embeddings (§4.6) — both are one config line each.
-    let mut cfg = UaeConfig::default();
-    cfg.factor_threshold = 2_000;
-    cfg.encoding = uae::core::encoding::EncodingMode::Embedding { dim: 12 };
+    let cfg = UaeConfig {
+        factor_threshold: 2_000,
+        encoding: uae::core::encoding::EncodingMode::Embedding { dim: 12 },
+        ..UaeConfig::default()
+    };
 
     let bounded = default_bounded_column(&table);
     let workload =

@@ -9,11 +9,11 @@
 
 use std::collections::HashSet;
 
+use uae::join::optimizer::{best_plan, plan_cost, PostgresLike, TruthEstimator};
 use uae::join::{
     generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinExecutor,
     JoinQuery, JoinUae, JoinWorkloadSpec,
 };
-use uae::join::optimizer::{best_plan, plan_cost, PostgresLike, TruthEstimator};
 use uae::query::Predicate;
 
 fn main() {
@@ -28,11 +28,8 @@ fn main() {
     println!("full outer join size: {}", schema.outer_join_size());
 
     // Train UAE hybrid on focused join queries.
-    let train = generate_join_workload(
-        &schema,
-        &JoinWorkloadSpec::focused(0, 150, 1),
-        &HashSet::new(),
-    );
+    let train =
+        generate_join_workload(&schema, &JoinWorkloadSpec::focused(0, 150, 1), &HashSet::new());
     let sample = sample_outer_join(&schema, 6_000, 32, 2);
     let mut model = JoinUae::new(sample, uae::core::UaeConfig::default());
     println!("training on the join sample + {} labeled queries…", train.len());

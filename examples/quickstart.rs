@@ -28,11 +28,8 @@ fn main() {
     // 2. A workload with ground-truth labels (in a real system this is the
     //    query log; here we generate one following the paper's §5.1.2).
     let bounded = default_bounded_column(&table);
-    let train = generate_workload(
-        &table,
-        &WorkloadSpec::in_workload(bounded, 300, 1),
-        &HashSet::new(),
-    );
+    let train =
+        generate_workload(&table, &WorkloadSpec::in_workload(bounded, 300, 1), &HashSet::new());
     let test = generate_workload(
         &table,
         &WorkloadSpec::in_workload(bounded, 50, 2),

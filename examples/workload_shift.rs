@@ -16,8 +16,11 @@ use uae::query::{default_bounded_column, evaluate, generate_workload, BoundedSpe
 fn main() {
     let table = uae::data::dmv_like(10_000, 7);
     let col = default_bounded_column(&table);
-    println!("bounded column: {} ({} distinct values)", table.column(col).name(),
-        table.column(col).domain_size());
+    println!(
+        "bounded column: {} ({} distinct values)",
+        table.column(col).name(),
+        table.column(col).domain_size()
+    );
 
     // Pretrain on data only (this is exactly Naru).
     let mut stale = Uae::new(&table, UaeConfig::default()).with_name("stale Naru");
@@ -35,11 +38,8 @@ fn main() {
             nf_range: (2, 4),
         };
         let train = generate_workload(&table, &spec(120, 50 + i as u64), &HashSet::new());
-        let test = generate_workload(
-            &table,
-            &spec(40, 80 + i as u64),
-            &uae::query::fingerprints(&train),
-        );
+        let test =
+            generate_workload(&table, &spec(40, 80 + i as u64), &uae::query::fingerprints(&train));
 
         // The refined model ingests the phase's queries (§4.5: 10–20
         // supervised epochs, no retraining, no catastrophic forgetting).

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a8e8ef16b7827173.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a8e8ef16b7827173: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

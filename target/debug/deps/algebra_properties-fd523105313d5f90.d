@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_properties-fd523105313d5f90.d: crates/tensor/tests/algebra_properties.rs
+
+/root/repo/target/debug/deps/algebra_properties-fd523105313d5f90: crates/tensor/tests/algebra_properties.rs
+
+crates/tensor/tests/algebra_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_equivalence-27d06f191a81a32a.d: crates/core/tests/batch_equivalence.rs
+
+/root/repo/target/debug/deps/batch_equivalence-27d06f191a81a32a: crates/core/tests/batch_equivalence.rs
+
+crates/core/tests/batch_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dmv_large-0566a5e25b2f4219.d: crates/bench/src/bin/dmv_large.rs
+
+/root/repo/target/debug/deps/dmv_large-0566a5e25b2f4219: crates/bench/src/bin/dmv_large.rs
+
+crates/bench/src/bin/dmv_large.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_single_table-473fb3fcc5d66c3f.d: tests/end_to_end_single_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_single_table-473fb3fcc5d66c3f.rmeta: tests/end_to_end_single_table.rs Cargo.toml
+
+tests/end_to_end_single_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

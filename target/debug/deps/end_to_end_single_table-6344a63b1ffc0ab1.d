@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_single_table-6344a63b1ffc0ab1.d: tests/end_to_end_single_table.rs
+
+/root/repo/target/debug/deps/end_to_end_single_table-6344a63b1ffc0ab1: tests/end_to_end_single_table.rs
+
+tests/end_to_end_single_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_single_table-ac027b25efcf4dfb.d: tests/end_to_end_single_table.rs
+
+/root/repo/target/debug/deps/end_to_end_single_table-ac027b25efcf4dfb: tests/end_to_end_single_table.rs
+
+tests/end_to_end_single_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/estimator_features-0ab26c569bb53353.d: crates/core/tests/estimator_features.rs
+
+/root/repo/target/debug/deps/estimator_features-0ab26c569bb53353: crates/core/tests/estimator_features.rs
+
+crates/core/tests/estimator_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-de816c865076cae7.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-de816c865076cae7: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-8599507ca72c10c2.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-8599507ca72c10c2: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

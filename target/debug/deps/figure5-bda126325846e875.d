@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure5-bda126325846e875.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/debug/deps/figure5-bda126325846e875: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

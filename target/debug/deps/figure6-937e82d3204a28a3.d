@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure6-937e82d3204a28a3.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/debug/deps/figure6-937e82d3204a28a3: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-68464b4acb0c425b.d: crates/data/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-68464b4acb0c425b: crates/data/tests/generator_properties.rs
+
+crates/data/tests/generator_properties.rs:

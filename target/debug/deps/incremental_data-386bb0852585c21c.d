@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_data-386bb0852585c21c.d: crates/bench/src/bin/incremental_data.rs
+
+/root/repo/target/debug/deps/incremental_data-386bb0852585c21c: crates/bench/src/bin/incremental_data.rs
+
+crates/bench/src/bin/incremental_data.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_learning-368b7d8aee946d19.d: tests/incremental_learning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_learning-368b7d8aee946d19.rmeta: tests/incremental_learning.rs Cargo.toml
+
+tests/incremental_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

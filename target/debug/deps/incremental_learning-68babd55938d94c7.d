@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_learning-68babd55938d94c7.d: tests/incremental_learning.rs
+
+/root/repo/target/debug/deps/incremental_learning-68babd55938d94c7: tests/incremental_learning.rs
+
+tests/incremental_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_learning-bdb41f7194fef1f4.d: tests/incremental_learning.rs
+
+/root/repo/target/debug/deps/incremental_learning-bdb41f7194fef1f4: tests/incremental_learning.rs
+
+tests/incremental_learning.rs:

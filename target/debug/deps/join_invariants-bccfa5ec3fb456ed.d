@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_invariants-bccfa5ec3fb456ed.d: crates/join/tests/join_invariants.rs
+
+/root/repo/target/debug/deps/join_invariants-bccfa5ec3fb456ed: crates/join/tests/join_invariants.rs
+
+crates/join/tests/join_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/join_pipeline-0973d3fa6ead7022.d: tests/join_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoin_pipeline-0973d3fa6ead7022.rmeta: tests/join_pipeline.rs Cargo.toml
+
+tests/join_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

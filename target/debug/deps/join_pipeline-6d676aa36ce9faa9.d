@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_pipeline-6d676aa36ce9faa9.d: tests/join_pipeline.rs
+
+/root/repo/target/debug/deps/join_pipeline-6d676aa36ce9faa9: tests/join_pipeline.rs
+
+tests/join_pipeline.rs:

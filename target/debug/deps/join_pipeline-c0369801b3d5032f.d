@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_pipeline-c0369801b3d5032f.d: tests/join_pipeline.rs
+
+/root/repo/target/debug/deps/join_pipeline-c0369801b3d5032f: tests/join_pipeline.rs
+
+tests/join_pipeline.rs:

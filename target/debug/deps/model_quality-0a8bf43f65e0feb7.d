@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_quality-0a8bf43f65e0feb7.d: tests/model_quality.rs
+
+/root/repo/target/debug/deps/model_quality-0a8bf43f65e0feb7: tests/model_quality.rs
+
+tests/model_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_quality-57a2110f50fad4fc.d: tests/model_quality.rs
+
+/root/repo/target/debug/deps/model_quality-57a2110f50fad4fc: tests/model_quality.rs
+
+tests/model_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_quality-b2fecfba44f72a47.d: tests/model_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_quality-b2fecfba44f72a47.rmeta: tests/model_quality.rs Cargo.toml
+
+tests/model_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-55cb04128cd3a8b2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-55cb04128cd3a8b2: tests/properties.rs
+
+tests/properties.rs:

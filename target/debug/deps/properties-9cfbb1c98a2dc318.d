@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9cfbb1c98a2dc318.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9cfbb1c98a2dc318: tests/properties.rs
+
+tests/properties.rs:

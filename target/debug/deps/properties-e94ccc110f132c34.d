@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e94ccc110f132c34.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e94ccc110f132c34.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-1163b9df4a1ffafb.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-1163b9df4a1ffafb.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-1163b9df4a1ffafb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

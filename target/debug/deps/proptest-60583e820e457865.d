@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-60583e820e457865.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-60583e820e457865: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regimes-7e80de12d2c154c8.d: crates/estimators/tests/regimes.rs
+
+/root/repo/target/debug/deps/regimes-7e80de12d2c154c8: crates/estimators/tests/regimes.rs
+
+crates/estimators/tests/regimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sampling_consistency-2b335ced8f3322d7.d: crates/core/tests/sampling_consistency.rs
+
+/root/repo/target/debug/deps/sampling_consistency-2b335ced8f3322d7: crates/core/tests/sampling_consistency.rs
+
+crates/core/tests/sampling_consistency.rs:

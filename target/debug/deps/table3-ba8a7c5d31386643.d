@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ba8a7c5d31386643.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ba8a7c5d31386643: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-d20c2bbf6dbe3345.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-d20c2bbf6dbe3345: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-7aafe7b364ff468e.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-7aafe7b364ff468e: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

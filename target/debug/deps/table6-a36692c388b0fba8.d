@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-a36692c388b0fba8.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-a36692c388b0fba8: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

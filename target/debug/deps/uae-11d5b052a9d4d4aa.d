@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uae-11d5b052a9d4d4aa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuae-11d5b052a9d4d4aa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuae-11d5b052a9d4d4aa.rmeta: src/lib.rs
+
+src/lib.rs:

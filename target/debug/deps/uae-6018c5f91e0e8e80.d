@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uae-6018c5f91e0e8e80.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae-6018c5f91e0e8e80.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uae-605d9e883667e449.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuae-605d9e883667e449.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuae-605d9e883667e449.rmeta: src/lib.rs
+
+src/lib.rs:

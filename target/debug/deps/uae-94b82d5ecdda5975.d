@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uae-94b82d5ecdda5975.d: src/lib.rs
+
+/root/repo/target/debug/deps/uae-94b82d5ecdda5975: src/lib.rs
+
+src/lib.rs:

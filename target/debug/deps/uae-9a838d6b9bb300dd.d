@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uae-9a838d6b9bb300dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/uae-9a838d6b9bb300dd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/uae-ff8314643e555cca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae-ff8314643e555cca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

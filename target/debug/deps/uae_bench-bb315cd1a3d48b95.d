@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/uae_bench-bb315cd1a3d48b95.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libuae_bench-bb315cd1a3d48b95.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libuae_bench-bb315cd1a3d48b95.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

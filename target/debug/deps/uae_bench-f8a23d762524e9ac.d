@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uae_bench-f8a23d762524e9ac.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/uae_bench-f8a23d762524e9ac: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uae_core-94b7d9cdaa5e93a4.d: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/debug/deps/libuae_core-94b7d9cdaa5e93a4.rlib: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/debug/deps/libuae_core-94b7d9cdaa5e93a4.rmeta: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dps.rs:
+crates/core/src/encoding.rs:
+crates/core/src/estimator.rs:
+crates/core/src/infer.rs:
+crates/core/src/model.rs:
+crates/core/src/ordering.rs:
+crates/core/src/serialize.rs:
+crates/core/src/sf.rs:
+crates/core/src/train.rs:
+crates/core/src/vquery.rs:

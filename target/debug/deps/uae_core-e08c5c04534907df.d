@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/uae_core-e08c5c04534907df.d: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/debug/deps/uae_core-e08c5c04534907df: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dps.rs:
+crates/core/src/encoding.rs:
+crates/core/src/estimator.rs:
+crates/core/src/infer.rs:
+crates/core/src/infer_batch.rs:
+crates/core/src/model.rs:
+crates/core/src/ordering.rs:
+crates/core/src/serialize.rs:
+crates/core/src/sf.rs:
+crates/core/src/train.rs:
+crates/core/src/vquery.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uae_data-837df96c39439290.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/debug/deps/libuae_data-837df96c39439290.rlib: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/debug/deps/libuae_data-837df96c39439290.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/par.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth.rs:
+crates/data/src/table.rs:
+crates/data/src/value.rs:

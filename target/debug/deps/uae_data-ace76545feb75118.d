@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uae_data-ace76545feb75118.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae_data-ace76545feb75118.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/par.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth.rs:
+crates/data/src/table.rs:
+crates/data/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

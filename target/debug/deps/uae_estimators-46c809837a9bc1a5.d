@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/uae_estimators-46c809837a9bc1a5.d: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+/root/repo/target/debug/deps/libuae_estimators-46c809837a9bc1a5.rlib: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+/root/repo/target/debug/deps/libuae_estimators-46c809837a9bc1a5.rmeta: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/bayesnet.rs:
+crates/estimators/src/features.rs:
+crates/estimators/src/histogram.rs:
+crates/estimators/src/kde.rs:
+crates/estimators/src/lr.rs:
+crates/estimators/src/mhist.rs:
+crates/estimators/src/mscn.rs:
+crates/estimators/src/quicksel.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/spn.rs:
+crates/estimators/src/stholes.rs:

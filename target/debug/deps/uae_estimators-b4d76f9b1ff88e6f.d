@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/uae_estimators-b4d76f9b1ff88e6f.d: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae_estimators-b4d76f9b1ff88e6f.rmeta: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs Cargo.toml
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/bayesnet.rs:
+crates/estimators/src/features.rs:
+crates/estimators/src/histogram.rs:
+crates/estimators/src/kde.rs:
+crates/estimators/src/lr.rs:
+crates/estimators/src/mhist.rs:
+crates/estimators/src/mscn.rs:
+crates/estimators/src/quicksel.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/spn.rs:
+crates/estimators/src/stholes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uae_join-8826f97f3e8c6d24.d: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+/root/repo/target/debug/deps/libuae_join-8826f97f3e8c6d24.rlib: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+/root/repo/target/debug/deps/libuae_join-8826f97f3e8c6d24.rmeta: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+crates/join/src/lib.rs:
+crates/join/src/baselines.rs:
+crates/join/src/estimator.rs:
+crates/join/src/executor.rs:
+crates/join/src/optimizer.rs:
+crates/join/src/sampler.rs:
+crates/join/src/schema.rs:
+crates/join/src/synth.rs:
+crates/join/src/workload.rs:

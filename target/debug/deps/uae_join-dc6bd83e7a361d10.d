@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uae_join-dc6bd83e7a361d10.d: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae_join-dc6bd83e7a361d10.rmeta: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs Cargo.toml
+
+crates/join/src/lib.rs:
+crates/join/src/baselines.rs:
+crates/join/src/estimator.rs:
+crates/join/src/executor.rs:
+crates/join/src/optimizer.rs:
+crates/join/src/sampler.rs:
+crates/join/src/schema.rs:
+crates/join/src/synth.rs:
+crates/join/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

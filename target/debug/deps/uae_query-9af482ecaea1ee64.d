@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uae_query-9af482ecaea1ee64.d: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+/root/repo/target/debug/deps/libuae_query-9af482ecaea1ee64.rlib: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+/root/repo/target/debug/deps/libuae_query-9af482ecaea1ee64.rmeta: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+crates/query/src/lib.rs:
+crates/query/src/estimator.rs:
+crates/query/src/executor.rs:
+crates/query/src/metrics.rs:
+crates/query/src/parse.rs:
+crates/query/src/predicate.rs:
+crates/query/src/region.rs:
+crates/query/src/report.rs:
+crates/query/src/workload.rs:

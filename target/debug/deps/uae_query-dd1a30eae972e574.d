@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/uae_query-dd1a30eae972e574.d: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae_query-dd1a30eae972e574.rmeta: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/estimator.rs:
+crates/query/src/executor.rs:
+crates/query/src/metrics.rs:
+crates/query/src/parse.rs:
+crates/query/src/predicate.rs:
+crates/query/src/region.rs:
+crates/query/src/report.rs:
+crates/query/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

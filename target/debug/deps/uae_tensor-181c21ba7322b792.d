@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/uae_tensor-181c21ba7322b792.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/uae_tensor-181c21ba7322b792: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/uae_tensor-45544e7f5f9a3b13.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libuae_tensor-45544e7f5f9a3b13.rlib: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libuae_tensor-45544e7f5f9a3b13.rmeta: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:

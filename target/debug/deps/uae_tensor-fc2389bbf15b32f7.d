@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/uae_tensor-fc2389bbf15b32f7.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuae_tensor-fc2389bbf15b32f7.rmeta: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

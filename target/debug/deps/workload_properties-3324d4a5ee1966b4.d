@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_properties-3324d4a5ee1966b4.d: crates/query/tests/workload_properties.rs
+
+/root/repo/target/debug/deps/workload_properties-3324d4a5ee1966b4: crates/query/tests/workload_properties.rs
+
+crates/query/tests/workload_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_estimators-1fb56004dbf7750f.d: examples/compare_estimators.rs
+
+/root/repo/target/debug/examples/compare_estimators-1fb56004dbf7750f: examples/compare_estimators.rs
+
+examples/compare_estimators.rs:

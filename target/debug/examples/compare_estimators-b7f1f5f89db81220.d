@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_estimators-b7f1f5f89db81220.d: examples/compare_estimators.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_estimators-b7f1f5f89db81220.rmeta: examples/compare_estimators.rs Cargo.toml
+
+examples/compare_estimators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_estimators-f7c9b0e2dc8e5165.d: examples/compare_estimators.rs
+
+/root/repo/target/debug/examples/compare_estimators-f7c9b0e2dc8e5165: examples/compare_estimators.rs
+
+examples/compare_estimators.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_csv-0de7b340db1b3751.d: examples/custom_csv.rs
+
+/root/repo/target/debug/examples/custom_csv-0de7b340db1b3751: examples/custom_csv.rs
+
+examples/custom_csv.rs:

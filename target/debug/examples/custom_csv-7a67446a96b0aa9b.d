@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_csv-7a67446a96b0aa9b.d: examples/custom_csv.rs
+
+/root/repo/target/debug/examples/custom_csv-7a67446a96b0aa9b: examples/custom_csv.rs
+
+examples/custom_csv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_csv-c3e7173ebda7dc47.d: examples/custom_csv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_csv-c3e7173ebda7dc47.rmeta: examples/custom_csv.rs Cargo.toml
+
+examples/custom_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/join_cardinality-1ec99d7ac009f7bf.d: examples/join_cardinality.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjoin_cardinality-1ec99d7ac009f7bf.rmeta: examples/join_cardinality.rs Cargo.toml
+
+examples/join_cardinality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/join_cardinality-c3cb90a4a0de6d89.d: examples/join_cardinality.rs
+
+/root/repo/target/debug/examples/join_cardinality-c3cb90a4a0de6d89: examples/join_cardinality.rs
+
+examples/join_cardinality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/join_cardinality-c46d32e04cef679a.d: examples/join_cardinality.rs
+
+/root/repo/target/debug/examples/join_cardinality-c46d32e04cef679a: examples/join_cardinality.rs
+
+examples/join_cardinality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5b920a71915e95df.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5b920a71915e95df.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

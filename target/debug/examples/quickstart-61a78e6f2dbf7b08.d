@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-61a78e6f2dbf7b08.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-61a78e6f2dbf7b08: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dce8420fa61151e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dce8420fa61151e2: examples/quickstart.rs
+
+examples/quickstart.rs:

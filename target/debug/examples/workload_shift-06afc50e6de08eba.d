@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_shift-06afc50e6de08eba.d: examples/workload_shift.rs
+
+/root/repo/target/debug/examples/workload_shift-06afc50e6de08eba: examples/workload_shift.rs
+
+examples/workload_shift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workload_shift-39ef8ba6efd79ef9.d: examples/workload_shift.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkload_shift-39ef8ba6efd79ef9.rmeta: examples/workload_shift.rs Cargo.toml
+
+examples/workload_shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

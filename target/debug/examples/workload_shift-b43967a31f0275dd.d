@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workload_shift-b43967a31f0275dd.d: examples/workload_shift.rs
+
+/root/repo/target/debug/examples/workload_shift-b43967a31f0275dd: examples/workload_shift.rs
+
+examples/workload_shift.rs:

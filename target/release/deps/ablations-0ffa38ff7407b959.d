@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-0ffa38ff7407b959.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-0ffa38ff7407b959: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

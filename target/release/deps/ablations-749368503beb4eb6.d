@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-749368503beb4eb6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-749368503beb4eb6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

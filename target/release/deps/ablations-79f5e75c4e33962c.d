@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-79f5e75c4e33962c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-79f5e75c4e33962c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

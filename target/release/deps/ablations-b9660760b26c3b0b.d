@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-b9660760b26c3b0b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-b9660760b26c3b0b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algebra_properties-f7ce32567bbf3474.d: crates/tensor/tests/algebra_properties.rs
+
+/root/repo/target/release/deps/algebra_properties-f7ce32567bbf3474: crates/tensor/tests/algebra_properties.rs
+
+crates/tensor/tests/algebra_properties.rs:

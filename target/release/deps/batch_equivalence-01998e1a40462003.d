@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_equivalence-01998e1a40462003.d: crates/core/tests/batch_equivalence.rs
+
+/root/repo/target/release/deps/batch_equivalence-01998e1a40462003: crates/core/tests/batch_equivalence.rs
+
+crates/core/tests/batch_equivalence.rs:

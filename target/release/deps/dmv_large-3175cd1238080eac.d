@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmv_large-3175cd1238080eac.d: crates/bench/src/bin/dmv_large.rs
+
+/root/repo/target/release/deps/dmv_large-3175cd1238080eac: crates/bench/src/bin/dmv_large.rs
+
+crates/bench/src/bin/dmv_large.rs:

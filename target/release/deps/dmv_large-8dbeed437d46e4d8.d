@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmv_large-8dbeed437d46e4d8.d: crates/bench/src/bin/dmv_large.rs
+
+/root/repo/target/release/deps/dmv_large-8dbeed437d46e4d8: crates/bench/src/bin/dmv_large.rs
+
+crates/bench/src/bin/dmv_large.rs:

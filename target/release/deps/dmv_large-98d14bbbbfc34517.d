@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dmv_large-98d14bbbbfc34517.d: crates/bench/src/bin/dmv_large.rs
+
+/root/repo/target/release/deps/dmv_large-98d14bbbbfc34517: crates/bench/src/bin/dmv_large.rs
+
+crates/bench/src/bin/dmv_large.rs:

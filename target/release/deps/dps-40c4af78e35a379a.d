@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dps-40c4af78e35a379a.d: crates/bench/benches/dps.rs
+
+/root/repo/target/release/deps/dps-40c4af78e35a379a: crates/bench/benches/dps.rs
+
+crates/bench/benches/dps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dps-88d269cc6fa7866c.d: crates/bench/benches/dps.rs
+
+/root/repo/target/release/deps/dps-88d269cc6fa7866c: crates/bench/benches/dps.rs
+
+crates/bench/benches/dps.rs:

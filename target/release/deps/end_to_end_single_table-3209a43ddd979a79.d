@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_single_table-3209a43ddd979a79.d: tests/end_to_end_single_table.rs
+
+/root/repo/target/release/deps/end_to_end_single_table-3209a43ddd979a79: tests/end_to_end_single_table.rs
+
+tests/end_to_end_single_table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/estimation_latency-48b83f8bf533e8fd.d: crates/bench/benches/estimation_latency.rs
+
+/root/repo/target/release/deps/estimation_latency-48b83f8bf533e8fd: crates/bench/benches/estimation_latency.rs
+
+crates/bench/benches/estimation_latency.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

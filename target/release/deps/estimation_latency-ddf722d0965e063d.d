@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimation_latency-ddf722d0965e063d.d: crates/bench/benches/estimation_latency.rs
+
+/root/repo/target/release/deps/estimation_latency-ddf722d0965e063d: crates/bench/benches/estimation_latency.rs
+
+crates/bench/benches/estimation_latency.rs:

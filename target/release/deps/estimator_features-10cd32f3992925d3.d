@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimator_features-10cd32f3992925d3.d: crates/core/tests/estimator_features.rs
+
+/root/repo/target/release/deps/estimator_features-10cd32f3992925d3: crates/core/tests/estimator_features.rs
+
+crates/core/tests/estimator_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimator_features-e20fef904f246593.d: crates/core/tests/estimator_features.rs
+
+/root/repo/target/release/deps/estimator_features-e20fef904f246593: crates/core/tests/estimator_features.rs
+
+crates/core/tests/estimator_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-257f5771b38d2435.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-257f5771b38d2435: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-678a319dff08cfb1.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-678a319dff08cfb1: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-dbfd96f295d66616.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-dbfd96f295d66616: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

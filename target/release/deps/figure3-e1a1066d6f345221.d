@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-e1a1066d6f345221.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-e1a1066d6f345221: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-0a1384ed0102a236.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-0a1384ed0102a236: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

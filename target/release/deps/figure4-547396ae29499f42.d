@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-547396ae29499f42.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-547396ae29499f42: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-62c5f787e9d0a543.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-62c5f787e9d0a543: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-df21c59d04aee5d4.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-df21c59d04aee5d4: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-44f4f9ce1d8537ac.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-44f4f9ce1d8537ac: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-8b6d5489f51a0cd8.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-8b6d5489f51a0cd8: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-c6979e60a5b4a354.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-c6979e60a5b4a354: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

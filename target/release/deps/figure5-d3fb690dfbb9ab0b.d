@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure5-d3fb690dfbb9ab0b.d: crates/bench/src/bin/figure5.rs
+
+/root/repo/target/release/deps/figure5-d3fb690dfbb9ab0b: crates/bench/src/bin/figure5.rs
+
+crates/bench/src/bin/figure5.rs:

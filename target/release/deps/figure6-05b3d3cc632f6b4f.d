@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-05b3d3cc632f6b4f.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-05b3d3cc632f6b4f: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-0ee7bddb5bdf562a.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-0ee7bddb5bdf562a: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

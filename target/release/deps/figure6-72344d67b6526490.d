@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-72344d67b6526490.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-72344d67b6526490: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

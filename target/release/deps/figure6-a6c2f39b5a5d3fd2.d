@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure6-a6c2f39b5a5d3fd2.d: crates/bench/src/bin/figure6.rs
+
+/root/repo/target/release/deps/figure6-a6c2f39b5a5d3fd2: crates/bench/src/bin/figure6.rs
+
+crates/bench/src/bin/figure6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generator_properties-699666460e4ad5db.d: crates/data/tests/generator_properties.rs
+
+/root/repo/target/release/deps/generator_properties-699666460e4ad5db: crates/data/tests/generator_properties.rs
+
+crates/data/tests/generator_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generator_properties-9403f4578516a757.d: crates/data/tests/generator_properties.rs
+
+/root/repo/target/release/deps/generator_properties-9403f4578516a757: crates/data/tests/generator_properties.rs
+
+crates/data/tests/generator_properties.rs:

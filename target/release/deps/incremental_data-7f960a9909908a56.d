@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_data-7f960a9909908a56.d: crates/bench/src/bin/incremental_data.rs
+
+/root/repo/target/release/deps/incremental_data-7f960a9909908a56: crates/bench/src/bin/incremental_data.rs
+
+crates/bench/src/bin/incremental_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_data-924d0bd2f6a04039.d: crates/bench/src/bin/incremental_data.rs
+
+/root/repo/target/release/deps/incremental_data-924d0bd2f6a04039: crates/bench/src/bin/incremental_data.rs
+
+crates/bench/src/bin/incremental_data.rs:

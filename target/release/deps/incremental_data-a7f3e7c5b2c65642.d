@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_data-a7f3e7c5b2c65642.d: crates/bench/src/bin/incremental_data.rs
+
+/root/repo/target/release/deps/incremental_data-a7f3e7c5b2c65642: crates/bench/src/bin/incremental_data.rs
+
+crates/bench/src/bin/incremental_data.rs:

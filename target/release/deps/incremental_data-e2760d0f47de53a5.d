@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_data-e2760d0f47de53a5.d: crates/bench/src/bin/incremental_data.rs
+
+/root/repo/target/release/deps/incremental_data-e2760d0f47de53a5: crates/bench/src/bin/incremental_data.rs
+
+crates/bench/src/bin/incremental_data.rs:

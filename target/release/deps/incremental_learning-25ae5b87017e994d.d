@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/incremental_learning-25ae5b87017e994d.d: tests/incremental_learning.rs
+
+/root/repo/target/release/deps/incremental_learning-25ae5b87017e994d: tests/incremental_learning.rs
+
+tests/incremental_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/join_invariants-06f938976bffbbbd.d: crates/join/tests/join_invariants.rs
+
+/root/repo/target/release/deps/join_invariants-06f938976bffbbbd: crates/join/tests/join_invariants.rs
+
+crates/join/tests/join_invariants.rs:

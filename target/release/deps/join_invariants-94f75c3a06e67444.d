@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/join_invariants-94f75c3a06e67444.d: crates/join/tests/join_invariants.rs
+
+/root/repo/target/release/deps/join_invariants-94f75c3a06e67444: crates/join/tests/join_invariants.rs
+
+crates/join/tests/join_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/join_pipeline-d1b1327d4bf31732.d: tests/join_pipeline.rs
+
+/root/repo/target/release/deps/join_pipeline-d1b1327d4bf31732: tests/join_pipeline.rs
+
+tests/join_pipeline.rs:

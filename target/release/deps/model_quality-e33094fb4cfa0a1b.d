@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_quality-e33094fb4cfa0a1b.d: tests/model_quality.rs
+
+/root/repo/target/release/deps/model_quality-e33094fb4cfa0a1b: tests/model_quality.rs
+
+tests/model_quality.rs:

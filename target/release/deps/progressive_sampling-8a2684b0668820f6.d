@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/progressive_sampling-8a2684b0668820f6.d: crates/bench/benches/progressive_sampling.rs
+
+/root/repo/target/release/deps/progressive_sampling-8a2684b0668820f6: crates/bench/benches/progressive_sampling.rs
+
+crates/bench/benches/progressive_sampling.rs:

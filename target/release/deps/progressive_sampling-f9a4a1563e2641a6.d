@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/progressive_sampling-f9a4a1563e2641a6.d: crates/bench/benches/progressive_sampling.rs
+
+/root/repo/target/release/deps/progressive_sampling-f9a4a1563e2641a6: crates/bench/benches/progressive_sampling.rs
+
+crates/bench/benches/progressive_sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-dd3ea83ec4cd67e4.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-dd3ea83ec4cd67e4: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-a6f4fd21634a49a1.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-a6f4fd21634a49a1: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-57ab7cf0c5ad78ce.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-57ab7cf0c5ad78ce: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regimes-906701c78fe120aa.d: crates/estimators/tests/regimes.rs
+
+/root/repo/target/release/deps/regimes-906701c78fe120aa: crates/estimators/tests/regimes.rs
+
+crates/estimators/tests/regimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regimes-ff25b7a84f55417f.d: crates/estimators/tests/regimes.rs
+
+/root/repo/target/release/deps/regimes-ff25b7a84f55417f: crates/estimators/tests/regimes.rs
+
+crates/estimators/tests/regimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sampling_consistency-1c3d8c722fff3f87.d: crates/core/tests/sampling_consistency.rs
+
+/root/repo/target/release/deps/sampling_consistency-1c3d8c722fff3f87: crates/core/tests/sampling_consistency.rs
+
+crates/core/tests/sampling_consistency.rs:

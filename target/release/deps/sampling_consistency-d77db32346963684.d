@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sampling_consistency-d77db32346963684.d: crates/core/tests/sampling_consistency.rs
+
+/root/repo/target/release/deps/sampling_consistency-d77db32346963684: crates/core/tests/sampling_consistency.rs
+
+crates/core/tests/sampling_consistency.rs:

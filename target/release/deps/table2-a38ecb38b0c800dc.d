@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-a38ecb38b0c800dc.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-a38ecb38b0c800dc: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d858852568486230.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d858852568486230: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e585787da155e825.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e585787da155e825: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

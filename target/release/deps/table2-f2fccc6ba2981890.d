@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-f2fccc6ba2981890.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-f2fccc6ba2981890: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

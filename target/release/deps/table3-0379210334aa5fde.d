@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-0379210334aa5fde.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-0379210334aa5fde: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

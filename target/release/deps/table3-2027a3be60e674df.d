@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-2027a3be60e674df.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-2027a3be60e674df: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6029c9f9df434916.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6029c9f9df434916: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

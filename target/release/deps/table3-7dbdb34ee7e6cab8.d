@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7dbdb34ee7e6cab8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7dbdb34ee7e6cab8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c9b62e5052c2bd6d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c9b62e5052c2bd6d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

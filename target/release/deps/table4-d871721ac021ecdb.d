@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-d871721ac021ecdb.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-d871721ac021ecdb: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

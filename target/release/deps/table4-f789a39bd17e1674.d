@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f789a39bd17e1674.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f789a39bd17e1674: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

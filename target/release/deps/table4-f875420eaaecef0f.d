@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f875420eaaecef0f.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f875420eaaecef0f: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-17e0358501144e9d.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-17e0358501144e9d: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-7f8a7635d7a72dbb.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-7f8a7635d7a72dbb: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

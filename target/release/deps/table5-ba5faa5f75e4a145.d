@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-ba5faa5f75e4a145.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-ba5faa5f75e4a145: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-cdea3c05ceaaf2d4.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-cdea3c05ceaaf2d4: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

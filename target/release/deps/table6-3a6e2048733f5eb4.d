@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-3a6e2048733f5eb4.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-3a6e2048733f5eb4: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

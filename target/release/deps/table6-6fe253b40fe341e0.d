@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-6fe253b40fe341e0.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-6fe253b40fe341e0: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-b90ccb53b36d63f9.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-b90ccb53b36d63f9: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

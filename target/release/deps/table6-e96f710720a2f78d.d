@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-e96f710720a2f78d.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-e96f710720a2f78d: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_ops-27ef934f8cb00e31.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/release/deps/tensor_ops-27ef934f8cb00e31: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_ops-5a20f7ecb0b49ce9.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/release/deps/tensor_ops-5a20f7ecb0b49ce9: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

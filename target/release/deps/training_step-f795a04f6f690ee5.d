@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training_step-f795a04f6f690ee5.d: crates/bench/benches/training_step.rs
+
+/root/repo/target/release/deps/training_step-f795a04f6f690ee5: crates/bench/benches/training_step.rs
+
+crates/bench/benches/training_step.rs:

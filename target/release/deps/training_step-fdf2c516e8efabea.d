@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training_step-fdf2c516e8efabea.d: crates/bench/benches/training_step.rs
+
+/root/repo/target/release/deps/training_step-fdf2c516e8efabea: crates/bench/benches/training_step.rs
+
+crates/bench/benches/training_step.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uae-4726474613760174.d: src/lib.rs
+
+/root/repo/target/release/deps/libuae-4726474613760174.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuae-4726474613760174.rmeta: src/lib.rs
+
+src/lib.rs:

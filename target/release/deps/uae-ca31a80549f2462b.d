@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uae-ca31a80549f2462b.d: src/lib.rs
+
+/root/repo/target/release/deps/libuae-ca31a80549f2462b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuae-ca31a80549f2462b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uae-e93d8665b5226aa8.d: src/lib.rs
+
+/root/repo/target/release/deps/uae-e93d8665b5226aa8: src/lib.rs
+
+src/lib.rs:

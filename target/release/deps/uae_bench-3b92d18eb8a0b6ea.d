@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uae_bench-3b92d18eb8a0b6ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libuae_bench-3b92d18eb8a0b6ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libuae_bench-3b92d18eb8a0b6ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

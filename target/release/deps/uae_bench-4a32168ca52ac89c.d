@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/uae_bench-4a32168ca52ac89c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libuae_bench-4a32168ca52ac89c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libuae_bench-4a32168ca52ac89c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

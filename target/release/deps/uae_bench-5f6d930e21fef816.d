@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uae_bench-5f6d930e21fef816.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/uae_bench-5f6d930e21fef816: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

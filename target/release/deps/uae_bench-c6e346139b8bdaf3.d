@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/uae_bench-c6e346139b8bdaf3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/uae_bench-c6e346139b8bdaf3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/uae_core-304d8a99d15f550d.d: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/release/deps/libuae_core-304d8a99d15f550d.rlib: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/release/deps/libuae_core-304d8a99d15f550d.rmeta: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dps.rs:
+crates/core/src/encoding.rs:
+crates/core/src/estimator.rs:
+crates/core/src/infer.rs:
+crates/core/src/infer_batch.rs:
+crates/core/src/model.rs:
+crates/core/src/ordering.rs:
+crates/core/src/serialize.rs:
+crates/core/src/sf.rs:
+crates/core/src/train.rs:
+crates/core/src/vquery.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/uae_core-6e7ea6409120328f.d: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/release/deps/uae_core-6e7ea6409120328f: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/infer_batch.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dps.rs:
+crates/core/src/encoding.rs:
+crates/core/src/estimator.rs:
+crates/core/src/infer.rs:
+crates/core/src/infer_batch.rs:
+crates/core/src/model.rs:
+crates/core/src/ordering.rs:
+crates/core/src/serialize.rs:
+crates/core/src/sf.rs:
+crates/core/src/train.rs:
+crates/core/src/vquery.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/uae_core-f0d0b4944ebb29f7.d: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+/root/repo/target/release/deps/uae_core-f0d0b4944ebb29f7: crates/core/src/lib.rs crates/core/src/dps.rs crates/core/src/encoding.rs crates/core/src/estimator.rs crates/core/src/infer.rs crates/core/src/model.rs crates/core/src/ordering.rs crates/core/src/serialize.rs crates/core/src/sf.rs crates/core/src/train.rs crates/core/src/vquery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dps.rs:
+crates/core/src/encoding.rs:
+crates/core/src/estimator.rs:
+crates/core/src/infer.rs:
+crates/core/src/model.rs:
+crates/core/src/ordering.rs:
+crates/core/src/serialize.rs:
+crates/core/src/sf.rs:
+crates/core/src/train.rs:
+crates/core/src/vquery.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uae_data-1a9221862df1fe01.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/release/deps/libuae_data-1a9221862df1fe01.rlib: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/release/deps/libuae_data-1a9221862df1fe01.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/par.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth.rs:
+crates/data/src/table.rs:
+crates/data/src/value.rs:

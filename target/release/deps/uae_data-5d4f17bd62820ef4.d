@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uae_data-5d4f17bd62820ef4.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/release/deps/libuae_data-5d4f17bd62820ef4.rlib: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/release/deps/libuae_data-5d4f17bd62820ef4.rmeta: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/par.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth.rs:
+crates/data/src/table.rs:
+crates/data/src/value.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/uae_data-9b93fd3065989202.d: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+/root/repo/target/release/deps/uae_data-9b93fd3065989202: crates/data/src/lib.rs crates/data/src/io.rs crates/data/src/par.rs crates/data/src/stats.rs crates/data/src/synth.rs crates/data/src/table.rs crates/data/src/value.rs
+
+crates/data/src/lib.rs:
+crates/data/src/io.rs:
+crates/data/src/par.rs:
+crates/data/src/stats.rs:
+crates/data/src/synth.rs:
+crates/data/src/table.rs:
+crates/data/src/value.rs:

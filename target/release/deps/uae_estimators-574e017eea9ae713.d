@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/uae_estimators-574e017eea9ae713.d: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+/root/repo/target/release/deps/libuae_estimators-574e017eea9ae713.rlib: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+/root/repo/target/release/deps/libuae_estimators-574e017eea9ae713.rmeta: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/bayesnet.rs:
+crates/estimators/src/features.rs:
+crates/estimators/src/histogram.rs:
+crates/estimators/src/kde.rs:
+crates/estimators/src/lr.rs:
+crates/estimators/src/mhist.rs:
+crates/estimators/src/mscn.rs:
+crates/estimators/src/quicksel.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/spn.rs:
+crates/estimators/src/stholes.rs:

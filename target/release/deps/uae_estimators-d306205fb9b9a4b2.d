@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/uae_estimators-d306205fb9b9a4b2.d: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+/root/repo/target/release/deps/uae_estimators-d306205fb9b9a4b2: crates/estimators/src/lib.rs crates/estimators/src/bayesnet.rs crates/estimators/src/features.rs crates/estimators/src/histogram.rs crates/estimators/src/kde.rs crates/estimators/src/lr.rs crates/estimators/src/mhist.rs crates/estimators/src/mscn.rs crates/estimators/src/quicksel.rs crates/estimators/src/sampling.rs crates/estimators/src/spn.rs crates/estimators/src/stholes.rs
+
+crates/estimators/src/lib.rs:
+crates/estimators/src/bayesnet.rs:
+crates/estimators/src/features.rs:
+crates/estimators/src/histogram.rs:
+crates/estimators/src/kde.rs:
+crates/estimators/src/lr.rs:
+crates/estimators/src/mhist.rs:
+crates/estimators/src/mscn.rs:
+crates/estimators/src/quicksel.rs:
+crates/estimators/src/sampling.rs:
+crates/estimators/src/spn.rs:
+crates/estimators/src/stholes.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/uae_join-99419c4daa30e3dd.d: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+/root/repo/target/release/deps/libuae_join-99419c4daa30e3dd.rlib: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+/root/repo/target/release/deps/libuae_join-99419c4daa30e3dd.rmeta: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+crates/join/src/lib.rs:
+crates/join/src/baselines.rs:
+crates/join/src/estimator.rs:
+crates/join/src/executor.rs:
+crates/join/src/optimizer.rs:
+crates/join/src/sampler.rs:
+crates/join/src/schema.rs:
+crates/join/src/synth.rs:
+crates/join/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uae_join-ceca7e87338a3706.d: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+/root/repo/target/release/deps/uae_join-ceca7e87338a3706: crates/join/src/lib.rs crates/join/src/baselines.rs crates/join/src/estimator.rs crates/join/src/executor.rs crates/join/src/optimizer.rs crates/join/src/sampler.rs crates/join/src/schema.rs crates/join/src/synth.rs crates/join/src/workload.rs
+
+crates/join/src/lib.rs:
+crates/join/src/baselines.rs:
+crates/join/src/estimator.rs:
+crates/join/src/executor.rs:
+crates/join/src/optimizer.rs:
+crates/join/src/sampler.rs:
+crates/join/src/schema.rs:
+crates/join/src/synth.rs:
+crates/join/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/uae_query-aa4317d99ed3322e.d: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+/root/repo/target/release/deps/libuae_query-aa4317d99ed3322e.rlib: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+/root/repo/target/release/deps/libuae_query-aa4317d99ed3322e.rmeta: crates/query/src/lib.rs crates/query/src/estimator.rs crates/query/src/executor.rs crates/query/src/metrics.rs crates/query/src/parse.rs crates/query/src/predicate.rs crates/query/src/region.rs crates/query/src/report.rs crates/query/src/workload.rs
+
+crates/query/src/lib.rs:
+crates/query/src/estimator.rs:
+crates/query/src/executor.rs:
+crates/query/src/metrics.rs:
+crates/query/src/parse.rs:
+crates/query/src/predicate.rs:
+crates/query/src/region.rs:
+crates/query/src/report.rs:
+crates/query/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/uae_tensor-af2a4c338cd716d6.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libuae_tensor-af2a4c338cd716d6.rlib: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libuae_tensor-af2a4c338cd716d6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/optim.rs crates/tensor/src/pool.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:

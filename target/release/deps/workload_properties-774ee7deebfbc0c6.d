@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_properties-774ee7deebfbc0c6.d: crates/query/tests/workload_properties.rs
+
+/root/repo/target/release/deps/workload_properties-774ee7deebfbc0c6: crates/query/tests/workload_properties.rs
+
+crates/query/tests/workload_properties.rs:

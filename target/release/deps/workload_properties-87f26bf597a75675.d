@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workload_properties-87f26bf597a75675.d: crates/query/tests/workload_properties.rs
+
+/root/repo/target/release/deps/workload_properties-87f26bf597a75675: crates/query/tests/workload_properties.rs
+
+crates/query/tests/workload_properties.rs:

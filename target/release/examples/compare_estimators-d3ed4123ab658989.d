@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_estimators-d3ed4123ab658989.d: examples/compare_estimators.rs
+
+/root/repo/target/release/examples/compare_estimators-d3ed4123ab658989: examples/compare_estimators.rs
+
+examples/compare_estimators.rs:

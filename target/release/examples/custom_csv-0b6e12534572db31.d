@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_csv-0b6e12534572db31.d: examples/custom_csv.rs
+
+/root/repo/target/release/examples/custom_csv-0b6e12534572db31: examples/custom_csv.rs
+
+examples/custom_csv.rs:

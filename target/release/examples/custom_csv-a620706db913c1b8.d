@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_csv-a620706db913c1b8.d: examples/custom_csv.rs
+
+/root/repo/target/release/examples/custom_csv-a620706db913c1b8: examples/custom_csv.rs
+
+examples/custom_csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/join_cardinality-d51ab603540e0292.d: examples/join_cardinality.rs
+
+/root/repo/target/release/examples/join_cardinality-d51ab603540e0292: examples/join_cardinality.rs
+
+examples/join_cardinality.rs:

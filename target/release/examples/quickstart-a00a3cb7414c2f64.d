@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a00a3cb7414c2f64.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a00a3cb7414c2f64: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/workload_shift-5cee6162eb1580ec.d: examples/workload_shift.rs
+
+/root/repo/target/release/examples/workload_shift-5cee6162eb1580ec: examples/workload_shift.rs
+
+examples/workload_shift.rs:

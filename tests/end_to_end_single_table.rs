@@ -24,13 +24,9 @@ struct Fixture {
 fn fixture() -> Fixture {
     let table = uae::data::census_like(3_000, 11);
     let col = default_bounded_column(&table);
-    let train =
-        generate_workload(&table, &WorkloadSpec::in_workload(col, 120, 1), &HashSet::new());
-    let test = generate_workload(
-        &table,
-        &WorkloadSpec::in_workload(col, 40, 2),
-        &fingerprints(&train),
-    );
+    let train = generate_workload(&table, &WorkloadSpec::in_workload(col, 120, 1), &HashSet::new());
+    let test =
+        generate_workload(&table, &WorkloadSpec::in_workload(col, 40, 2), &fingerprints(&train));
     Fixture { table, train, test }
 }
 

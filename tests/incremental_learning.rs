@@ -5,9 +5,7 @@
 use std::collections::HashSet;
 
 use uae::core::{Uae, UaeConfig};
-use uae::query::{
-    default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec,
-};
+use uae::query::{default_bounded_column, evaluate, generate_workload, BoundedSpec, WorkloadSpec};
 
 fn cfg() -> UaeConfig {
     let mut cfg = UaeConfig::default();
@@ -68,11 +66,7 @@ fn data_ingestion_tracks_new_rows() {
     // After ingestion the model's selectivities refer to the full table.
     let w = generate_workload(&table, &WorkloadSpec::random(30, 5), &HashSet::new());
     let ev = evaluate(&model, &w);
-    assert!(
-        ev.errors.median < 8.0,
-        "post-ingestion median q-error {} too high",
-        ev.errors.median
-    );
+    assert!(ev.errors.median < 8.0, "post-ingestion median q-error {} too high", ev.errors.median);
 }
 
 #[test]
@@ -81,8 +75,7 @@ fn ingestion_does_not_catastrophically_forget() {
     // without destroying overall data knowledge.
     let table = uae::data::dmv_like(6_000, 22);
     let col = default_bounded_column(&table);
-    let random_test =
-        generate_workload(&table, &WorkloadSpec::random(40, 77), &HashSet::new());
+    let random_test = generate_workload(&table, &WorkloadSpec::random(40, 77), &HashSet::new());
 
     let mut model = Uae::new(&table, cfg());
     model.train_data(3);

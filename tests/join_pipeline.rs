@@ -26,8 +26,8 @@ fn neurocard_and_deepdb_estimate_joins() {
     let schema = imdb_like(600, 31);
     let exec = JoinExecutor::new(&schema);
 
-    let mut nc = JoinUae::new(sample_outer_join(&schema, 4_000, 16, 1), quick_cfg())
-        .with_name("NeuroCard");
+    let mut nc =
+        JoinUae::new(sample_outer_join(&schema, 4_000, 16, 1), quick_cfg()).with_name("NeuroCard");
     nc.train_data(4);
     let spn = JoinSpn::new(sample_outer_join(&schema, 4_000, 16, 2), &Default::default());
 
@@ -81,10 +81,7 @@ fn hybrid_join_training_improves_focused_queries() {
     let before = median_err(&uae);
     uae.train_hybrid(&train, 4);
     let after = median_err(&uae);
-    assert!(
-        after <= before * 1.25,
-        "hybrid join training should not regress: {before} → {after}"
-    );
+    assert!(after <= before * 1.25, "hybrid join training should not regress: {before} → {after}");
     assert!(after < 6.0, "post-hybrid median q-error {after}");
 }
 

@@ -27,10 +27,12 @@ fn structured_table(rows: usize) -> Table {
 }
 
 fn trained_model(table: &Table) -> Uae {
-    let mut cfg = UaeConfig::default();
-    cfg.model = ResMadeConfig { hidden: 32, blocks: 1, seed: 3 };
+    let mut cfg = UaeConfig {
+        model: ResMadeConfig { hidden: 32, blocks: 1, seed: 3 },
+        estimate_samples: 400,
+        ..UaeConfig::default()
+    };
     cfg.train.wildcard_prob = 0.15;
-    cfg.estimate_samples = 400;
     let mut uae = Uae::new(table, cfg);
     uae.train_data(25);
     uae
@@ -53,9 +55,7 @@ fn learned_joint_matches_empirical_distribution() {
             codes
                 .iter()
                 .enumerate()
-                .map(|(c, &code)| {
-                    Predicate::eq(c, table.column(c).dict()[code as usize].clone())
-                })
+                .map(|(c, &code)| Predicate::eq(c, table.column(c).dict()[code as usize].clone()))
                 .collect(),
         );
         let est = uae.estimate_selectivity(&q);
@@ -77,10 +77,7 @@ fn progressive_sampling_is_consistent_with_exhaustive_on_trained_model() {
     // should put the right mass on this region.
     let exec = uae::query::Executor::new(&table);
     let truth = exec.selectivity(&q);
-    assert!(
-        (est - truth).abs() < 0.05,
-        "progressive estimate {est} vs true selectivity {truth}"
-    );
+    assert!((est - truth).abs() < 0.05, "progressive estimate {est} vs true selectivity {truth}");
 }
 
 #[test]

@@ -11,17 +11,15 @@ use uae::tensor::ParamStore;
 
 fn arb_table() -> impl Strategy<Value = Table> {
     // 2–4 columns, 20–80 rows, domains 2–12.
-    (2usize..=4, 20usize..=80, proptest::collection::vec(2i64..=12, 2..=4), any::<u64>())
-        .prop_map(|(ncols, rows, domains, seed)| {
+    (2usize..=4, 20usize..=80, proptest::collection::vec(2i64..=12, 2..=4), any::<u64>()).prop_map(
+        |(ncols, rows, domains, seed)| {
             let ncols = ncols.min(domains.len());
             let cols = (0..ncols)
                 .map(|c| {
                     let d = domains[c];
                     let vals: Vec<Value> = (0..rows)
                         .map(|r| {
-                            let h = uae::data::synth::splitmix64(
-                                seed ^ (r as u64) << 8 ^ c as u64,
-                            );
+                            let h = uae::data::synth::splitmix64(seed ^ (r as u64) << 8 ^ c as u64);
                             Value::Int((h % d as u64) as i64)
                         })
                         .collect();
@@ -29,15 +27,12 @@ fn arb_table() -> impl Strategy<Value = Table> {
                 })
                 .collect();
             Table::from_columns("prop", cols)
-        })
+        },
+    )
 }
 
 fn arb_query(ncols: usize) -> impl Strategy<Value = Query> {
-    proptest::collection::vec(
-        (0..ncols, 0usize..=5, -1i64..=13),
-        0..=4,
-    )
-    .prop_map(|preds| {
+    proptest::collection::vec((0..ncols, 0usize..=5, -1i64..=13), 0..=4).prop_map(|preds| {
         Query::new(
             preds
                 .into_iter()

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` harness, benchmark
+//! groups, and `Bencher::iter` timing with median/mean reporting. No
+//! statistical regression analysis — benches here exist to print
+//! comparable wall-clock numbers in an offline container.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { _c: self, name, sample_size: 10 }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(None, &id.into().0, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target time hint (accepted for API compatibility; unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(Some(&self.name), &id.into().0, self.sample_size, f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(Some(&self.name), &id.into().0, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{p}", name.into()))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per requested sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run.
+        black_box(f());
+        self.samples = (0..self.iters)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), iters: samples };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if b.samples.is_empty() {
+        eprintln!("  {label}: no samples");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    eprintln!(
+        "  {label}: median {:>12?}  mean {:>12?}  ({} samples)",
+        median,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_round_trip() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42), &2, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+            ran += 1;
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| ()));
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! range and tuple strategies, `prop_map` / `prop_flat_map`, `Just`,
+//! `any::<T>()`, `collection::vec`, the `proptest!` macro, and a
+//! deterministic [`test_runner::TestRunner`]. Failing cases are reported
+//! with the generated inputs but are **not shrunk** — with seeded
+//! generation every failure replays exactly, which is what the tier-1
+//! suite needs from it.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Drives strategies; owns the RNG cases are drawn from.
+    pub struct TestRunner {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: every run generates the same cases.
+        pub fn deterministic() -> Self {
+            TestRunner { rng: StdRng::seed_from_u64(0x70_72_6f_70) }
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::deterministic()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::{Rng, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Clone {
+        /// Draw an arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng.random::<f64>()
+        }
+    }
+    impl Arbitrary for f32 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng.random::<f32>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn pick(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over the type's range).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for vectors whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                runner.rng.random_range(self.size.lo..=self.size.hi)
+            };
+            (0..n).map(|_| self.element.pick(runner)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// `assert!` under a name property bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name property bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name property bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption fails. Without shrinking there
+/// is nothing to backtrack; the case is simply not counted as a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// The `proptest! { ... }` block: expands each property into a `#[test]`
+/// that deterministically generates and runs `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::deterministic();
+                #[allow(clippy::reversed_empty_ranges)]
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::ValueTree::current(
+                            &$crate::strategy::Strategy::new_tree(&$strat, &mut runner)
+                                .expect("strategy generation failed"),
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..100 {
+            let x = (1i64..=6).new_tree(&mut runner).unwrap().current();
+            assert!((1..=6).contains(&x));
+            let v =
+                crate::collection::vec(0u32..10, 2..=4).new_tree(&mut runner).unwrap().current();
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let strat = crate::collection::vec(-1.0f32..1.0, 8usize);
+        let mut r1 = crate::test_runner::TestRunner::deterministic();
+        let mut r2 = crate::test_runner::TestRunner::deterministic();
+        assert_eq!(
+            strat.new_tree(&mut r1).unwrap().current(),
+            strat.new_tree(&mut r2).unwrap().current()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies and config together.
+        #[test]
+        fn macro_generates_cases(x in 0usize..50, pair in (0u32..4, Just(7i64))) {
+            prop_assert!(x < 50);
+            let (a, b) = pair;
+            prop_assert!(a < 4);
+            prop_assert_eq!(b, 7);
+        }
+
+        #[test]
+        fn flat_map_composes(v in (1usize..=3).prop_flat_map(|n| crate::collection::vec(0i64..10, n))) {
+            prop_assert!((1..=3).contains(&v.len()));
+        }
+    }
+}

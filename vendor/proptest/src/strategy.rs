@@ -1,0 +1,177 @@
+//! The [`Strategy`] trait and combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngExt;
+
+use crate::test_runner::TestRunner;
+
+/// A generated value plus (in real proptest) its shrink lattice. This
+/// stand-in does not shrink, so the tree is just the value.
+pub trait ValueTree {
+    /// The value type produced.
+    type Value;
+    /// The current (root) value.
+    fn current(&self) -> Self::Value;
+}
+
+/// A single generated value.
+#[derive(Debug, Clone)]
+pub struct Plucked<T>(pub T);
+
+impl<T: Clone> ValueTree for Plucked<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The value type this strategy generates.
+    type Value: Clone;
+
+    /// Draw one value.
+    fn pick(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Draw one value wrapped as a [`ValueTree`]. Generation here never
+    /// fails; the `Result` mirrors the upstream signature.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Plucked<Self::Value>, String> {
+        Ok(Plucked(self.pick(runner)))
+    }
+
+    /// Transform generated values.
+    fn prop_map<U: Clone, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (re-draws up to a bounded number
+    /// of times, then panics — matching upstream's local-rejection cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn pick(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).pick(runner)
+    }
+}
+
+/// Always yields its value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.pick(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn pick(&self, runner: &mut TestRunner) -> U::Value {
+        (self.f)(self.inner.pick(runner)).pick(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn pick(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..256 {
+            let v = self.inner.pick(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 256 consecutive cases: {}", self.whence);
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(runner),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuple! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
