@@ -14,4 +14,9 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== smoke: train -> checkpoint -> resume (bit-exact) =="
+cargo run --release --example train_checkpoint_resume -- \
+    --metrics-out target/train_metrics.jsonl
+test -s target/train_metrics.jsonl
+
 echo "CI OK"

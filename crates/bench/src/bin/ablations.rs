@@ -15,7 +15,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use uae_bench::{prepare_single_table, BenchScale};
+use uae_bench::{attach_metrics, metrics_out_arg, prepare_single_table, BenchScale};
 use uae_core::infer::{progressive_sample, uniform_sample_estimate};
 use uae_core::sf::{score_function_loss, SfBaseline};
 use uae_core::train::{query_loss, TrainQuery};
@@ -26,6 +26,7 @@ use uae_tensor::{Adam, GradStore, Optimizer, ParamStore, Tape};
 
 fn main() {
     let scale = BenchScale::from_env();
+    let metrics = metrics_out_arg();
     let mut small = scale.clone();
     small.dmv_rows /= 2;
     small.train_queries /= 2;
@@ -37,6 +38,7 @@ fn main() {
     eprintln!("[ablations] 1/4: sampling strategies…");
     let bench = prepare_single_table("dmv", &small, 0xAB1);
     let mut model = Uae::new(&bench.table, small.uae_config(0xAB1));
+    attach_metrics(&mut model, metrics.as_deref(), "ablation1:uae-d");
     model.train_data(small.data_epochs);
     // Compare q-errors of both strategies using the same trained weights.
     let raw_cfg = small.uae_config(0xAB1);
@@ -179,9 +181,11 @@ fn main() {
     eprintln!("[ablations] 3/4: wildcard skipping…");
     let mut with = Uae::new(&census.table, small.uae_config(0xAB6));
     with.train_config_mut().wildcard_prob = 0.25;
+    attach_metrics(&mut with, metrics.as_deref(), "ablation3:with-dropout");
     with.train_data(small.data_epochs);
     let mut without = Uae::new(&census.table, small.uae_config(0xAB6));
     without.train_config_mut().wildcard_prob = 0.0;
+    attach_metrics(&mut without, metrics.as_deref(), "ablation3:without-dropout");
     without.train_data(small.data_epochs);
     // Random queries leave many columns unqueried → inference feeds the
     // wildcard token; a model never trained with it mis-handles them.
@@ -218,6 +222,7 @@ fn main() {
         let mut cfg = small.uae_config(0xAB8);
         cfg.order = order;
         let mut m = Uae::new(&bench.table, cfg);
+        attach_metrics(&mut m, metrics.as_deref(), &format!("ablation4:{label}"));
         m.train_data(small.data_epochs);
         let ev = evaluate(&m, &bench.test_in);
         println!(

@@ -9,12 +9,13 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use uae_bench::BenchScale;
+use uae_bench::{attach_metrics, metrics_out_arg, BenchScale};
 use uae_core::Uae;
 use uae_query::{evaluate, generate_workload, CardinalityEstimator, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();
+    let metrics = metrics_out_arg();
     let t0 = Instant::now();
     // "Old" data: the first 60% of a DMV-like table; "new" data: the rest,
     // drawn from a different seed region so marginals shift.
@@ -36,6 +37,7 @@ fn main() {
         generate_workload(&full, &WorkloadSpec::random(scale.test_queries, 7), &HashSet::new());
 
     let mut stale = Uae::new(&old, scale.uae_config(0x1CE)).with_name("stale");
+    attach_metrics(&mut stale, metrics.as_deref(), "incremental:stale");
     stale.train_data(scale.data_epochs);
     // The stale model still believes the table has `old` rows; scale its
     // cardinalities to the full table for a fair comparison.
@@ -50,12 +52,14 @@ fn main() {
     let stale_sum = uae_query::ErrorSummary::from_errors(&stale_errs);
 
     let mut refreshed = Uae::new(&old, scale.uae_config(0x1CE)).with_name("refreshed");
+    attach_metrics(&mut refreshed, metrics.as_deref(), "incremental:refreshed");
     refreshed.train_data(scale.data_epochs);
     refreshed.set_learning_rate(1e-3);
     refreshed.ingest_data(&new_rows, (scale.data_epochs / 2).max(2));
     let refreshed_sum = evaluate(&refreshed, &test).errors;
 
     let mut retrained = Uae::new(&full, scale.uae_config(0x1CE)).with_name("retrained");
+    attach_metrics(&mut retrained, metrics.as_deref(), "incremental:retrained");
     retrained.train_data(scale.data_epochs);
     let retrained_sum = evaluate(&retrained, &test).errors;
 

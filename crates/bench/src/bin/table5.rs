@@ -6,7 +6,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use uae_bench::BenchScale;
+use uae_bench::{attach_metrics, metrics_out_arg, BenchScale};
 use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, UaeConfig};
 use uae_estimators::{MscnConfig, SpnConfig};
 use uae_join::workload::fingerprints;
@@ -35,6 +35,7 @@ fn summarize(est: &dyn JoinCardinalityEstimator, workload: &[LabeledJoinQuery]) 
 
 fn main() {
     let scale = BenchScale::from_env();
+    let metrics = metrics_out_arg();
     let t0 = Instant::now();
     let titles = scale.dmv_rows / 4;
     eprintln!("[imdb] generating star schema ({titles} titles) + join sample…");
@@ -113,6 +114,7 @@ fn main() {
     // NeuroCard: data-only autoregressive model over the join sample.
     let sample = sample_outer_join(&schema, sample_rows, 32, 23);
     let mut nc = JoinUae::new(sample, uae_cfg.clone()).with_name("NeuroCard");
+    attach_metrics(nc.uae_mut(), metrics.as_deref(), "table5:neurocard");
     nc.train_data(scale.data_epochs);
     println!(
         "{:<15} {:>8} | {} | {}",
@@ -125,6 +127,7 @@ fn main() {
     // UAE: hybrid training on the same sample + the focused workload.
     let sample = sample_outer_join(&schema, sample_rows, 32, 23);
     let mut uae = JoinUae::new(sample, uae_cfg).with_name("UAE");
+    attach_metrics(uae.uae_mut(), metrics.as_deref(), "table5:uae");
     uae.train_hybrid(&train, scale.hybrid_epochs);
     println!(
         "{:<15} {:>8} | {} | {}",

@@ -22,9 +22,10 @@
 //! approaches the paper's setup at the cost of wall-clock time.
 
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, Uae, UaeConfig};
+use uae_core::{DpsConfig, JsonlObserver, ResMadeConfig, TrainConfig, Uae, UaeConfig};
 use uae_data::Table;
 use uae_estimators::{
     BayesNetEstimator, FeedbackKdeEstimator, HistogramEstimator, KdeEstimator,
@@ -100,6 +101,34 @@ impl BenchScale {
                 ..TrainConfig::default()
             },
             estimate_samples: self.estimate_samples,
+        }
+    }
+}
+
+/// Value of the `--metrics-out PATH` flag (`--metrics-out=PATH` is also
+/// accepted): where a bench binary appends per-epoch training telemetry as
+/// JSONL, one event per line (see `uae_core::telemetry`).
+pub fn metrics_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Attach a JSONL telemetry sink labeled `label` to `uae` when `path` is
+/// set. Opens in append mode so every model trained by one binary shares a
+/// single metrics file, distinguished by label.
+pub fn attach_metrics(uae: &mut Uae, path: Option<&Path>, label: &str) {
+    if let Some(p) = path {
+        match JsonlObserver::append(p, label) {
+            Ok(obs) => uae.set_observer(Box::new(obs)),
+            Err(e) => eprintln!("[metrics] cannot open {}: {e}", p.display()),
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod model;
 pub mod ordering;
 pub mod serialize;
 pub mod sf;
+pub mod telemetry;
 pub mod train;
 pub mod vquery;
 
@@ -51,5 +52,9 @@ pub use encoding::VirtualSchema;
 pub use estimator::{Uae, UaeConfig};
 pub use model::{ResMade, ResMadeConfig};
 pub use ordering::ColumnOrder;
+pub use serialize::{CheckpointError, LoadError};
+pub use telemetry::{
+    EpochMetrics, JsonlObserver, MemoryObserver, TrainEvent, TrainObserver, TrainStats,
+};
 pub use train::{TrainConfig, TrainQuery};
 pub use vquery::VirtualQuery;

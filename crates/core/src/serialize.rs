@@ -1,12 +1,22 @@
-//! Model-weight serialization: a small, versioned, self-describing binary
-//! format (`UAEW`), so trained estimators can be checkpointed and shipped —
-//! the paper's deployment story is "only model weights need to be stored"
-//! (§4.2).
+//! Model serialization: two small, versioned, self-describing binary
+//! formats. `UAEW` carries weights only — the paper's deployment story is
+//! "only model weights need to be stored" (§4.2). `UAEC` is the *trainer*
+//! checkpoint: weights plus Adam moments and step count, the training and
+//! estimation RNG streams, and the epoch/step cursor — everything needed
+//! for a resumed hybrid run (Alg. 3) to be bit-identical to an
+//! uninterrupted one.
+
+use std::path::Path;
 
 use uae_tensor::{ParamStore, Tensor};
 
+use crate::telemetry::TrainStats;
+
 const MAGIC: &[u8; 4] = b"UAEW";
 const VERSION: u32 = 1;
+
+const CHECKPOINT_MAGIC: &[u8; 4] = b"UAEC";
+const CHECKPOINT_VERSION: u32 = 1;
 
 /// Errors from loading a weight blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,15 +34,48 @@ pub enum LoadError {
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LoadError::BadMagic => write!(f, "not a UAEW weight blob"),
-            LoadError::BadVersion(v) => write!(f, "unsupported UAEW version {v}"),
-            LoadError::Corrupt(what) => write!(f, "corrupt UAEW blob: {what}"),
+            LoadError::BadMagic => write!(f, "not a UAEW/UAEC blob"),
+            LoadError::BadVersion(v) => write!(f, "unsupported UAEW/UAEC version {v}"),
+            LoadError::Corrupt(what) => write!(f, "corrupt blob: {what}"),
             LoadError::ShapeMismatch(what) => write!(f, "weight shape mismatch: {what}"),
         }
     }
 }
 
 impl std::error::Error for LoadError {}
+
+/// Errors from file-level checkpoint operations: either the filesystem
+/// failed or the bytes did not parse.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file's contents were rejected.
+    Load(LoadError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Load(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<LoadError> for CheckpointError {
+    fn from(e: LoadError) -> Self {
+        CheckpointError::Load(e)
+    }
+}
 
 /// Serialize every parameter of a store.
 pub fn save_params(store: &ParamStore) -> Vec<u8> {
@@ -107,6 +150,134 @@ pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> Result<(), LoadError
     Ok(())
 }
 
+/// The full trainer state carried by a `UAEC` checkpoint. Everything a
+/// resumed run needs beyond the architecture itself (which is rebuilt from
+/// the table + [`crate::UaeConfig`]): weights, optimizer moments, RNG
+/// streams, learning rate and the epoch/step cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Nested `UAEW` weight blob (see [`save_params`]).
+    pub weights: Vec<u8>,
+    /// Adam bias-correction step count.
+    pub adam_t: u64,
+    /// Adam first moments (empty if the optimizer never stepped).
+    pub adam_m: Vec<Tensor>,
+    /// Adam second moments (same length/shapes as `adam_m`).
+    pub adam_v: Vec<Tensor>,
+    /// Learning rate at checkpoint time (backoff may have lowered it from
+    /// the configured value).
+    pub lr: f32,
+    /// Training RNG state (batch shuffles, wildcard dropout, Gumbel noise).
+    pub rng: [u64; 4],
+    /// Estimation RNG state (progressive-sampling streams).
+    pub est_rng: [u64; 4],
+    /// Cumulative train counters, including the epoch/step cursor.
+    pub stats: TrainStats,
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serialize a trainer checkpoint (format `UAEC`, version 1).
+pub fn save_checkpoint(ck: &CheckpointState) -> Vec<u8> {
+    assert_eq!(ck.adam_m.len(), ck.adam_v.len(), "mismatched Adam moment vectors");
+    let mut out = Vec::with_capacity(64 + ck.weights.len() * 3);
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(ck.weights.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ck.weights);
+    out.extend_from_slice(&ck.adam_t.to_le_bytes());
+    out.extend_from_slice(&(ck.adam_m.len() as u32).to_le_bytes());
+    for (m, v) in ck.adam_m.iter().zip(&ck.adam_v) {
+        assert_eq!(m.shape(), v.shape(), "mismatched Adam moment shapes");
+        put_tensor(&mut out, m);
+        put_tensor(&mut out, v);
+    }
+    out.extend_from_slice(&ck.lr.to_le_bytes());
+    for &s in ck.rng.iter().chain(&ck.est_rng) {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    let TrainStats { epochs, steps, executed_steps, clipped_steps, skipped_steps, rollbacks } =
+        ck.stats;
+    for c in [epochs, steps, executed_steps, clipped_steps, skipped_steps, rollbacks] {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+/// Parse a `UAEC` checkpoint. Structural validation only — weight and
+/// moment shapes are checked against the model by the caller
+/// ([`crate::Uae::load_checkpoint`]).
+pub fn load_checkpoint(bytes: &[u8]) -> Result<CheckpointState, LoadError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != CHECKPOINT_MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(LoadError::BadVersion(version));
+    }
+    let weights_len = r.u32()? as usize;
+    let weights = r.take(weights_len)?.to_vec();
+    let adam_t = r.u64()?;
+    let moments = r.u32()? as usize;
+    let mut adam_m = Vec::with_capacity(moments);
+    let mut adam_v = Vec::with_capacity(moments);
+    for _ in 0..moments {
+        adam_m.push(r.tensor()?);
+        adam_v.push(r.tensor()?);
+    }
+    let lr = f32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+    let mut rng = [0u64; 4];
+    for s in &mut rng {
+        *s = r.u64()?;
+    }
+    let mut est_rng = [0u64; 4];
+    for s in &mut est_rng {
+        *s = r.u64()?;
+    }
+    let stats = TrainStats {
+        epochs: r.u64()?,
+        steps: r.u64()?,
+        executed_steps: r.u64()?,
+        clipped_steps: r.u64()?,
+        skipped_steps: r.u64()?,
+        rollbacks: r.u64()?,
+    };
+    if r.pos != bytes.len() {
+        return Err(LoadError::Corrupt("trailing bytes"));
+    }
+    for (m, v) in adam_m.iter().zip(&adam_v) {
+        if m.shape() != v.shape() {
+            return Err(LoadError::Corrupt("mismatched Adam moment shapes"));
+        }
+    }
+    Ok(CheckpointState { weights, adam_t, adam_m, adam_v, lr, rng, est_rng, stats })
+}
+
+/// Write `bytes` to `path` atomically: write + fsync a sibling temp file,
+/// then rename over the destination. A crash mid-write leaves either the
+/// old checkpoint or none — never a truncated one.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -125,6 +296,24 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, LoadError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, LoadError> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= self.bytes.len() / 4 + 1)
+            .ok_or(LoadError::Corrupt("tensor shape overflows blob"))?;
+        let raw = self.take(n * 4)?;
+        let data: Vec<f32> =
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        Ok(Tensor::from_vec(rows, cols, data))
     }
 }
 
@@ -180,5 +369,77 @@ mod tests {
         blob[4] = 9; // bump version byte
         let mut s = store();
         assert!(matches!(load_params(&mut s, &blob), Err(LoadError::BadVersion(_))));
+    }
+
+    fn checkpoint() -> CheckpointState {
+        CheckpointState {
+            weights: save_params(&store()),
+            adam_t: 17,
+            adam_m: vec![
+                Tensor::from_vec(2, 3, vec![0.1; 6]),
+                Tensor::from_vec(1, 3, vec![0.2; 3]),
+            ],
+            adam_v: vec![
+                Tensor::from_vec(2, 3, vec![0.3; 6]),
+                Tensor::from_vec(1, 3, vec![0.4; 3]),
+            ],
+            lr: 1.5e-3,
+            rng: [1, 2, 3, 4],
+            est_rng: [5, 6, 7, 8],
+            stats: TrainStats {
+                epochs: 3,
+                steps: 40,
+                executed_steps: 38,
+                clipped_steps: 5,
+                skipped_steps: 2,
+                rollbacks: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let ck = checkpoint();
+        let blob = save_checkpoint(&ck);
+        assert_eq!(load_checkpoint(&blob).expect("load"), ck);
+        // Lazy-init (empty moments) round-trips too.
+        let empty = CheckpointState { adam_m: vec![], adam_v: vec![], adam_t: 0, ..checkpoint() };
+        assert_eq!(load_checkpoint(&save_checkpoint(&empty)).expect("load"), empty);
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage_truncation_and_versions() {
+        assert_eq!(load_checkpoint(b"UAEW\x01\x00\x00\x00"), Err(LoadError::BadMagic));
+        assert_eq!(load_checkpoint(b"xy"), Err(LoadError::Corrupt("unexpected end of blob")));
+        let blob = save_checkpoint(&checkpoint());
+        for cut in [5, blob.len() / 2, blob.len() - 1] {
+            assert!(
+                matches!(load_checkpoint(&blob[..cut]), Err(LoadError::Corrupt(_))),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert_eq!(load_checkpoint(&extended), Err(LoadError::Corrupt("trailing bytes")));
+        let mut versioned = blob;
+        versioned[4] = 9;
+        assert_eq!(load_checkpoint(&versioned), Err(LoadError::BadVersion(9)));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("uae_ck_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.uaec");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file must not survive the rename");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

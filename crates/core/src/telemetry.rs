@@ -1,0 +1,286 @@
+//! Training telemetry: typed per-epoch / per-incident events emitted by
+//! the [`crate::Uae`] train loop, an observer hook to consume them, and a
+//! JSONL sink for offline analysis (`--metrics-out` in the bench
+//! binaries). Hybrid training dominates the cost of deploying UAE
+//! (Alg. 3 runs for hours at paper scale), so the loop must be observable
+//! without attaching a debugger: every epoch reports its loss split,
+//! gradient health and divergence-guard activity.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Cumulative counters over the lifetime of one trainer (checkpointed, so
+/// a resumed run continues the same step/epoch cursor).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrainStats {
+    /// Completed epochs.
+    pub epochs: u64,
+    /// Attempted optimizer steps (including skipped and empty ones) — the
+    /// global step cursor.
+    pub steps: u64,
+    /// Steps whose update was actually applied.
+    pub executed_steps: u64,
+    /// Executed steps whose gradient was norm-clipped.
+    pub clipped_steps: u64,
+    /// Steps skipped because the loss or gradient was non-finite.
+    pub skipped_steps: u64,
+    /// Divergence rollbacks (restore last-good snapshot + LR backoff).
+    pub rollbacks: u64,
+}
+
+/// Everything one epoch reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochMetrics {
+    /// Global 0-based epoch index (survives checkpoint/resume).
+    pub epoch: u64,
+    /// Steps attempted this epoch.
+    pub steps: u64,
+    /// Steps whose update was applied this epoch.
+    pub executed_steps: u64,
+    /// Steps skipped this epoch (non-finite loss/gradient).
+    pub skipped_steps: u64,
+    /// Executed steps that were gradient-clipped this epoch.
+    pub clipped_steps: u64,
+    /// Rollbacks triggered this epoch.
+    pub rollbacks: u64,
+    /// Mean combined loss over *executed* steps (`L_data + λ·L_query`).
+    pub loss: f32,
+    /// Mean unsupervised data loss over executed data steps, when data
+    /// training is active.
+    pub data_loss: Option<f32>,
+    /// Mean supervised query loss (unscaled by λ) over executed query
+    /// steps, when query training is active.
+    pub query_loss: Option<f32>,
+    /// Mean pre-clip gradient L2 norm over executed steps.
+    pub grad_norm: f32,
+    /// Learning rate at epoch end (backoff may lower it mid-epoch).
+    pub lr: f32,
+    /// Wall-clock seconds spent in the epoch.
+    pub wall_s: f64,
+}
+
+/// A train-loop event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// An epoch finished.
+    Epoch(EpochMetrics),
+    /// A step produced a non-finite loss or gradient and was skipped
+    /// (weights untouched).
+    StepSkipped {
+        /// Global epoch index.
+        epoch: u64,
+        /// Global step cursor of the skipped step.
+        step: u64,
+        /// The offending loss value (NaN/∞, or finite when only the
+        /// gradient norm overflowed).
+        loss: f32,
+    },
+    /// Too many consecutive bad steps: weights and optimizer state were
+    /// restored from the last known-good snapshot and the learning rate
+    /// backed off.
+    Rollback {
+        /// Global epoch index.
+        epoch: u64,
+        /// Global step cursor at the rollback.
+        step: u64,
+        /// Learning rate after backoff.
+        lr: f32,
+    },
+}
+
+/// Consumer of train-loop events. Observers must be `Send` so estimators
+/// carrying one can still move across threads.
+pub trait TrainObserver: Send {
+    /// Called synchronously from the train loop for every event.
+    fn on_event(&mut self, event: &TrainEvent);
+}
+
+/// In-memory observer capturing every event — for tests and programmatic
+/// inspection. The event log is shared, so callers keep a handle while the
+/// observer itself is owned by the estimator.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryObserver {
+    /// The captured events, in emission order.
+    pub events: Arc<Mutex<Vec<TrainEvent>>>,
+}
+
+impl MemoryObserver {
+    /// A fresh observer plus the shared handle to its event log.
+    pub fn new() -> (Self, Arc<Mutex<Vec<TrainEvent>>>) {
+        let obs = MemoryObserver::default();
+        let handle = Arc::clone(&obs.events);
+        (obs, handle)
+    }
+}
+
+impl TrainObserver for MemoryObserver {
+    fn on_event(&mut self, event: &TrainEvent) {
+        self.events.lock().expect("event log poisoned").push(event.clone());
+    }
+}
+
+/// JSONL sink: one JSON object per event, tagged with a model label so
+/// several estimators can share one metrics file.
+pub struct JsonlObserver {
+    label: String,
+    out: BufWriter<File>,
+}
+
+impl JsonlObserver {
+    /// Create (truncate) `path` and tag events with `label`.
+    pub fn create(path: impl AsRef<Path>, label: impl Into<String>) -> std::io::Result<Self> {
+        Ok(JsonlObserver { label: label.into(), out: BufWriter::new(File::create(path)?) })
+    }
+
+    /// Append to `path` (creating it if absent) — the bench binaries use
+    /// this so every model trained in one run lands in the same file.
+    pub fn append(path: impl AsRef<Path>, label: impl Into<String>) -> std::io::Result<Self> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlObserver { label: label.into(), out: BufWriter::new(f) })
+    }
+}
+
+/// A JSON number, or `null` for non-finite values (which raw JSON cannot
+/// represent).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt_f32(x: Option<f32>) -> String {
+    match x {
+        Some(v) => json_f64(v as f64),
+        None => "null".to_owned(),
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl TrainObserver for JsonlObserver {
+    fn on_event(&mut self, event: &TrainEvent) {
+        let label = json_str(&self.label);
+        let line = match event {
+            TrainEvent::Epoch(m) => format!(
+                concat!(
+                    "{{\"event\":\"epoch\",\"model\":{},\"epoch\":{},\"steps\":{},",
+                    "\"executed_steps\":{},\"skipped_steps\":{},\"clipped_steps\":{},",
+                    "\"rollbacks\":{},\"loss\":{},\"data_loss\":{},\"query_loss\":{},",
+                    "\"grad_norm\":{},\"lr\":{},\"wall_s\":{}}}"
+                ),
+                label,
+                m.epoch,
+                m.steps,
+                m.executed_steps,
+                m.skipped_steps,
+                m.clipped_steps,
+                m.rollbacks,
+                json_f64(m.loss as f64),
+                json_opt_f32(m.data_loss),
+                json_opt_f32(m.query_loss),
+                json_f64(m.grad_norm as f64),
+                json_f64(m.lr as f64),
+                json_f64(m.wall_s),
+            ),
+            TrainEvent::StepSkipped { epoch, step, loss } => format!(
+                "{{\"event\":\"step_skipped\",\"model\":{},\"epoch\":{},\"step\":{},\"loss\":{}}}",
+                label,
+                epoch,
+                step,
+                json_f64(*loss as f64),
+            ),
+            TrainEvent::Rollback { epoch, step, lr } => format!(
+                "{{\"event\":\"rollback\",\"model\":{},\"epoch\":{},\"step\":{},\"lr\":{}}}",
+                label,
+                epoch,
+                step,
+                json_f64(*lr as f64),
+            ),
+        };
+        // Telemetry must never take training down: swallow I/O errors.
+        let _ = writeln!(self.out, "{line}");
+        if matches!(event, TrainEvent::Epoch(_)) {
+            let _ = self.out.flush();
+        }
+    }
+}
+
+impl Drop for JsonlObserver {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_are_valid_shape() {
+        let dir = std::env::temp_dir().join(format!("uae_telemetry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        {
+            let mut obs = JsonlObserver::create(&path, "te\"st").unwrap();
+            obs.on_event(&TrainEvent::Epoch(EpochMetrics {
+                epoch: 0,
+                steps: 4,
+                executed_steps: 3,
+                skipped_steps: 1,
+                clipped_steps: 2,
+                rollbacks: 0,
+                loss: 1.5,
+                data_loss: Some(1.25),
+                query_loss: None,
+                grad_norm: 2.0,
+                lr: 2e-3,
+                wall_s: 0.5,
+            }));
+            obs.on_event(&TrainEvent::StepSkipped { epoch: 0, step: 2, loss: f32::NAN });
+            obs.on_event(&TrainEvent::Rollback { epoch: 0, step: 3, lr: 1e-3 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"epoch\"") && lines[0].contains("\"loss\":1.5"));
+        assert!(lines[0].contains("\"query_loss\":null"));
+        assert!(lines[0].contains("\"model\":\"te\\\"st\""));
+        // Non-finite floats serialize as null, keeping the line valid JSON.
+        assert!(lines[1].contains("\"loss\":null"));
+        assert!(lines[2].contains("\"event\":\"rollback\"") && lines[2].contains("\"lr\":0.001"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_observer_captures_events() {
+        let (mut obs, log) = MemoryObserver::new();
+        obs.on_event(&TrainEvent::Rollback { epoch: 1, step: 7, lr: 5e-4 });
+        let events = log.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TrainEvent::Rollback { epoch: 1, step: 7, .. }));
+    }
+}

@@ -35,6 +35,17 @@ pub struct TrainConfig {
     pub qerror_cap: f32,
     /// RNG seed for batching, wildcard dropout and Gumbel noise.
     pub seed: u64,
+    /// Consecutive non-finite steps tolerated before the trainer rolls the
+    /// model back to its last known-good snapshot and backs the learning
+    /// rate off (0 disables rollback; bad steps are still skipped so
+    /// non-finite gradients can never reach the weights).
+    pub max_bad_steps: u32,
+    /// Multiplier applied to the learning rate on every rollback.
+    pub lr_backoff: f32,
+    /// Fault injection for tests and chaos drills: global step cursors
+    /// (see [`crate::telemetry::TrainStats::steps`]) whose loss is forced
+    /// non-finite, exercising the skip/rollback path deterministically.
+    pub inject_nan_steps: Vec<u64>,
 }
 
 impl Default for TrainConfig {
@@ -49,6 +60,9 @@ impl Default for TrainConfig {
             grad_clip: 8.0,
             qerror_cap: 1e4,
             seed: 0x0ae5eed,
+            max_bad_steps: 3,
+            lr_backoff: 0.5,
+            inject_nan_steps: Vec::new(),
         }
     }
 }

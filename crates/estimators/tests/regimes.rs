@@ -68,7 +68,6 @@ fn tiny_samples_miss_rare_values() {
     assert!(qerr > 1.8, "sample estimate {est} suspiciously accurate for a rare value");
 }
 
-
 #[test]
 fn workload_aware_methods_improve_inside_the_workload_region() {
     // Dataset seed picked so the refinement margin is well clear of the

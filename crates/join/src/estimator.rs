@@ -58,6 +58,43 @@ impl JoinUae {
         &mut self.uae
     }
 
+    /// Attach a training observer (per-epoch metrics, divergence events)
+    /// to the underlying estimator.
+    pub fn set_observer(&mut self, observer: Box<dyn uae_core::TrainObserver>) {
+        self.uae.set_observer(observer);
+    }
+
+    /// Serialize the full trainer state (`UAEC`) of the underlying
+    /// estimator; resuming a long hybrid join training run continues
+    /// bit-exactly.
+    pub fn save_checkpoint(&self) -> Vec<u8> {
+        self.uae.save_checkpoint()
+    }
+
+    /// Restore a checkpoint produced by [`JoinUae::save_checkpoint`] on a
+    /// model built over the identical join sample and configuration.
+    pub fn load_checkpoint(&mut self, bytes: &[u8]) -> Result<(), uae_core::LoadError> {
+        self.uae.load_checkpoint(bytes)
+    }
+
+    /// Atomically persist a checkpoint file (temp write + rename).
+    pub fn write_checkpoint_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.uae.write_checkpoint_file(path)
+    }
+
+    /// Restore from a file written by [`JoinUae::write_checkpoint_file`].
+    pub fn load_checkpoint_file(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), uae_core::CheckpointError> {
+        self.uae.load_checkpoint_file(path)
+    }
+
+    /// Cumulative training counters of the underlying estimator.
+    pub fn train_stats(&self) -> &uae_core::TrainStats {
+        self.uae.train_stats()
+    }
+
     /// Unsupervised training on the join sample (NeuroCard).
     pub fn train_data(&mut self, epochs: usize) -> Vec<f32> {
         self.uae.train_data(epochs)

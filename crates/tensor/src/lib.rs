@@ -26,6 +26,6 @@ pub mod rng;
 pub mod tape;
 pub mod tensor;
 
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};
 pub use tape::{GradStore, NodeId, ParamId, ParamStore, Tape};
 pub use tensor::Tensor;
