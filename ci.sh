@@ -14,6 +14,9 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== benches compile =="
+cargo bench --no-run
+
 echo "== smoke: train -> checkpoint -> resume (bit-exact) =="
 cargo run --release --example train_checkpoint_resume -- \
     --metrics-out target/train_metrics.jsonl

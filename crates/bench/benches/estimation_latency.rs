@@ -144,9 +144,56 @@ fn emit_inference_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
     eprintln!("[inference] S=1000 batch=256 speedup over sequential: {speedup:.2}x");
 }
 
+/// Queries/sec of the PR1 batched-inference engine (pre plan/workspace
+/// split) on this exact workload, from `BENCH_inference.json` at that
+/// commit. Baseline for the zero-allocation refactor's speedup gate.
+const PR1_BASELINE_QPS: [(usize, usize, f64); 3] =
+    [(1000, 256, 148.82), (1000, 1, 18.32), (200, 256, 462.97)];
+
+/// Re-measure the PR1 sweep points on the workspace-reusing engine and
+/// write `BENCH_workspace.json` with the before/after comparison. Buffers
+/// are warmed with one untimed pass per point so the measurement reflects
+/// the steady state the refactor targets.
+fn emit_workspace_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
+    let mut rows: Vec<String> = Vec::new();
+    let mut headline = 0.0f64;
+    for &(samples, batch, baseline) in &PR1_BASELINE_QPS {
+        uae.uae_mut().set_estimate_samples(samples);
+        run_batched(uae, queries, batch); // warm the scratch buffers
+        let secs = run_batched(uae, queries, batch);
+        let qps = queries.len() as f64 / secs.max(1e-12);
+        let speedup = qps / baseline;
+        if samples == 1000 && batch == 256 {
+            headline = speedup;
+        }
+        eprintln!(
+            "[workspace] S={samples} batch={batch}: {qps:.1} queries/sec \
+             (PR1 {baseline:.1}, {speedup:.2}x)"
+        );
+        rows.push(format!(
+            "    {{\"samples\": {samples}, \"batch\": {batch}, \
+             \"queries_per_sec\": {qps:.2}, \"baseline_queries_per_sec\": {baseline:.2}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"table5 JOB-light-ranges-focused (imdb_like star schema)\",\n  \
+         \"baseline\": \"PR1 batched inference engine (pre plan/workspace split)\",\n  \
+         \"num_queries\": {},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_at_s1000_batch256\": {:.2}\n}}\n",
+        queries.len(),
+        rows.join(",\n"),
+        headline
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workspace.json");
+    std::fs::write(path, json).expect("write BENCH_workspace.json");
+    eprintln!("[workspace] S=1000 batch=256 speedup over PR1: {headline:.2}x");
+}
+
 fn bench_batched_inference(c: &mut Criterion) {
     let (mut uae, queries) = setup_join(256);
     emit_inference_json(&mut uae, &queries);
+    emit_workspace_json(&mut uae, &queries);
 
     // Criterion group on a smaller slice so iteration counts stay sane.
     let slice = &queries[..queries.len().min(32)];

@@ -22,7 +22,7 @@
 //! mask choice).
 
 use rand::RngExt;
-use uae_tensor::rng::gumbel_noise;
+use uae_tensor::rng::gumbel_fill;
 use uae_tensor::{NodeId, Tape, Tensor};
 
 use crate::encoding::VirtualSchema;
@@ -70,13 +70,13 @@ pub fn dps_selectivities(
     let global_last = queries.iter().filter_map(VirtualQuery::last_constrained).max();
     let Some(global_last) = global_last else {
         // No query constrains anything: selectivity 1 for all.
-        return tape.input(Tensor::full(q, 1, 1.0));
+        return tape.input_full(q, 1, 1.0);
     };
 
     // Per-column input blocks; wildcard (zero) until sampled.
     let mut blocks: Vec<NodeId> =
-        (0..nv).map(|v| tape.input(Tensor::zeros(b, schema.vcol_input_width(v)))).collect();
-    let mut p_run = tape.input(Tensor::full(b, 1, 1.0));
+        (0..nv).map(|v| tape.input_zeros(b, schema.vcol_input_width(v))).collect();
+    let mut p_run = tape.input_full(b, 1, 1.0);
     // Hard argmax codes of sampled columns (for conditional lo-masks).
     let mut hard_codes: Vec<Option<Vec<u32>>> = vec![None; nv];
 
@@ -135,10 +135,10 @@ pub fn dps_selectivities(
         let probs = tape.exp(log_probs);
 
         // Alg. 2 line 6: p̂ *= P(z_v ∈ R_v | z_<v)  (wildcard rows: *1).
-        let mask_node = tape.input(mask.clone());
+        let mask_node = tape.input_ref(&mask);
         let masked_probs = tape.mul(probs, mask_node);
         let p_in = tape.row_sum(masked_probs);
-        let keep_node = tape.input(keep.clone());
+        let keep_node = tape.input_ref(&keep);
         let wild_node = tape.input(wild);
         let p_kept = tape.mul(p_in, keep_node);
         let p_eff = tape.add(p_kept, wild_node);
@@ -150,10 +150,13 @@ pub fn dps_selectivities(
             // draw a differentiable sample via Gumbel-Softmax (Alg. 1).
             // ln(w): 0 inside a 0/1 region, -inf outside, and the log
             // importance weight for fanout-scaled columns.
-            let log_mask = mask.map(|m| if m > 0.0 { m.ln() } else { NEG_INF_MASK });
-            let log_mask_node = tape.input(log_mask);
+            let log_mask_node = tape.input_with(b, domain, |t| {
+                for (o, &m) in t.data_mut().iter_mut().zip(mask.data()) {
+                    *o = if m > 0.0 { m.ln() } else { NEG_INF_MASK };
+                }
+            });
             let masked_logits = tape.add(log_probs, log_mask_node);
-            let g = tape.input(gumbel_noise(rng, b, domain));
+            let g = tape.input_with(b, domain, |t| gumbel_fill(rng, t));
             let noisy = tape.add(masked_logits, g);
             let scaled = tape.mul_scalar(noisy, 1.0 / cfg.tau);
             let y = tape.softmax(scaled);
@@ -163,7 +166,7 @@ pub fn dps_selectivities(
 
             // Embed the soft sample into input space; zero for wildcards.
             let block = model.soft_block(tape, v, y);
-            let keep_node2 = tape.input(keep);
+            let keep_node2 = tape.input_ref(&keep);
             blocks[v] = tape.mul_col_broadcast(block, keep_node2);
         }
     }
@@ -179,8 +182,8 @@ pub fn qerror_loss(tape: &mut Tape<'_>, sel_hat: NodeId, truth: &[f64]) -> NodeI
     let q = truth.len();
     assert_eq!(tape.value(sel_hat).shape(), (q, 1), "selectivity shape mismatch");
     let t = Tensor::from_vec(q, 1, truth.iter().map(|&v| (v.max(1e-12)) as f32).collect());
-    let t1 = tape.input(t.clone());
-    let t2 = tape.input(t);
+    let t1 = tape.input_ref(&t);
+    let t2 = tape.input_ref(&t);
     let r1 = tape.div(sel_hat, t1);
     let r2 = tape.div(t2, sel_hat);
     let qerr = tape.maximum(r1, r2);

@@ -9,10 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use uae_data::Table;
 use uae_query::{CardinalityEstimator, LabeledQuery, Query};
-use uae_tensor::{Adam, AdamState, GradStore, Optimizer, ParamStore, Tape};
+use uae_tensor::{Adam, AdamState, GradStore, Optimizer, ParamStore, Tape, TapeWorkspace};
 
 use crate::encoding::VirtualSchema;
-use crate::infer::{progressive_sample, progressive_sample_batch};
+use crate::infer::{progressive_sample_with, InferScratch};
+use crate::infer_batch::{progressive_sample_batch_with, BatchScratch};
 use crate::model::{RawModel, ResMade, ResMadeConfig};
 use crate::serialize::{CheckpointError, CheckpointState, LoadError};
 use crate::telemetry::{EpochMetrics, TrainEvent, TrainObserver, TrainStats};
@@ -55,6 +56,11 @@ impl Default for UaeConfig {
 struct EstCache {
     raw: Option<RawModel>,
     rng: StdRng,
+    /// Reusable buffers for the sequential and batched samplers. Training
+    /// invalidates `raw` but keeps these warm — their shapes depend only on
+    /// the schema and sample count, not on the weights.
+    scratch: InferScratch,
+    batch: BatchScratch,
 }
 
 /// The last state proven healthy (finite losses throughout an epoch) —
@@ -181,7 +187,12 @@ impl Uae {
             opt: Adam::new(cfg.train.lr),
             rng: StdRng::seed_from_u64(seed),
             cfg,
-            est: Mutex::new(EstCache { raw: None, rng: StdRng::seed_from_u64(seed ^ 0xe57) }),
+            est: Mutex::new(EstCache {
+                raw: None,
+                rng: StdRng::seed_from_u64(seed ^ 0xe57),
+                scratch: InferScratch::new(),
+                batch: BatchScratch::new(),
+            }),
             stats: TrainStats::default(),
             guard: DivergenceGuard::default(),
             observer: None,
@@ -303,10 +314,17 @@ impl Uae {
         if est.raw.is_none() {
             est.raw = Some(self.model.snapshot(&self.store));
         }
-        let EstCache { raw, rng } = &mut *est;
+        let EstCache { raw, rng, scratch, .. } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let mut qrng = StdRng::seed_from_u64(rng.next_u64());
-        progressive_sample(raw, &self.schema, vq, self.cfg.estimate_samples, &mut qrng)
+        progressive_sample_with(
+            raw,
+            &self.schema,
+            vq,
+            self.cfg.estimate_samples,
+            &mut qrng,
+            scratch,
+        )
     }
 
     /// Estimate the selectivities of a batch of pre-translated queries via
@@ -319,10 +337,17 @@ impl Uae {
         if est.raw.is_none() {
             est.raw = Some(self.model.snapshot(&self.store));
         }
-        let EstCache { raw, rng } = &mut *est;
+        let EstCache { raw, rng, batch, .. } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let seeds: Vec<u64> = vqs.iter().map(|_| rng.next_u64()).collect();
-        progressive_sample_batch(raw, &self.schema, vqs, self.cfg.estimate_samples, &seeds)
+        progressive_sample_batch_with(
+            raw,
+            &self.schema,
+            vqs,
+            self.cfg.estimate_samples,
+            &seeds,
+            batch,
+        )
     }
 
     /// Estimated selectivities of a batch of queries (the batched
@@ -394,6 +419,10 @@ impl Uae {
             (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         let (mut executed, mut data_steps, mut query_steps) = (0u64, 0u64, 0u64);
         let (mut skipped, mut clipped, mut rollbacks) = (0u64, 0u64, 0u64);
+        // One tape workspace serves every step of the epoch: node buffers
+        // are reset (not freed) between steps, so after the first step the
+        // graph build allocates no tensors for recurring batch shapes.
+        let mut ws = TapeWorkspace::new();
         for step in 0..steps {
             let data_batch: Option<Vec<Vec<u32>>> = if use_data && !self.rows.is_empty() {
                 let lo = (step * tc.batch_size) % self.rows.len();
@@ -415,7 +444,7 @@ impl Uae {
                 _ => None,
             };
             let global_step = self.stats.steps;
-            match self.step(data_batch.as_deref(), query_batch.as_deref(), &tc) {
+            match self.step(data_batch.as_deref(), query_batch.as_deref(), &tc, &mut ws) {
                 StepOutcome::Empty => {}
                 StepOutcome::Skipped { loss } => {
                     skipped += 1;
@@ -490,6 +519,7 @@ impl Uae {
         data_batch: Option<&[Vec<u32>]>,
         query_batch: Option<&[TrainQuery]>,
         tc: &TrainConfig,
+        ws: &mut TapeWorkspace,
     ) -> StepOutcome {
         let global_step = self.stats.steps;
         self.stats.steps += 1;
@@ -498,7 +528,7 @@ impl Uae {
         let mut data_value = None;
         let mut query_value = None;
         {
-            let mut tape = Tape::new(&self.store);
+            let mut tape = Tape::with_workspace(&self.store, ws);
             let mut loss = None;
             if let Some(rows) = data_batch {
                 if !rows.is_empty() {
@@ -755,6 +785,8 @@ impl Clone for Uae {
             est: Mutex::new(EstCache {
                 raw: None,
                 rng: StdRng::seed_from_u64(self.cfg.train.seed ^ 0xc10e),
+                scratch: InferScratch::new(),
+                batch: BatchScratch::new(),
             }),
             stats: self.stats.clone(),
             // Divergence snapshots and observers are per-run concerns; a

@@ -35,6 +35,11 @@
 //! Equivalence with the sequential walk holds because each query draws from
 //! its own seeded RNG, and within a query the draw order is identical:
 //! ascending constrained column, then ascending row index over live rows.
+//!
+//! All tensor traffic — the stacked forward, the per-round probability
+//! matrix, and every query's prefix table — lives in a caller-owned
+//! [`BatchScratch`], so a warmed scratch serves batches with zero tensor
+//! allocations.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,15 +50,47 @@ use uae_tensor::Tensor;
 
 use crate::encoding::VirtualSchema;
 use crate::infer::sample_in_region;
-use crate::model::RawModel;
+use crate::model::{ModelScratch, RawModel};
 use crate::vquery::{StepRegion, VirtualQuery};
+
+/// Caller-owned buffers for [`progressive_sample_batch_with`]: the model
+/// forward scratch, the stacked per-round input matrix, the prefix-table
+/// rebuild buffer, and a pool of per-query prefix tensors that survives
+/// across batches. Buffers grow to the largest batch seen and are reused.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    model: ModelScratch,
+    /// Stacked distinct-prefix rows of every non-virgin round participant.
+    stacked: Tensor,
+    /// Rebuild target for prefix tables; swapped with each query's
+    /// `prefix_rows` after a round, so the displaced buffer is recycled.
+    spare: Tensor,
+    /// Per-query-slot prefix tensors, taken at batch start and returned at
+    /// batch end.
+    prefix_pool: Vec<Tensor>,
+    /// Query indices participating in the current round.
+    round: Vec<usize>,
+    /// Stacked-row offset per query (`usize::MAX` = not stacked).
+    offsets: Vec<usize>,
+    /// Prefix-id interner buffers, cleared per (query, round).
+    intern: HashMap<(usize, u32), usize>,
+    created: Vec<(usize, u32)>,
+}
+
+impl BatchScratch {
+    /// Fresh, empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-query sampler state between column rounds.
 struct QueryState<'a> {
     vq: &'a VirtualQuery,
     rng: StdRng,
     last: usize,
-    /// Distinct live sampled-prefix input rows (model-input encoding).
+    /// Distinct live sampled-prefix input rows (model-input encoding);
+    /// borrowed from the scratch pool for the duration of the batch.
     prefix_rows: Tensor,
     /// Prefix id of each sample row; only meaningful while the row lives.
     row_prefix: Vec<usize>,
@@ -79,9 +116,28 @@ pub fn progressive_sample_batch(
     s: usize,
     seeds: &[u64],
 ) -> Vec<f64> {
+    let mut scratch = BatchScratch::new();
+    progressive_sample_batch_with(raw, schema, vqs, s, seeds, &mut scratch)
+}
+
+/// [`progressive_sample_batch`] writing all tensor traffic into a
+/// caller-owned [`BatchScratch`]. Bit-exact with the allocating path.
+pub fn progressive_sample_batch_with(
+    raw: &RawModel,
+    schema: &VirtualSchema,
+    vqs: &[VirtualQuery],
+    s: usize,
+    seeds: &[u64],
+    scratch: &mut BatchScratch,
+) -> Vec<f64> {
     assert_eq!(vqs.len(), seeds.len(), "one seed per query");
     let s = s.max(1);
     let width = schema.input_width();
+    let BatchScratch { model, stacked, spare, prefix_pool, round, offsets, intern, created } =
+        scratch;
+    if prefix_pool.len() < vqs.len() {
+        prefix_pool.resize_with(vqs.len(), Tensor::default);
+    }
     let mut results = vec![0.0f64; vqs.len()];
     let mut states: Vec<Option<QueryState<'_>>> = Vec::with_capacity(vqs.len());
     let mut max_last = 0usize;
@@ -96,11 +152,14 @@ pub fn progressive_sample_batch(
             continue;
         };
         max_last = max_last.max(last);
+        let mut prefix_rows = std::mem::take(&mut prefix_pool[i]);
+        prefix_rows.resize(1, width);
+        prefix_rows.fill_zero();
         states.push(Some(QueryState {
             vq,
             rng: StdRng::seed_from_u64(seeds[i]),
             last,
-            prefix_rows: Tensor::zeros(1, width),
+            prefix_rows,
             row_prefix: vec![0; s],
             p_hat: vec![1.0; s],
             alive: vec![true; s],
@@ -109,57 +168,69 @@ pub fn progressive_sample_batch(
             done: false,
         }));
     }
-    if states.iter().all(Option::is_none) {
-        return results;
-    }
 
     for v in 0..=max_last {
-        let round: Vec<usize> = states
-            .iter()
-            .enumerate()
-            .filter_map(|(i, st)| {
-                let st = st.as_ref()?;
-                (!st.done && v <= st.last && st.vq.step(v).is_constrained()).then_some(i)
-            })
-            .collect();
+        if states.iter().all(Option::is_none) {
+            break;
+        }
+        round.clear();
+        round.extend(states.iter().enumerate().filter_map(|(i, st)| {
+            let st = st.as_ref()?;
+            (!st.done && v <= st.last && st.vq.step(v).is_constrained()).then_some(i)
+        }));
         if round.is_empty() {
             continue;
         }
 
         // One stacked forward over the distinct live prefixes of every
         // non-virgin participant.
-        let mut offsets: HashMap<usize, usize> = HashMap::new();
-        let mut stacked_data: Vec<f32> = Vec::new();
+        offsets.clear();
+        offsets.resize(states.len(), usize::MAX);
         let mut total_rows = 0usize;
         let mut any_virgin = false;
-        for &i in &round {
+        for &i in round.iter() {
             let st = states[i].as_ref().expect("round member");
             if st.virgin {
                 any_virgin = true;
                 continue;
             }
-            offsets.insert(i, total_rows);
+            offsets[i] = total_rows;
             total_rows += st.prefix_rows.rows();
-            stacked_data.extend_from_slice(st.prefix_rows.data());
         }
-        let probs: Option<Tensor> = (total_rows > 0).then(|| {
-            let stacked = Tensor::from_vec(total_rows, width, stacked_data);
-            let hidden = raw.hidden(&stacked);
-            let mut p = raw.logits_col(&hidden, v);
-            p.softmax_rows_in_place();
-            p
-        });
+        if total_rows > 0 {
+            stacked.resize(total_rows, width);
+            for &i in round.iter() {
+                let st = states[i].as_ref().expect("round member");
+                if st.virgin {
+                    continue;
+                }
+                let dst_start = offsets[i] * width;
+                let dst = &mut stacked.data_mut()[dst_start..dst_start + st.prefix_rows.len()];
+                dst.copy_from_slice(st.prefix_rows.data());
+            }
+            raw.hidden_into(stacked, model);
+            raw.logits_col_into(v, model);
+            model.logits.softmax_rows_in_place();
+        }
+        let probs: Option<&Tensor> = (total_rows > 0).then_some(&model.logits);
         // Virgin participants all see the same memoized distribution.
         let first: Option<Arc<Vec<f32>>> = any_virgin.then(|| raw.first_step_probs(v));
 
-        for &i in &round {
+        for &i in round.iter() {
             let st = states[i].as_mut().expect("round member");
-            let offset = offsets.get(&i).copied();
+            let offset = (offsets[i] != usize::MAX).then_some(offsets[i]);
             let first_row = first.as_ref().map(|a| a.as_slice());
-            advance_query(raw, schema, st, v, probs.as_ref(), offset, first_row);
+            advance_query(raw, schema, st, v, probs, offset, first_row, spare, intern, created);
             if st.done {
                 results[i] = st.p_hat.iter().sum::<f64>() / s as f64;
             }
+        }
+    }
+
+    // Return the prefix tensors to the pool for the next batch.
+    for (i, st) in states.into_iter().enumerate() {
+        if let Some(st) = st {
+            prefix_pool[i] = st.prefix_rows;
         }
     }
     results
@@ -177,14 +248,17 @@ fn advance_query(
     probs: Option<&Tensor>,
     offset: Option<usize>,
     first: Option<&[f32]>,
+    spare: &mut Tensor,
+    intern: &mut HashMap<(usize, u32), usize>,
+    created: &mut Vec<(usize, u32)>,
 ) {
     let s = st.p_hat.len();
     let domain = schema.codec(v).domain() as u32;
     let need_sample = v < st.last;
     let virgin = st.virgin;
     // Prefix-id interner for the codes drawn this round.
-    let mut intern: HashMap<(usize, u32), usize> = HashMap::new();
-    let mut created: Vec<(usize, u32)> = Vec::new();
+    intern.clear();
+    created.clear();
     let mut codes = vec![0u32; s];
 
     let step = st.vq.step(v);
@@ -222,23 +296,32 @@ fn advance_query(
                     }
                 }
                 codes[r] = code;
-                st.row_prefix[r] = intern_pair(&mut intern, &mut created, (st.row_prefix[r], code));
+                st.row_prefix[r] = intern_pair(intern, created, (st.row_prefix[r], code));
             }
         }
     } else {
+        // Fixed regions are shared by every row; borrow them once instead
+        // of cloning per row (split lo-regions depend on the sampled hi
+        // code and stay per-row).
+        let fixed_region = match step {
+            StepRegion::Fixed(region) => Some(region),
+            _ => None,
+        };
         // Range loop: `r` walks five parallel per-sample arrays at once.
         #[allow(clippy::needless_range_loop)]
         for r in 0..s {
             if !st.alive[r] {
                 continue;
             }
-            let region = match step {
-                StepRegion::Fixed(region) => region.clone(),
-                StepRegion::LoOfSplit { hi_vcol, .. } => {
+            let lo_region;
+            let region = match (fixed_region, step) {
+                (Some(region), _) => region,
+                (None, StepRegion::LoOfSplit { hi_vcol, .. }) => {
                     let hi_code = st.sampled[*hi_vcol].as_ref().expect("hi sampled before lo")[r];
-                    st.vq.lo_region(v, hi_code, domain)
+                    lo_region = st.vq.lo_region(v, hi_code, domain);
+                    &lo_region
                 }
-                StepRegion::Wildcard | StepRegion::Weighted(_) => unreachable!(),
+                _ => unreachable!(),
             };
             let row: &[f32] = if virgin {
                 first.expect("first-step probs for virgin query")
@@ -254,9 +337,9 @@ fn advance_query(
             }
             st.p_hat[r] *= p_in.min(1.0);
             if need_sample {
-                let code = sample_in_region(row, &region, p_in, &mut st.rng);
+                let code = sample_in_region(row, region, p_in, &mut st.rng);
                 codes[r] = code;
-                st.row_prefix[r] = intern_pair(&mut intern, &mut created, (st.row_prefix[r], code));
+                st.row_prefix[r] = intern_pair(intern, created, (st.row_prefix[r], code));
             }
         }
     }
@@ -266,17 +349,18 @@ fn advance_query(
         return;
     }
     st.sampled[v] = Some(codes);
-    // Rebuild the prefix table from the pairs drawn this round. Prefixes
-    // referenced only by dead rows are never interned, so they vanish here
-    // (dead-sample compaction).
+    // Rebuild the prefix table from the pairs drawn this round into the
+    // shared spare buffer, then swap it in. Prefixes referenced only by
+    // dead rows are never interned, so they vanish here (dead-sample
+    // compaction); the displaced buffer becomes the next rebuild target.
     let (bs, be) = schema.input_slice(v);
-    let mut new_rows = Tensor::zeros(created.len(), schema.input_width());
+    spare.resize(created.len(), schema.input_width());
     for (id, &(parent, code)) in created.iter().enumerate() {
-        let dst = new_rows.row_mut(id);
+        let dst = spare.row_mut(id);
         dst.copy_from_slice(st.prefix_rows.row(parent));
         raw.encode_into(v, code, &mut dst[bs..be]);
     }
-    st.prefix_rows = new_rows;
+    std::mem::swap(&mut st.prefix_rows, spare);
     st.virgin = false;
     if created.is_empty() {
         // Every sample died; all later rounds would be no-ops with p̂ = 0.

@@ -50,7 +50,9 @@ pub mod vquery;
 pub use dps::DpsConfig;
 pub use encoding::VirtualSchema;
 pub use estimator::{Uae, UaeConfig};
-pub use model::{ResMade, ResMadeConfig};
+pub use infer::InferScratch;
+pub use infer_batch::BatchScratch;
+pub use model::{ModelScratch, ResMade, ResMadeConfig};
 pub use ordering::ColumnOrder;
 pub use serialize::{CheckpointError, LoadError};
 pub use telemetry::{

@@ -12,6 +12,7 @@
 use std::rc::Rc;
 
 use uae_tensor::rng::he_uniform;
+use uae_tensor::tensor::{add_bias_assign, add_bias_relu_assign, matmul_into};
 use uae_tensor::{NodeId, ParamId, ParamStore, Tape, Tensor};
 
 use crate::encoding::{EncodingMode, VirtualSchema};
@@ -285,7 +286,14 @@ impl ResMade {
     /// (progressive sampling runs many forwards per query).
     pub fn snapshot(&self, store: &ParamStore) -> RawModel {
         let masked = |w: ParamId, m: &Tensor| store.get(w).zip(m, |a, b| a * b);
+        let w_out = masked(self.w_out, &self.mask_out);
+        let b_out = store.get(self.b_out).clone();
+        // Pre-slice the per-column output heads once per snapshot, so
+        // `logits_col_into` never slices in the per-round hot loop.
+        let w_out_cols = self.logit_slices.iter().map(|&(s, e)| w_out.slice_cols(s, e)).collect();
+        let b_out_cols = self.logit_slices.iter().map(|&(s, e)| b_out.slice_cols(s, e)).collect();
         RawModel {
+            zero_row: Tensor::zeros(1, self.input_width),
             w_in: masked(self.w_in, &self.mask_in),
             b_in: store.get(self.b_in).clone(),
             blocks: self
@@ -298,8 +306,10 @@ impl ResMade {
                     b2: store.get(blk.b2).clone(),
                 })
                 .collect(),
-            w_out: masked(self.w_out, &self.mask_out),
-            b_out: store.get(self.b_out).clone(),
+            w_out,
+            b_out,
+            w_out_cols,
+            b_out_cols,
             logit_slices: self.logit_slices.clone(),
             enc: self
                 .enc
@@ -314,14 +324,45 @@ impl ResMade {
     }
 }
 
+/// Caller-owned forward buffers for [`RawModel::hidden_into`] /
+/// [`RawModel::logits_col_into`]. Holding one per serving thread (the
+/// estimator keeps one inside its inference cache) makes steady-state
+/// forwards allocation-free: buffers grow to the largest batch seen and are
+/// reused across rounds, queries, and batches.
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    /// Hidden activations of the current batch (`rows x hidden`).
+    pub(crate) h: Tensor,
+    /// Residual-block temporaries.
+    t: Tensor,
+    t2: Tensor,
+    /// Per-column logits (softmaxed in place by the inference drivers).
+    pub(crate) logits: Tensor,
+}
+
+impl ModelScratch {
+    /// Fresh, empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Pre-masked weights for tape-free forwards.
 #[derive(Debug)]
 pub struct RawModel {
+    /// The all-wildcard (all-zero) model input row, built once per snapshot
+    /// so round-0 sampling and `first_step_probs` never re-allocate it.
+    zero_row: Tensor,
     w_in: Tensor,
     b_in: Tensor,
     blocks: Vec<RawBlock>,
     w_out: Tensor,
     b_out: Tensor,
+    /// Per-virtual-column slices of `w_out`/`b_out`, pre-cut once per
+    /// snapshot so the per-round head matmul works on contiguous weights
+    /// without slicing.
+    w_out_cols: Vec<Tensor>,
+    b_out_cols: Vec<Tensor>,
     logit_slices: Vec<(usize, usize)>,
     /// Materialized per-column input encodings (`enc[v].row(code)`).
     enc: Vec<Tensor>,
@@ -338,11 +379,14 @@ pub struct RawModel {
 impl Clone for RawModel {
     fn clone(&self) -> Self {
         RawModel {
+            zero_row: self.zero_row.clone(),
             w_in: self.w_in.clone(),
             b_in: self.b_in.clone(),
             blocks: self.blocks.clone(),
             w_out: self.w_out.clone(),
             b_out: self.b_out.clone(),
+            w_out_cols: self.w_out_cols.clone(),
+            b_out_cols: self.b_out_cols.clone(),
             logit_slices: self.logit_slices.clone(),
             enc: self.enc.clone(),
             // The memo is derived state; a fresh clone recomputes on demand.
@@ -360,28 +404,56 @@ struct RawBlock {
 }
 
 impl RawModel {
-    /// Hidden representation of a batch (rows = samples).
+    /// Hidden representation of a batch (rows = samples). Allocating
+    /// convenience wrapper around [`RawModel::hidden_into`]; serving paths
+    /// hold a [`ModelScratch`] instead.
     pub fn hidden(&self, x: &Tensor) -> Tensor {
-        let mut h = x.matmul(&self.w_in);
-        add_bias_relu(&mut h, &self.b_in);
-        for blk in &self.blocks {
-            let mut t = h.matmul(&blk.w1);
-            add_bias_relu(&mut t, &blk.b1);
-            let mut t = t.matmul(&blk.w2);
-            add_bias(&mut t, &blk.b2);
-            h.add_assign(&t);
-        }
-        h.map(|v| v.max(0.0))
+        let mut s = ModelScratch::new();
+        self.hidden_into(x, &mut s);
+        s.h
     }
 
-    /// Logits of one virtual column given hidden states.
+    /// Hidden representation written into `s.h`, reusing every buffer in
+    /// `s`. Bit-exact with [`RawModel::hidden`].
+    pub fn hidden_into(&self, x: &Tensor, s: &mut ModelScratch) {
+        let ModelScratch { h, t, t2, .. } = s;
+        matmul_into(x, &self.w_in, h, false);
+        add_bias_relu_assign(h, &self.b_in);
+        for blk in &self.blocks {
+            matmul_into(h, &blk.w1, t, false);
+            add_bias_relu_assign(t, &blk.b1);
+            matmul_into(t, &blk.w2, t2, false);
+            add_bias_assign(t2, &blk.b2);
+            h.add_assign(t2);
+        }
+        h.map_in_place(|v| v.max(0.0));
+    }
+
+    /// Logits of one virtual column given hidden states. Allocating
+    /// convenience wrapper around [`RawModel::logits_col_into`].
     pub fn logits_col(&self, hidden: &Tensor, v: usize) -> Tensor {
-        let (s, e) = self.logit_slices[v];
-        let w = self.w_out.slice_cols(s, e);
-        let mut y = hidden.matmul(&w);
-        let b = self.b_out.slice_cols(s, e);
-        add_bias(&mut y, &b);
+        let mut y = hidden.matmul(&self.w_out_cols[v]);
+        add_bias_assign(&mut y, &self.b_out_cols[v]);
         y
+    }
+
+    /// Logits of virtual column `v` for the hidden states in `s.h`,
+    /// written into `s.logits`. Uses the pre-sliced per-column head, so no
+    /// slicing or allocation happens per call.
+    pub fn logits_col_into(&self, v: usize, s: &mut ModelScratch) {
+        let ModelScratch { h, logits, .. } = s;
+        matmul_into(h, &self.w_out_cols[v], logits, false);
+        add_bias_assign(logits, &self.b_out_cols[v]);
+    }
+
+    /// Model input dimension.
+    pub fn input_width(&self) -> usize {
+        self.w_in.rows()
+    }
+
+    /// The cached all-wildcard (all-zero) input row.
+    pub fn zero_row(&self) -> &Tensor {
+        &self.zero_row
     }
 
     /// Write the encoded input block of `code` on column `v` into `out`
@@ -400,8 +472,7 @@ impl RawModel {
         if let Some(p) = self.first_step.lock().get(&v) {
             return p.clone();
         }
-        let x = Tensor::zeros(1, self.w_in.rows());
-        let h = self.hidden(&x);
+        let h = self.hidden(&self.zero_row);
         let mut logits = self.logits_col(&h, v);
         logits.softmax_rows_in_place();
         let probs = std::sync::Arc::new(logits.row(0).to_vec());
@@ -413,28 +484,8 @@ impl RawModel {
     pub fn logits(&self, x: &Tensor) -> Tensor {
         let h = self.hidden(x);
         let mut y = h.matmul(&self.w_out);
-        add_bias(&mut y, &self.b_out);
+        add_bias_assign(&mut y, &self.b_out);
         y
-    }
-}
-
-fn add_bias(t: &mut Tensor, bias: &Tensor) {
-    debug_assert_eq!(bias.rows(), 1);
-    debug_assert_eq!(bias.cols(), t.cols());
-    for r in 0..t.rows() {
-        let b = bias.row(0);
-        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
-            *o += bv;
-        }
-    }
-}
-
-fn add_bias_relu(t: &mut Tensor, bias: &Tensor) {
-    for r in 0..t.rows() {
-        let b = bias.row(0);
-        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
-            *o = (*o + bv).max(0.0);
-        }
     }
 }
 

@@ -152,8 +152,8 @@ pub fn query_loss(
         1,
         batch.iter().map(|tq| tq.selectivity.max(1e-12) as f32).collect(),
     );
-    let t1 = tape.input(truth.clone());
-    let t2 = tape.input(truth);
+    let t1 = tape.input_ref(&truth);
+    let t2 = tape.input_ref(&truth);
     let r1 = tape.div(sel, t1);
     let r2 = tape.div(t2, sel);
     let q = tape.maximum(r1, r2);

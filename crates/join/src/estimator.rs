@@ -134,7 +134,9 @@ impl JoinUae {
         vq
     }
 
-    /// Estimated join cardinality.
+    /// Estimated join cardinality. Steady-state calls reuse the underlying
+    /// estimator's inference scratch (input rows, hidden/logit buffers), so
+    /// repeated estimates allocate nothing in the tensor layer.
     pub fn estimate(&self, q: &JoinQuery) -> f64 {
         let vq = self.translate(q);
         self.uae.estimate_vquery(&vq) * self.sample.outer_size as f64
@@ -142,7 +144,8 @@ impl JoinUae {
 
     /// Estimated cardinalities for a batch of join queries through the
     /// cross-query batched sampler (one stacked forward per column round
-    /// instead of one per query).
+    /// instead of one per query). The stacked input, per-query prefix
+    /// tables, and probability buffers persist across calls.
     pub fn estimate_batch(&self, qs: &[JoinQuery]) -> Vec<f64> {
         let vqs: Vec<VirtualQuery> = qs.iter().map(|q| self.translate(q)).collect();
         let outer = self.sample.outer_size as f64;

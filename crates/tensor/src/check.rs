@@ -4,7 +4,7 @@
 //! op and of composite graphs (including the differentiable progressive
 //! sampling pipeline in `uae-core`).
 
-use crate::tape::{GradStore, NodeId, ParamId, ParamStore, Tape};
+use crate::tape::{GradStore, NodeId, ParamId, ParamStore, Tape, TapeWorkspace};
 
 /// Result of a gradient check for one parameter.
 #[derive(Debug, Clone)]
@@ -28,10 +28,15 @@ pub fn gradient_check(
     eps: f32,
     mut f: impl FnMut(&mut Tape<'_>) -> NodeId,
 ) -> GradCheck {
+    // One workspace serves every finite-difference evaluation — the graph
+    // shape is identical across calls, so after the first build no tensor
+    // allocations happen in the tape layer.
+    let mut ws = TapeWorkspace::new();
+
     // Analytic gradients.
     let mut grads = GradStore::zeros_like(store);
     {
-        let mut tape = Tape::new(store);
+        let mut tape = Tape::with_workspace(store, &mut ws);
         let loss = f(&mut tape);
         tape.backward(loss, &mut grads);
     }
@@ -45,13 +50,13 @@ pub fn gradient_check(
 
             store.get_mut(pid).data_mut()[i] = orig + eps;
             let up = {
-                let mut tape = Tape::new(store);
+                let mut tape = Tape::with_workspace(store, &mut ws);
                 let loss = f(&mut tape);
                 tape.value(loss).scalar_value()
             };
             store.get_mut(pid).data_mut()[i] = orig - eps;
             let down = {
-                let mut tape = Tape::new(store);
+                let mut tape = Tape::with_workspace(store, &mut ws);
                 let loss = f(&mut tape);
                 tape.value(loss).scalar_value()
             };

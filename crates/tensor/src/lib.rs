@@ -27,5 +27,5 @@ pub mod tape;
 pub mod tensor;
 
 pub use optim::{Adam, AdamState, Optimizer, Sgd};
-pub use tape::{GradStore, NodeId, ParamId, ParamStore, Tape};
-pub use tensor::Tensor;
+pub use tape::{GradStore, NodeId, ParamId, ParamStore, Tape, TapePlan, TapeWorkspace};
+pub use tensor::{tensor_alloc_count, Tensor};

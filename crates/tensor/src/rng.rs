@@ -40,6 +40,14 @@ pub fn gumbel_noise(rng: &mut impl Rng, rows: usize, cols: usize) -> Tensor {
     Tensor::from_vec(rows, cols, data)
 }
 
+/// Fill an already-sized tensor with i.i.d. Gumbel(0, 1) noise in place.
+/// Draws samples in the same row-major order as [`gumbel_noise`].
+pub fn gumbel_fill(rng: &mut impl Rng, t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = gumbel_sample(rng);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,10 +1,23 @@
-//! Tape-based reverse-mode automatic differentiation.
+//! Tape-based reverse-mode automatic differentiation, split into a
+//! structural **plan** and a reusable **workspace**.
 //!
-//! The tape is a flat arena of nodes ([`Node`]), each holding its forward
-//! value and the operation that produced it. Forward values are computed
-//! eagerly as the graph is built; [`Tape::backward`] then walks the arena in
-//! reverse, accumulating gradients for every node and depositing parameter
-//! gradients into a [`GradStore`] aligned with the [`ParamStore`].
+//! The tape records a flat arena of nodes. The *plan* ([`TapePlan`]) is the
+//! structural half: the op sequence with its operand dependencies. The
+//! *workspace* ([`TapeWorkspace`]) is the buffer half: one value tensor per
+//! node plus the backward gradient slots. Forward values are computed
+//! eagerly as the graph is built — each op writes into its workspace buffer
+//! via the `_into` tensor kernels instead of allocating a fresh tensor —
+//! and [`Tape::backward`] then walks the plan in reverse, accumulating
+//! gradients for every node and depositing parameter gradients into a
+//! [`GradStore`] aligned with the [`ParamStore`].
+//!
+//! [`Tape::new`] owns a private workspace (the drop-in behavior);
+//! [`Tape::with_workspace`] borrows a caller-owned [`TapeWorkspace`] whose
+//! buffers are `reset()` between forwards instead of freed, so steady-state
+//! graph construction performs no tensor allocations once the arena has
+//! warmed up to the graph's shapes. One workspace serves any sequence of
+//! graphs — shapes may differ between forwards; buffers grow to the
+//! high-water mark and stay.
 //!
 //! This is the substrate that makes *differentiable progressive sampling*
 //! possible in Rust: the UAE query loss (paper Alg. 2) is an `n`-step chain
@@ -13,7 +26,9 @@
 
 use std::rc::Rc;
 
-use crate::tensor::{log_softmax_in_place, softmax_in_place, Tensor};
+use crate::tensor::{
+    add_bias_into, log_softmax_in_place, map_into, matmul_into, softmax_in_place, zip_into, Tensor,
+};
 
 /// Identifier of a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,14 +151,26 @@ impl GradStore {
         }
     }
 
-    /// Global L2 norm across all gradients.
-    pub fn l2_norm(&self) -> f32 {
+    /// Global L2 norm across all gradients, accumulated in `f64`.
+    ///
+    /// `f32` accumulation loses precision on large parameter counts (a few
+    /// dominant squared terms absorb the long tail of small ones), and this
+    /// norm feeds the clip and divergence guards — a silently low norm can
+    /// skip a clip that was needed. The squares and the running sum are
+    /// therefore carried in `f64` end to end; use this form wherever the
+    /// norm feeds a guard.
+    pub fn l2_norm_f64(&self) -> f64 {
         self.grads
             .iter()
             .flat_map(|g| g.data().iter())
             .map(|&x| (x as f64) * (x as f64))
             .sum::<f64>()
-            .sqrt() as f32
+            .sqrt()
+    }
+
+    /// Global L2 norm as `f32` (computed in `f64`, rounded once at the end).
+    pub fn l2_norm(&self) -> f32 {
+        self.l2_norm_f64() as f32
     }
 
     /// Scale every gradient by `s` (used for gradient clipping).
@@ -205,16 +232,106 @@ enum Op {
     EmbedRows(NodeId, Rc<Vec<u32>>),
 }
 
-#[derive(Debug)]
-struct Node {
-    value: Tensor,
-    op: Op,
+/// The structural half of a tape: the op sequence with its operand
+/// dependencies. One entry per node; values live in the paired
+/// [`TapeWorkspace`] arena at the same index. The backing `Vec` is cleared
+/// (not freed) between forwards, so op records reuse their storage.
+#[derive(Debug, Default)]
+pub struct TapePlan {
+    ops: Vec<Op>,
+}
+
+impl TapePlan {
+    /// Number of recorded ops (== node count of the current graph).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The buffer half of a tape: an arena of node value tensors, the backward
+/// gradient slots, and a scratch tensor for ops that need a temporary
+/// (masked matmul). Buffers are *reset* between forwards — logically
+/// cleared, never freed — so a warmed workspace builds graphs with zero
+/// tensor allocations.
+///
+/// Ownership rules (see DESIGN.md §5d):
+/// * Exactly one [`Tape`] may borrow a workspace at a time (enforced by
+///   `&mut`). Values read through [`Tape::value`] borrow the workspace and
+///   die with the tape.
+/// * `reset()` is legal only when no tape borrows the workspace; it
+///   invalidates all `NodeId`s minted since the previous reset.
+///   [`Tape::with_workspace`] resets implicitly.
+/// * A workspace may outlive any number of tapes and may be moved between
+///   owners (it holds no references), but must not be shared across threads
+///   concurrently.
+#[derive(Debug, Default)]
+pub struct TapeWorkspace {
+    plan: TapePlan,
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    scratch: Tensor,
+}
+
+impl TapeWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logically clear the recorded plan, keeping every buffer allocation
+    /// for the next forward. Invalidates outstanding [`NodeId`]s.
+    pub fn reset(&mut self) {
+        self.plan.ops.clear();
+    }
+
+    /// The structural plan of the most recent graph.
+    pub fn plan(&self) -> &TapePlan {
+        &self.plan
+    }
+
+    /// Number of value buffers held in the arena (the high-water node
+    /// count across all graphs built on this workspace).
+    pub fn num_value_buffers(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Owned-or-borrowed workspace slot, so `Tape::new` stays drop-in while
+/// `Tape::with_workspace` reuses caller-owned buffers.
+enum WsSlot<'w> {
+    Owned(Box<TapeWorkspace>),
+    Borrowed(&'w mut TapeWorkspace),
+}
+
+impl WsSlot<'_> {
+    #[inline]
+    fn get(&self) -> &TapeWorkspace {
+        match self {
+            WsSlot::Owned(ws) => ws,
+            WsSlot::Borrowed(ws) => ws,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut TapeWorkspace {
+        match self {
+            WsSlot::Owned(ws) => ws,
+            WsSlot::Borrowed(ws) => ws,
+        }
+    }
 }
 
 /// A single forward/backward computation graph.
 ///
 /// Parameters are read from a borrowed [`ParamStore`]; gradients are written
-/// to a caller-owned [`GradStore`], so one store can back many tapes.
+/// to a caller-owned [`GradStore`], so one store can back many tapes — and
+/// one [`TapeWorkspace`] can back many consecutive tapes without
+/// reallocating node buffers.
 ///
 /// ```
 /// use uae_tensor::{GradStore, ParamStore, Tape, Tensor};
@@ -232,242 +349,396 @@ struct Node {
 /// ```
 pub struct Tape<'a> {
     store: &'a ParamStore,
-    nodes: Vec<Node>,
+    ws: WsSlot<'a>,
 }
 
 impl<'a> Tape<'a> {
-    /// A fresh tape over a parameter store.
+    /// A fresh tape over a parameter store, with a private workspace.
     pub fn new(store: &'a ParamStore) -> Self {
-        Tape { store, nodes: Vec::with_capacity(64) }
+        Tape { store, ws: WsSlot::Owned(Box::new(TapeWorkspace::new())) }
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { value, op });
+    /// A tape reusing a caller-owned workspace. The workspace is `reset()`
+    /// first (plan cleared, buffers kept), so a warmed workspace builds the
+    /// graph without tensor allocations.
+    pub fn with_workspace(store: &'a ParamStore, ws: &'a mut TapeWorkspace) -> Self {
+        ws.reset();
+        Tape { store, ws: WsSlot::Borrowed(ws) }
+    }
+
+    /// Reserve (or reuse) the value buffer of the next node, resized to
+    /// `rows x cols`, returning it alongside the values of all existing
+    /// nodes. Buffer contents are unspecified; the caller writes every
+    /// element (or zero-fills for accumulation ops).
+    fn begin(&mut self, rows: usize, cols: usize) -> (&[Tensor], &mut Tensor) {
+        let ws = self.ws.get_mut();
+        let n = ws.plan.ops.len();
+        if ws.values.len() <= n {
+            ws.values.push(Tensor::default());
+        }
+        let (prev, rest) = ws.values.split_at_mut(n);
+        let out = &mut rest[0];
+        out.resize(rows, cols);
+        (prev, out)
+    }
+
+    /// Record the op that produced the buffer reserved by `begin`.
+    fn commit(&mut self, op: Op) -> NodeId {
+        let ws = self.ws.get_mut();
+        let id = NodeId(ws.plan.ops.len() as u32);
+        ws.plan.ops.push(op);
         id
     }
 
     /// Forward value of a node.
     #[inline]
     pub fn value(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id.index()].value
+        &self.ws.get().values[id.index()]
     }
 
     /// Number of nodes on the tape.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.ws.get().plan.ops.len()
     }
 
     /// Whether the tape has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.ws.get().plan.ops.is_empty()
     }
 
     // ---- graph builders -------------------------------------------------
 
-    /// Constant leaf.
+    /// Constant leaf. The value is copied into the workspace arena; prefer
+    /// [`Tape::input_ref`] / [`Tape::input_with`] when the caller keeps (or
+    /// can build in place) the tensor, to avoid the intermediate
+    /// allocation.
     pub fn input(&mut self, value: Tensor) -> NodeId {
-        self.push(value, Op::Input)
+        self.input_ref(&value)
+    }
+
+    /// Constant leaf copied from a borrowed tensor.
+    pub fn input_ref(&mut self, value: &Tensor) -> NodeId {
+        {
+            let (_, out) = self.begin(value.rows(), value.cols());
+            out.data_mut().copy_from_slice(value.data());
+        }
+        self.commit(Op::Input)
+    }
+
+    /// All-zero constant leaf, written directly into the arena.
+    pub fn input_zeros(&mut self, rows: usize, cols: usize) -> NodeId {
+        {
+            let (_, out) = self.begin(rows, cols);
+            out.fill_zero();
+        }
+        self.commit(Op::Input)
+    }
+
+    /// Constant-filled leaf, written directly into the arena.
+    pub fn input_full(&mut self, rows: usize, cols: usize, v: f32) -> NodeId {
+        {
+            let (_, out) = self.begin(rows, cols);
+            out.data_mut().fill(v);
+        }
+        self.commit(Op::Input)
+    }
+
+    /// Constant leaf whose contents are produced by `fill` writing into the
+    /// arena buffer (pre-sized to `rows x cols`, contents unspecified —
+    /// `fill` must write every element).
+    pub fn input_with(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut Tensor),
+    ) -> NodeId {
+        {
+            let (_, out) = self.begin(rows, cols);
+            fill(out);
+            debug_assert_eq!(out.shape(), (rows, cols), "input_with must keep the shape");
+        }
+        self.commit(Op::Input)
     }
 
     /// Trainable parameter leaf.
     pub fn param(&mut self, id: ParamId) -> NodeId {
-        let value = self.store.get(id).clone();
-        self.push(value, Op::Param(id))
+        let store = self.store;
+        {
+            let p = store.get(id);
+            let (rows, cols) = p.shape();
+            let (_, out) = self.begin(rows, cols);
+            out.data_mut().copy_from_slice(p.data());
+        }
+        self.commit(Op::Param(id))
     }
 
     /// `a @ b`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            matmul_into(&prev[a.index()], &prev[b.index()], out, false);
+        }
+        self.commit(Op::MatMul(a, b))
     }
 
     /// `a @ (b ⊙ mask)` — the masked linear layer used by MADE. `mask` has
     /// `b`'s shape and is treated as a constant.
     pub fn matmul_masked(&mut self, a: NodeId, b: NodeId, mask: Rc<Tensor>) -> NodeId {
         assert_eq!(self.value(b).shape(), mask.shape(), "mask shape mismatch");
-        let masked = self.value(b).zip(&mask, |w, m| w * m);
-        let v = self.value(a).matmul(&masked);
-        self.push(v, Op::MatMulMasked(a, b, mask))
+        let rows = self.value(a).rows();
+        let cols = self.value(b).cols();
+        {
+            let ws = self.ws.get_mut();
+            let n = ws.plan.ops.len();
+            if ws.values.len() <= n {
+                ws.values.push(Tensor::default());
+            }
+            let TapeWorkspace { values, scratch, .. } = ws;
+            let (prev, rest) = values.split_at_mut(n);
+            let out = &mut rest[0];
+            out.resize(rows, cols);
+            zip_into(&prev[b.index()], &mask, scratch, |w, m| w * m);
+            matmul_into(&prev[a.index()], scratch, out, false);
+        }
+        self.commit(Op::MatMulMasked(a, b, mask))
     }
 
     /// `x + bias` with `bias` shaped `1 x c` broadcast over rows.
     pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
         let (xr, xc) = self.value(x).shape();
         assert_eq!(self.value(bias).shape(), (1, xc), "bias shape mismatch");
-        let mut v = self.value(x).clone();
-        for r in 0..xr {
-            let brow = self.nodes[bias.index()].value.row(0).to_vec();
-            for (o, b) in v.row_mut(r).iter_mut().zip(&brow) {
-                *o += b;
-            }
+        {
+            let (prev, out) = self.begin(xr, xc);
+            add_bias_into(&prev[x.index()], &prev[bias.index()], out);
         }
-        self.push(v, Op::AddBias(x, bias))
+        self.commit(Op::AddBias(x, bias))
+    }
+
+    fn zip_op(&mut self, a: NodeId, b: NodeId, op: Op, f: impl Fn(f32, f32) -> f32) -> NodeId {
+        let (rows, cols) = self.value(a).shape();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            zip_into(&prev[a.index()], &prev[b.index()], out, f);
+        }
+        self.commit(op)
+    }
+
+    fn map_op(&mut self, x: NodeId, op: Op, f: impl Fn(f32) -> f32) -> NodeId {
+        let (rows, cols) = self.value(x).shape();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            map_into(&prev[x.index()], out, f);
+        }
+        self.commit(op)
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x + y);
-        self.push(v, Op::Add(a, b))
+        self.zip_op(a, b, Op::Add(a, b), |x, y| x + y)
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x - y);
-        self.push(v, Op::Sub(a, b))
+        self.zip_op(a, b, Op::Sub(a, b), |x, y| x - y)
     }
 
     /// Elementwise `a * b`.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x * y);
-        self.push(v, Op::Mul(a, b))
+        self.zip_op(a, b, Op::Mul(a, b), |x, y| x * y)
     }
 
     /// Elementwise `a / b`.
     pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), |x, y| x / y);
-        self.push(v, Op::Div(a, b))
+        self.zip_op(a, b, Op::Div(a, b), |x, y| x / y)
     }
 
     /// `x * c`.
     pub fn mul_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
-        let v = self.value(x).map(|v| v * c);
-        self.push(v, Op::MulScalar(x, c))
+        self.map_op(x, Op::MulScalar(x, c), |v| v * c)
     }
 
     /// `x + c`.
     pub fn add_scalar(&mut self, x: NodeId, c: f32) -> NodeId {
-        let v = self.value(x).map(|v| v + c);
-        self.push(v, Op::AddScalar(x))
+        self.map_op(x, Op::AddScalar(x), |v| v + c)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|v| v.max(0.0));
-        self.push(v, Op::Relu(x))
+        self.map_op(x, Op::Relu(x), |v| v.max(0.0))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.push(v, Op::Sigmoid(x))
+        self.map_op(x, Op::Sigmoid(x), |v| 1.0 / (1.0 + (-v).exp()))
     }
 
     /// Elementwise `exp`.
     pub fn exp(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(f32::exp);
-        self.push(v, Op::Exp(x))
+        self.map_op(x, Op::Exp(x), f32::exp)
     }
 
     /// Elementwise natural log; the caller must guarantee positivity
     /// (compose with [`Tape::clamp_min`] when in doubt).
     pub fn ln(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(f32::ln);
-        self.push(v, Op::Ln(x))
+        self.map_op(x, Op::Ln(x), f32::ln)
     }
 
     /// `max(x, c)` with pass-through gradient where `x > c`.
     pub fn clamp_min(&mut self, x: NodeId, c: f32) -> NodeId {
-        let v = self.value(x).map(|v| v.max(c));
-        self.push(v, Op::ClampMin(x, c))
+        self.map_op(x, Op::ClampMin(x, c), |v| v.max(c))
     }
 
     /// Copy of columns `start..end`.
     pub fn slice_cols(&mut self, x: NodeId, start: usize, end: usize) -> NodeId {
-        let v = self.value(x).slice_cols(start, end);
-        self.push(v, Op::SliceCols(x, start, end))
+        let (rows, cols) = self.value(x).shape();
+        assert!(start <= end && end <= cols, "slice_cols out of range");
+        {
+            let (prev, out) = self.begin(rows, end - start);
+            let xv = &prev[x.index()];
+            for r in 0..rows {
+                out.row_mut(r).copy_from_slice(&xv.row(r)[start..end]);
+            }
+        }
+        self.commit(Op::SliceCols(x, start, end))
     }
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
-        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
-        let v = Tensor::concat_cols(&tensors);
-        self.push(v, Op::ConcatCols(parts.to_vec()))
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let rows = self.value(parts[0]).rows();
+        let cols: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            for r in 0..rows {
+                let orow = out.row_mut(r);
+                let mut off = 0;
+                for &p in parts {
+                    let pv = &prev[p.index()];
+                    assert_eq!(pv.rows(), rows, "concat_cols row mismatch");
+                    orow[off..off + pv.cols()].copy_from_slice(pv.row(r));
+                    off += pv.cols();
+                }
+            }
+        }
+        self.commit(Op::ConcatCols(parts.to_vec()))
     }
 
     /// Row-wise softmax.
     pub fn softmax(&mut self, x: NodeId) -> NodeId {
-        let mut v = self.value(x).clone();
-        for r in 0..v.rows() {
-            softmax_in_place(v.row_mut(r));
+        let (rows, cols) = self.value(x).shape();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            out.data_mut().copy_from_slice(prev[x.index()].data());
+            for r in 0..rows {
+                softmax_in_place(out.row_mut(r));
+            }
         }
-        self.push(v, Op::Softmax(x))
+        self.commit(Op::Softmax(x))
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, x: NodeId) -> NodeId {
-        let mut v = self.value(x).clone();
-        for r in 0..v.rows() {
-            log_softmax_in_place(v.row_mut(r));
+        let (rows, cols) = self.value(x).shape();
+        {
+            let (prev, out) = self.begin(rows, cols);
+            out.data_mut().copy_from_slice(prev[x.index()].data());
+            for r in 0..rows {
+                log_softmax_in_place(out.row_mut(r));
+            }
         }
-        self.push(v, Op::LogSoftmax(x))
+        self.commit(Op::LogSoftmax(x))
     }
 
     /// Sum across columns → `r x 1`.
     pub fn row_sum(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).row_sums();
-        self.push(v, Op::RowSum(x))
+        let rows = self.value(x).rows();
+        {
+            let (prev, out) = self.begin(rows, 1);
+            let xv = &prev[x.index()];
+            for r in 0..rows {
+                out.data_mut()[r] = xv.row(r).iter().sum();
+            }
+        }
+        self.commit(Op::RowSum(x))
     }
 
     /// Per-row gather: `out[r] = x[r, idx[r]]` → `r x 1`.
     pub fn gather_cols(&mut self, x: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
-        let t = self.value(x);
-        assert_eq!(t.rows(), idx.len(), "gather index length mismatch");
-        let mut v = Tensor::zeros(t.rows(), 1);
-        for r in 0..t.rows() {
-            v.data_mut()[r] = t.at(r, idx[r] as usize);
+        let rows = self.value(x).rows();
+        assert_eq!(rows, idx.len(), "gather index length mismatch");
+        {
+            let (prev, out) = self.begin(rows, 1);
+            let xv = &prev[x.index()];
+            for r in 0..rows {
+                out.data_mut()[r] = xv.at(r, idx[r] as usize);
+            }
         }
-        self.push(v, Op::GatherCols(x, idx))
+        self.commit(Op::GatherCols(x, idx))
     }
 
     /// Elementwise maximum; the subgradient follows the larger input
     /// (ties go to `a`).
     pub fn maximum(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let v = self.value(a).zip(self.value(b), f32::max);
-        self.push(v, Op::Maximum(a, b))
+        self.zip_op(a, b, Op::Maximum(a, b), f32::max)
     }
 
     /// Mean over all elements → scalar node.
     pub fn mean_all(&mut self, x: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.value(x).mean());
-        self.push(v, Op::MeanAll(x))
+        {
+            let (prev, out) = self.begin(1, 1);
+            out.data_mut()[0] = prev[x.index()].mean();
+        }
+        self.commit(Op::MeanAll(x))
     }
 
     /// Sum over all elements → scalar node.
     pub fn sum_all(&mut self, x: NodeId) -> NodeId {
-        let v = Tensor::scalar(self.value(x).sum());
-        self.push(v, Op::SumAll(x))
+        {
+            let (prev, out) = self.begin(1, 1);
+            out.data_mut()[0] = prev[x.index()].sum();
+        }
+        self.commit(Op::SumAll(x))
     }
 
     /// `(r x c) ⊙ broadcast(v: r x 1)` — scales each row by a scalar.
     pub fn mul_col_broadcast(&mut self, x: NodeId, v: NodeId) -> NodeId {
-        let xv = self.value(x);
+        let (rows, cols) = self.value(x).shape();
         let vv = self.value(v);
         assert_eq!(vv.cols(), 1, "broadcast vector must be r x 1");
-        assert_eq!(vv.rows(), xv.rows(), "broadcast row mismatch");
-        let mut out = xv.clone();
-        for r in 0..out.rows() {
-            let s = vv.at(r, 0);
-            for o in out.row_mut(r) {
-                *o *= s;
+        assert_eq!(vv.rows(), rows, "broadcast row mismatch");
+        {
+            let (prev, out) = self.begin(rows, cols);
+            let xv = &prev[x.index()];
+            let vv = &prev[v.index()];
+            for r in 0..rows {
+                let s = vv.at(r, 0);
+                for (o, &xval) in out.row_mut(r).iter_mut().zip(xv.row(r)) {
+                    *o = xval * s;
+                }
             }
         }
-        self.push(out, Op::MulColBroadcast(x, v))
+        self.commit(Op::MulColBroadcast(x, v))
     }
 
     /// Embedding lookup: `out[r] = table[idx[r]]`, with the sentinel
     /// `u32::MAX` producing a zero row (the wildcard token for learnable
     /// encodings). Gradients scatter-add into `table`.
     pub fn embed_rows(&mut self, table: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
-        let t = self.value(table);
-        let mut v = Tensor::zeros(idx.len(), t.cols());
-        for (r, &i) in idx.iter().enumerate() {
-            if i != u32::MAX {
-                debug_assert!((i as usize) < t.rows(), "embedding index out of range");
-                v.row_mut(r).copy_from_slice(t.row(i as usize));
+        let cols = self.value(table).cols();
+        {
+            let (prev, out) = self.begin(idx.len(), cols);
+            out.fill_zero();
+            let t = &prev[table.index()];
+            for (r, &i) in idx.iter().enumerate() {
+                if i != u32::MAX {
+                    debug_assert!((i as usize) < t.rows(), "embedding index out of range");
+                    out.row_mut(r).copy_from_slice(t.row(i as usize));
+                }
             }
         }
-        self.push(v, Op::EmbedRows(table, idx))
+        self.commit(Op::EmbedRows(table, idx))
     }
 
     /// Average each group of `group` consecutive rows → `(r/group) x c`.
@@ -475,49 +746,63 @@ impl<'a> Tape<'a> {
     /// Used by differentiable progressive sampling to average the density
     /// estimates of the `S` samples belonging to the same query.
     pub fn mean_row_groups(&mut self, x: NodeId, group: usize) -> NodeId {
-        let t = self.value(x);
-        assert!(group > 0 && t.rows().is_multiple_of(group), "row count not divisible by group");
-        let out_rows = t.rows() / group;
-        let mut out = Tensor::zeros(out_rows, t.cols());
-        for r in 0..t.rows() {
-            let orow = r / group;
-            for c in 0..t.cols() {
-                let v = t.at(r, c) / group as f32;
-                out.set(orow, c, out.at(orow, c) + v);
+        let (rows, cols) = self.value(x).shape();
+        assert!(group > 0 && rows.is_multiple_of(group), "row count not divisible by group");
+        let out_rows = rows / group;
+        {
+            let (prev, out) = self.begin(out_rows, cols);
+            out.fill_zero();
+            let t = &prev[x.index()];
+            for r in 0..rows {
+                let orow = r / group;
+                for c in 0..cols {
+                    let v = t.at(r, c) / group as f32;
+                    out.set(orow, c, out.at(orow, c) + v);
+                }
             }
         }
-        self.push(out, Op::MeanRowGroups(x, group))
+        self.commit(Op::MeanRowGroups(x, group))
     }
 
     // ---- backward --------------------------------------------------------
 
     /// Reverse-mode differentiation from `loss` (must be `1 x 1`),
-    /// accumulating parameter gradients into `grads`.
-    pub fn backward(&self, loss: NodeId, grads: &mut GradStore) {
+    /// accumulating parameter gradients into `grads`. The per-node gradient
+    /// slots live in the workspace, so their backbone is reused across
+    /// backwards on the same workspace.
+    pub fn backward(&mut self, loss: NodeId, grads: &mut GradStore) {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
-        let mut node_grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let ws = self.ws.get_mut();
+        let n = ws.plan.ops.len();
+        if ws.grads.len() < n {
+            ws.grads.resize_with(n, || None);
+        }
+        for g in &mut ws.grads[..n] {
+            *g = None;
+        }
+        let TapeWorkspace { plan, values, grads: node_grads, scratch } = ws;
         node_grads[loss.index()] = Some(Tensor::scalar(1.0));
 
         for idx in (0..=loss.index()).rev() {
             let Some(gy) = node_grads[idx].take() else { continue };
-            match &self.nodes[idx].op {
+            match &plan.ops[idx] {
                 Op::Input => {}
                 Op::Param(pid) => {
                     grads.get_mut(*pid).add_assign(&gy);
                 }
                 Op::MatMul(a, b) => {
-                    let av = &self.nodes[a.index()].value;
-                    let bv = &self.nodes[b.index()].value;
-                    accumulate(&mut node_grads, *a, gy.matmul_t(bv));
-                    accumulate(&mut node_grads, *b, av.t_matmul(&gy));
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    accumulate(node_grads, *a, gy.matmul_t(bv));
+                    accumulate(node_grads, *b, av.t_matmul(&gy));
                 }
                 Op::MatMulMasked(a, b, mask) => {
-                    let av = &self.nodes[a.index()].value;
-                    let bv = &self.nodes[b.index()].value;
-                    let masked = bv.zip(mask, |w, m| w * m);
-                    accumulate(&mut node_grads, *a, gy.matmul_t(&masked));
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    zip_into(bv, mask, scratch, |w, m| w * m);
+                    accumulate(node_grads, *a, gy.matmul_t(scratch));
                     let gb = av.t_matmul(&gy).zip(mask, |g, m| g * m);
-                    accumulate(&mut node_grads, *b, gb);
+                    accumulate(node_grads, *b, gb);
                 }
                 Op::AddBias(x, bias) => {
                     let mut gb = Tensor::zeros(1, gy.cols());
@@ -526,82 +811,78 @@ impl<'a> Tape<'a> {
                             *o += g;
                         }
                     }
-                    accumulate(&mut node_grads, *x, gy);
-                    accumulate(&mut node_grads, *bias, gb);
+                    accumulate(node_grads, *x, gy);
+                    accumulate(node_grads, *bias, gb);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut node_grads, *a, gy.clone());
-                    accumulate(&mut node_grads, *b, gy);
+                    accumulate(node_grads, *a, gy.clone());
+                    accumulate(node_grads, *b, gy);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut node_grads, *a, gy.clone());
-                    accumulate(&mut node_grads, *b, gy.map(|g| -g));
+                    accumulate(node_grads, *a, gy.clone());
+                    accumulate(node_grads, *b, gy.map(|g| -g));
                 }
                 Op::Mul(a, b) => {
-                    let av = &self.nodes[a.index()].value;
-                    let bv = &self.nodes[b.index()].value;
-                    accumulate(&mut node_grads, *a, gy.zip(bv, |g, y| g * y));
-                    accumulate(&mut node_grads, *b, gy.zip(av, |g, x| g * x));
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    accumulate(node_grads, *a, gy.zip(bv, |g, y| g * y));
+                    accumulate(node_grads, *b, gy.zip(av, |g, x| g * x));
                 }
                 Op::Div(a, b) => {
-                    let av = &self.nodes[a.index()].value;
-                    let bv = &self.nodes[b.index()].value;
-                    accumulate(&mut node_grads, *a, gy.zip(bv, |g, y| g / y));
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
+                    accumulate(node_grads, *a, gy.zip(bv, |g, y| g / y));
                     let mut gb = gy.zip(av, |g, x| g * x);
                     gb = gb.zip(bv, |g, y| -g / (y * y));
-                    accumulate(&mut node_grads, *b, gb);
+                    accumulate(node_grads, *b, gb);
                 }
                 Op::MulScalar(x, c) => {
-                    accumulate(&mut node_grads, *x, gy.map(|g| g * c));
+                    accumulate(node_grads, *x, gy.map(|g| g * c));
                 }
                 Op::AddScalar(x) => {
-                    accumulate(&mut node_grads, *x, gy);
+                    accumulate(node_grads, *x, gy);
                 }
                 Op::Relu(x) => {
-                    let xv = &self.nodes[x.index()].value;
-                    accumulate(
-                        &mut node_grads,
-                        *x,
-                        gy.zip(xv, |g, v| if v > 0.0 { g } else { 0.0 }),
-                    );
+                    let xv = &values[x.index()];
+                    accumulate(node_grads, *x, gy.zip(xv, |g, v| if v > 0.0 { g } else { 0.0 }));
                 }
                 Op::Sigmoid(x) => {
-                    let s = &self.nodes[idx].value;
-                    accumulate(&mut node_grads, *x, gy.zip(s, |g, s| g * s * (1.0 - s)));
+                    let s = &values[idx];
+                    accumulate(node_grads, *x, gy.zip(s, |g, s| g * s * (1.0 - s)));
                 }
                 Op::Exp(x) => {
-                    let y = &self.nodes[idx].value;
-                    accumulate(&mut node_grads, *x, gy.zip(y, |g, y| g * y));
+                    let y = &values[idx];
+                    accumulate(node_grads, *x, gy.zip(y, |g, y| g * y));
                 }
                 Op::Ln(x) => {
-                    let xv = &self.nodes[x.index()].value;
-                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| g / v));
+                    let xv = &values[x.index()];
+                    accumulate(node_grads, *x, gy.zip(xv, |g, v| g / v));
                 }
                 Op::ClampMin(x, c) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let c = *c;
-                    accumulate(&mut node_grads, *x, gy.zip(xv, |g, v| if v > c { g } else { 0.0 }));
+                    accumulate(node_grads, *x, gy.zip(xv, |g, v| if v > c { g } else { 0.0 }));
                 }
                 Op::SliceCols(x, start, _end) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let mut gx = Tensor::zeros(xv.rows(), xv.cols());
                     for r in 0..gy.rows() {
                         for c in 0..gy.cols() {
                             gx.set(r, start + c, gy.at(r, c));
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
                 Op::ConcatCols(parts) => {
                     let mut off = 0;
                     for &p in parts {
-                        let w = self.nodes[p.index()].value.cols();
-                        accumulate(&mut node_grads, p, gy.slice_cols(off, off + w));
+                        let w = values[p.index()].cols();
+                        accumulate(node_grads, p, gy.slice_cols(off, off + w));
                         off += w;
                     }
                 }
                 Op::Softmax(x) => {
-                    let s = &self.nodes[idx].value;
+                    let s = &values[idx];
                     let mut gx = Tensor::zeros(s.rows(), s.cols());
                     for r in 0..s.rows() {
                         let srow = s.row(r);
@@ -611,10 +892,10 @@ impl<'a> Tape<'a> {
                             *o = sv * (gv - dot);
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
                 Op::LogSoftmax(x) => {
-                    let ls = &self.nodes[idx].value;
+                    let ls = &values[idx];
                     let mut gx = Tensor::zeros(ls.rows(), ls.cols());
                     for r in 0..ls.rows() {
                         let grow = gy.row(r);
@@ -624,10 +905,10 @@ impl<'a> Tape<'a> {
                             *o = gv - lsv.exp() * gsum;
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
                 Op::RowSum(x) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let mut gx = Tensor::zeros(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
                         let g = gy.at(r, 0);
@@ -635,19 +916,19 @@ impl<'a> Tape<'a> {
                             *o = g;
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
                 Op::GatherCols(x, idxs) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let mut gx = Tensor::zeros(xv.rows(), xv.cols());
                     for r in 0..xv.rows() {
                         gx.set(r, idxs[r] as usize, gy.at(r, 0));
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
                 Op::Maximum(a, b) => {
-                    let av = &self.nodes[a.index()].value;
-                    let bv = &self.nodes[b.index()].value;
+                    let av = &values[a.index()];
+                    let bv = &values[b.index()];
                     let mut ga = Tensor::zeros(gy.rows(), gy.cols());
                     let mut gb = Tensor::zeros(gy.rows(), gy.cols());
                     for i in 0..gy.len() {
@@ -658,22 +939,22 @@ impl<'a> Tape<'a> {
                             gb.data_mut()[i] = g;
                         }
                     }
-                    accumulate(&mut node_grads, *a, ga);
-                    accumulate(&mut node_grads, *b, gb);
+                    accumulate(node_grads, *a, ga);
+                    accumulate(node_grads, *b, gb);
                 }
                 Op::MeanAll(x) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let g = gy.scalar_value() / xv.len() as f32;
-                    accumulate(&mut node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
+                    accumulate(node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
                 }
                 Op::SumAll(x) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let g = gy.scalar_value();
-                    accumulate(&mut node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
+                    accumulate(node_grads, *x, Tensor::full(xv.rows(), xv.cols(), g));
                 }
                 Op::MulColBroadcast(x, v) => {
-                    let xv = &self.nodes[x.index()].value;
-                    let vv = &self.nodes[v.index()].value;
+                    let xv = &values[x.index()];
+                    let vv = &values[v.index()];
                     let mut gx = gy.clone();
                     let mut gv = Tensor::zeros(vv.rows(), 1);
                     for r in 0..gy.rows() {
@@ -687,11 +968,11 @@ impl<'a> Tape<'a> {
                             *o *= s;
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
-                    accumulate(&mut node_grads, *v, gv);
+                    accumulate(node_grads, *x, gx);
+                    accumulate(node_grads, *v, gv);
                 }
                 Op::EmbedRows(table, idx) => {
-                    let tv = &self.nodes[table.index()].value;
+                    let tv = &values[table.index()];
                     let mut gt = Tensor::zeros(tv.rows(), tv.cols());
                     for (r, &i) in idx.iter().enumerate() {
                         if i != u32::MAX {
@@ -701,10 +982,10 @@ impl<'a> Tape<'a> {
                             }
                         }
                     }
-                    accumulate(&mut node_grads, *table, gt);
+                    accumulate(node_grads, *table, gt);
                 }
                 Op::MeanRowGroups(x, group) => {
-                    let xv = &self.nodes[x.index()].value;
+                    let xv = &values[x.index()];
                     let mut gx = Tensor::zeros(xv.rows(), xv.cols());
                     let inv = 1.0 / *group as f32;
                     for r in 0..xv.rows() {
@@ -713,7 +994,7 @@ impl<'a> Tape<'a> {
                             gx.set(r, c, gy.at(orow, c) * inv);
                         }
                     }
-                    accumulate(&mut node_grads, *x, gx);
+                    accumulate(node_grads, *x, gx);
                 }
             }
         }
@@ -730,6 +1011,7 @@ fn accumulate(node_grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tensor::tensor_alloc_count;
 
     fn store_with(values: &[(&str, Tensor)]) -> (ParamStore, Vec<ParamId>) {
         let mut s = ParamStore::new();
@@ -840,5 +1122,139 @@ mod tests {
         assert!((grads.l2_norm() - 5.0).abs() < 1e-6);
         grads.scale(0.5);
         assert_eq!(grads.get(ids[0]).data(), &[1.5, 2.0]);
+    }
+
+    #[test]
+    fn l2_norm_accumulates_in_f64() {
+        // One dominant squared term (1e8) plus 10k unit terms: f32
+        // accumulation would absorb every +1.0 into the 1e8 (1e8 + 1 == 1e8
+        // in f32), reporting sqrt(1e8) = 10000 exactly. The f64 path keeps
+        // the tail: sqrt(1e8 + 1e4) ≈ 10000.49998.
+        let n = 10_001;
+        let mut data = vec![1.0f32; n];
+        data[0] = 1.0e4;
+        let (store, ids) = store_with(&[("w", Tensor::from_vec(1, n, data))]);
+        let mut grads = GradStore::zeros_like(&store);
+        grads.get_mut(ids[0]).data_mut().copy_from_slice(store.get(ids[0]).data());
+        let norm = grads.l2_norm_f64();
+        let expect = (1.0e8f64 + 1.0e4).sqrt();
+        assert!((norm - expect).abs() < 1e-6, "f64 norm {norm} vs {expect}");
+        assert!(norm > 10000.4, "f32 accumulation would have collapsed to 10000");
+    }
+
+    /// The same graph builder used for the reuse tests below.
+    fn build_graph(tape: &mut Tape<'_>, ids: &[ParamId], x: &Tensor, mask: &Rc<Tensor>) -> NodeId {
+        let xn = tape.input_ref(x);
+        let w = tape.param(ids[0]);
+        let b = tape.param(ids[1]);
+        let h = tape.matmul_masked(xn, w, Rc::clone(mask));
+        let h = tape.add_bias(h, b);
+        let h = tape.relu(h);
+        let s = tape.softmax(h);
+        let l = tape.ln(s);
+        tape.mean_all(l)
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_exact() {
+        let (store, ids) = store_with(&[
+            ("w", Tensor::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.17 - 0.9).collect())),
+            ("b", Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.0, 0.3])),
+        ]);
+        let x = Tensor::from_vec(2, 3, vec![1.0, -0.5, 2.0, 0.0, 0.25, -1.5]);
+        let mask = Rc::new(Tensor::from_vec(3, 4, vec![1.0; 12]).map(|_| 1.0));
+
+        // Reference: fresh owned-workspace tape.
+        let mut ref_tape = Tape::new(&store);
+        let ref_loss = build_graph(&mut ref_tape, &ids, &x, &mask);
+        let ref_val = ref_tape.value(ref_loss).clone();
+        let mut ref_grads = GradStore::zeros_like(&store);
+        ref_tape.backward(ref_loss, &mut ref_grads);
+
+        // Same graph three times over one reused workspace.
+        let mut ws = TapeWorkspace::new();
+        for round in 0..3 {
+            let mut tape = Tape::with_workspace(&store, &mut ws);
+            let loss = build_graph(&mut tape, &ids, &x, &mask);
+            assert_eq!(
+                tape.value(loss).data(),
+                ref_val.data(),
+                "round {round}: forward must be bit-exact"
+            );
+            let mut grads = GradStore::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            for &id in &ids {
+                assert_eq!(
+                    grads.get(id).data(),
+                    ref_grads.get(id).data(),
+                    "round {round}: grads must be bit-exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warmed_workspace_forward_allocates_nothing() {
+        let (store, ids) = store_with(&[
+            ("w", Tensor::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.17 - 0.9).collect())),
+            ("b", Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.0, 0.3])),
+        ]);
+        let x = Tensor::from_vec(2, 3, vec![1.0, -0.5, 2.0, 0.0, 0.25, -1.5]);
+        let mask = Rc::new(Tensor::full(3, 4, 1.0));
+        let mut ws = TapeWorkspace::new();
+        // Warm up: first build allocates the arena buffers.
+        {
+            let mut tape = Tape::with_workspace(&store, &mut ws);
+            build_graph(&mut tape, &ids, &x, &mask);
+        }
+        let warmed = ws.num_value_buffers();
+        let before = tensor_alloc_count();
+        for _ in 0..5 {
+            let mut tape = Tape::with_workspace(&store, &mut ws);
+            build_graph(&mut tape, &ids, &x, &mask);
+        }
+        assert_eq!(
+            tensor_alloc_count(),
+            before,
+            "steady-state forwards on a warmed workspace must not allocate tensors"
+        );
+        assert_eq!(ws.num_value_buffers(), warmed, "arena must not grow");
+    }
+
+    #[test]
+    fn workspace_survives_shape_changes() {
+        let (store, ids) = store_with(&[("w", Tensor::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.25]))]);
+        let mut ws = TapeWorkspace::new();
+        for rows in [1usize, 4, 2, 8, 3] {
+            let x = Tensor::full(rows, 2, 0.5);
+            let mut tape = Tape::with_workspace(&store, &mut ws);
+            let xn = tape.input_ref(&x);
+            let w = tape.param(ids[0]);
+            let y = tape.matmul(xn, w);
+            let loss = tape.mean_all(y);
+            // Oracle on a fresh tape.
+            let mut fresh = Tape::new(&store);
+            let xf = fresh.input_ref(&x);
+            let wf = fresh.param(ids[0]);
+            let yf = fresh.matmul(xf, wf);
+            let lf = fresh.mean_all(yf);
+            assert_eq!(tape.value(loss).data(), fresh.value(lf).data());
+            let (mut g1, mut g2) = (GradStore::zeros_like(&store), GradStore::zeros_like(&store));
+            tape.backward(loss, &mut g1);
+            fresh.backward(lf, &mut g2);
+            assert_eq!(g1.get(ids[0]).data(), g2.get(ids[0]).data());
+        }
+    }
+
+    #[test]
+    fn input_builders_match_input() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let z = tape.input_zeros(2, 3);
+        assert_eq!(tape.value(z), &Tensor::zeros(2, 3));
+        let f = tape.input_full(2, 2, 1.5);
+        assert_eq!(tape.value(f), &Tensor::full(2, 2, 1.5));
+        let w = tape.input_with(1, 3, |t| t.data_mut().copy_from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(tape.value(w).data(), &[1.0, 2.0, 3.0]);
     }
 }

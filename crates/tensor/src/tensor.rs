@@ -5,15 +5,49 @@
 //! Vectors are represented as `1 x c` or `r x 1` tensors, scalars as `1 x 1`.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pool;
 
+/// Number of tensor-buffer heap allocations performed since process start
+/// (fresh buffers and capacity growth; buffer reuse via [`Tensor::resize`]
+/// within capacity does not count). Used by the zero-allocation regression
+/// tests: after warm-up, steady-state inference must not move this counter.
+static TENSOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the tensor-layer allocation counter.
+pub fn tensor_alloc_count() -> u64 {
+    TENSOR_ALLOCS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_alloc(elems: usize) {
+    if elems > 0 {
+        TENSOR_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        note_alloc(self.data.len());
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+}
+
+/// The empty `0 x 0` tensor — no heap allocation. Lets buffers be
+/// `std::mem::take`n out of pools and scratch structs.
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor { rows: 0, cols: 0, data: Vec::new() }
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -29,11 +63,13 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// Create a tensor filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        note_alloc(rows * cols);
         Tensor { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Create a tensor filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        note_alloc(rows * cols);
         Tensor { rows, cols, data: vec![value; rows * cols] }
     }
 
@@ -48,7 +84,29 @@ impl Tensor {
             "tensor data length {} does not match shape {rows}x{cols}",
             data.len()
         );
+        note_alloc(data.len());
         Tensor { rows, cols, data }
+    }
+
+    /// Reshape in place, reusing the existing buffer. Grows the buffer only
+    /// when the new element count exceeds its capacity; existing element
+    /// contents are **unspecified** afterwards — callers must overwrite
+    /// every element (or call [`Tensor::fill_zero`]).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if n > self.data.capacity() {
+            note_alloc(n);
+        }
+        self.data.resize(n, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Become a shape-matched copy of `src`, reusing the existing buffer
+    /// when capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// A `1 x 1` scalar tensor.
@@ -168,19 +226,34 @@ impl Tensor {
         );
         let flops = 2 * self.rows * self.cols * other.cols;
         if flops >= PAR_FLOP_THRESHOLD && self.rows >= 2 {
-            // Parallel over row chunks with per-worker partial outputs,
-            // reduced at the end. Chunks run on the persistent pool.
+            // Parallel over row chunks. Each shard writes its partial into a
+            // disjoint slice of one flat buffer (no per-shard Tensor
+            // ownership or clones), reduced in chunk order at the end so the
+            // summation order matches the serial path chunk-for-chunk.
             let threads = pool::pool_threads();
             let chunk = self.rows.div_ceil(threads);
             let n_chunks = self.rows.div_ceil(chunk);
-            let partials: Vec<Tensor> = pool::parallel_map(n_chunks, |ci| {
+            let out_len = self.cols * other.cols;
+            let mut partials = vec![0.0f32; n_chunks * out_len];
+            let base = pool::SendPtr(partials.as_mut_ptr());
+            pool::parallel_for(n_chunks, |ci| {
+                // Rebind deliberately: capture the whole `SendPtr`, not `base.0`.
+                #[allow(clippy::redundant_locals)]
+                let base = base;
                 let start = ci * chunk;
                 let end = (start + chunk).min(self.rows);
-                self.t_matmul_range(other, start, end)
+                // SAFETY: each pool index writes exactly one disjoint
+                // `out_len` slice, and `partials` outlives the blocking
+                // `parallel_for` call.
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(base.0.add(ci * out_len), out_len) };
+                self.t_matmul_range_into(other, start, end, slice);
             });
             let mut out = Tensor::zeros(self.cols, other.cols);
-            for p in &partials {
-                out.add_assign(p);
+            for p in partials.chunks(out_len) {
+                for (o, &v) in out.data.iter_mut().zip(p) {
+                    *o += v;
+                }
             }
             return out;
         }
@@ -189,7 +262,15 @@ impl Tensor {
 
     fn t_matmul_range(&self, other: &Tensor, start: usize, end: usize) -> Tensor {
         let mut out = Tensor::zeros(self.cols, other.cols);
-        // out[i][j] += sum_r self[r][i] * other[r][j]
+        self.t_matmul_range_into(other, start, end, &mut out.data);
+        out
+    }
+
+    /// `out[i][j] += sum_{r in start..end} self[r][i] * other[r][j]`, with
+    /// `out` a zeroed `cols x other.cols` row-major slice. The slice form
+    /// lets pool shards target disjoint regions of one caller-owned buffer.
+    fn t_matmul_range_into(&self, other: &Tensor, start: usize, end: usize, out: &mut [f32]) {
+        let ocols = other.cols;
         for r in start..end {
             let a_row = self.row(r);
             let b_row = other.row(r);
@@ -197,13 +278,12 @@ impl Tensor {
                 if a == 0.0 {
                     continue;
                 }
-                let o = out.row_mut(i);
+                let o = &mut out[i * ocols..(i + 1) * ocols];
                 for (oj, &b) in o.iter_mut().zip(b_row) {
                     *oj += a * b;
                 }
             }
         }
-        out
     }
 
     /// `self @ other^T` without materializing the transpose.
@@ -280,7 +360,15 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        note_alloc(self.data.len());
         Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
     }
 
     /// Elementwise binary zip into a new tensor.
@@ -289,6 +377,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        note_alloc(self.data.len());
         Tensor {
             rows: self.rows,
             cols: self.cols,
@@ -363,6 +452,7 @@ impl Tensor {
     /// Copy of rows `start..end`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        note_alloc((end - start) * self.cols);
         Tensor {
             rows: end - start,
             cols: self.cols,
@@ -443,12 +533,16 @@ impl Tensor {
 /// much lower than the seed's 4M-FLOP threshold.
 const PAR_FLOP_THRESHOLD: usize = 500_000;
 
-/// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten.
+/// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten
+/// (resized to `a.rows x b.cols`, reusing its buffer). Accumulation
+/// requires `out` to already have the result shape.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
     assert_eq!(a.cols, b.rows);
-    assert_eq!(out.rows, a.rows);
-    assert_eq!(out.cols, b.cols);
-    if !accumulate {
+    if accumulate {
+        assert_eq!(out.rows, a.rows);
+        assert_eq!(out.cols, b.cols);
+    } else {
+        out.resize(a.rows, b.cols);
         out.fill_zero();
     }
     let flops = 2 * a.rows * a.cols * b.cols;
@@ -494,6 +588,74 @@ fn matmul_rows(a: &Tensor, b: &Tensor, row_start: usize, out_rows: &mut [f32], _
                 *o += aik * bv;
             }
         }
+    }
+}
+
+/// `out = x + bias`, with `bias` shaped `1 x c` broadcast over rows.
+pub fn add_bias_into(x: &Tensor, bias: &Tensor, out: &mut Tensor) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), x.cols());
+    out.resize(x.rows, x.cols);
+    let b = bias.row(0);
+    for r in 0..x.rows {
+        for ((o, xv), bv) in out.row_mut(r).iter_mut().zip(x.row(r)).zip(b) {
+            *o = xv + bv;
+        }
+    }
+}
+
+/// In-place `t += bias`, with `bias` shaped `1 x c` broadcast over rows.
+pub fn add_bias_assign(t: &mut Tensor, bias: &Tensor) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), t.cols());
+    for r in 0..t.rows {
+        let b = bias.row(0);
+        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
+            *o += bv;
+        }
+    }
+}
+
+/// In-place fused `t = relu(t + bias)` — the hidden-layer epilogue.
+pub fn add_bias_relu_assign(t: &mut Tensor, bias: &Tensor) {
+    debug_assert_eq!(bias.rows(), 1);
+    debug_assert_eq!(bias.cols(), t.cols());
+    for r in 0..t.rows {
+        let b = bias.row(0);
+        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
+            *o = (*o + bv).max(0.0);
+        }
+    }
+}
+
+/// `out = relu(x)`.
+pub fn relu_into(x: &Tensor, out: &mut Tensor) {
+    map_into(x, out, |v| v.max(0.0));
+}
+
+/// `out = softmax_rows(x)`.
+pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
+    out.copy_from(x);
+    out.softmax_rows_in_place();
+}
+
+/// `out = f(x)` elementwise, reusing `out`'s buffer.
+pub fn map_into(x: &Tensor, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+    out.resize(x.rows, x.cols);
+    for (o, &v) in out.data.iter_mut().zip(&x.data) {
+        *o = f(v);
+    }
+}
+
+/// `out = f(a, b)` elementwise, reusing `out`'s buffer.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn zip_into(a: &Tensor, b: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(a.shape(), b.shape(), "zip_into shape mismatch");
+    out.resize(a.rows, a.cols);
+    for (o, (&x, &y)) in out.data.iter_mut().zip(a.data.iter().zip(&b.data)) {
+        *o = f(x, y);
     }
 }
 
@@ -630,5 +792,48 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let x = Tensor::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.3 - 1.5).collect());
+        let bias = Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.0]);
+        let mut out = Tensor::default();
+
+        add_bias_into(&x, &bias, &mut out);
+        let mut expect = x.clone();
+        add_bias_assign(&mut expect, &bias);
+        assert_eq!(out, expect);
+
+        relu_into(&x, &mut out);
+        assert_eq!(out, x.map(|v| v.max(0.0)));
+
+        softmax_rows_into(&x, &mut out);
+        assert_eq!(out, x.softmax_rows());
+
+        zip_into(&x, &expect, &mut out, |a, b| a * b - 0.5);
+        assert_eq!(out, x.zip(&expect, |a, b| a * b - 0.5));
+    }
+
+    #[test]
+    fn resize_within_capacity_does_not_allocate() {
+        let mut t = Tensor::zeros(8, 8);
+        let before = tensor_alloc_count();
+        t.resize(4, 4); // shrink: reuse
+        t.resize(8, 8); // regrow within capacity: reuse
+        t.resize(2, 16); // reshape, same element count: reuse
+        assert_eq!(tensor_alloc_count(), before, "capacity reuse must not allocate");
+        t.resize(16, 16); // genuine growth
+        assert_eq!(tensor_alloc_count(), before + 1);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let mut dst = Tensor::zeros(4, 4);
+        let before = tensor_alloc_count();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(tensor_alloc_count(), before, "copy_from within capacity must reuse");
     }
 }
