@@ -22,4 +22,9 @@ cargo run --release --example train_checkpoint_resume -- \
     --metrics-out target/train_metrics.jsonl
 test -s target/train_metrics.jsonl
 
+echo "== fault drill: degraded serving under injected faults =="
+cargo run --release --example serve_fault_drill -- \
+    --metrics-out target/serve_faults.jsonl
+test -s target/serve_faults.jsonl
+
 echo "CI OK"

@@ -24,6 +24,7 @@ fn setup() -> (uae_data::Table, Vec<LabeledQuery>, UaeConfig) {
             ..TrainConfig::default()
         },
         estimate_samples: 50,
+        serve: uae_core::ServeConfig::default(),
     };
     (table, workload, cfg)
 }

@@ -65,6 +65,7 @@ fn main() {
             ..TrainConfig::default()
         },
         estimate_samples: scale.estimate_samples,
+        serve: uae_core::ServeConfig::default(),
     };
 
     eprintln!("[figure6] training NeuroCard (data-only)…");
@@ -98,5 +99,7 @@ fn main() {
         print!(" {:>12.3}", geometric_mean(speeds));
     }
     println!();
+    uae_bench::report_serve_stats("NeuroCard", nc.uae());
+    uae_bench::report_serve_stats("UAE", uae.uae());
     println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
 }

@@ -6,7 +6,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use uae_bench::{attach_metrics, metrics_out_arg, BenchScale};
+use uae_bench::{attach_metrics, metrics_out_arg, report_serve_stats, BenchScale};
 use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, UaeConfig};
 use uae_estimators::{MscnConfig, SpnConfig};
 use uae_join::workload::fingerprints;
@@ -79,6 +79,7 @@ fn main() {
             ..TrainConfig::default()
         },
         estimate_samples: scale.estimate_samples,
+        serve: uae_core::ServeConfig::default(),
     };
 
     println!("\n=== Estimation errors on IMDB (join queries) ===");
@@ -136,6 +137,12 @@ fn main() {
         summarize(&uae, &test_focused),
         summarize(&uae, &test_random)
     );
+
+    // Degraded-path accounting for the UAE-family models: nonzero retry /
+    // fallback counters here mean some estimates came from the hardened
+    // cascade rather than the model itself.
+    report_serve_stats("NeuroCard", nc.uae());
+    report_serve_stats("UAE", uae.uae());
 
     println!("\n(total {:.0}s)", t0.elapsed().as_secs_f64());
 }

@@ -101,6 +101,7 @@ impl BenchScale {
                 ..TrainConfig::default()
             },
             estimate_samples: self.estimate_samples,
+            serve: uae_core::ServeConfig::default(),
         }
     }
 }
@@ -119,6 +120,38 @@ pub fn metrics_out_arg() -> Option<PathBuf> {
         }
     }
     None
+}
+
+/// Print the serving-layer hardening counters for one model — how many
+/// queries were shortcut by validation, retried on a fresh substream,
+/// degraded to the histogram baseline, isolated after a panic, or clamped
+/// back into `[0, 1]`. All-zero stats print as a single "clean" line so a
+/// healthy run stays quiet.
+pub fn report_serve_stats(label: &str, uae: &Uae) {
+    let s = uae.serve_stats();
+    let incidents = s.rejected
+        + s.validated_empty
+        + s.validated_trivial
+        + s.retries
+        + s.fallbacks
+        + s.panics_isolated
+        + s.clamped;
+    if incidents == 0 {
+        eprintln!("[serve] {label}: {} queries, no degraded paths taken", s.served);
+    } else {
+        eprintln!(
+            "[serve] {label}: {} queries | rejected {} | shortcut {}+{} | retried {} | \
+             fallback {} | panics isolated {} | clamped {}",
+            s.served,
+            s.rejected,
+            s.validated_empty,
+            s.validated_trivial,
+            s.retries,
+            s.fallbacks,
+            s.panics_isolated,
+            s.clamped
+        );
+    }
 }
 
 /// Attach a JSONL telemetry sink labeled `label` to `uae` when `path` is

@@ -2,12 +2,14 @@
 //! (UAE-D ≡ Naru, UAE-Q, hybrid UAE), incremental ingestion (§4.5), and
 //! progressive-sampling estimation.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use uae_data::Table;
+use uae_estimators::HistogramEstimator;
 use uae_query::{CardinalityEstimator, LabeledQuery, Query};
 use uae_tensor::{Adam, AdamState, GradStore, Optimizer, ParamStore, Tape, TapeWorkspace};
 
@@ -16,7 +18,12 @@ use crate::infer::{progressive_sample_with, InferScratch};
 use crate::infer_batch::{progressive_sample_batch_with, BatchScratch};
 use crate::model::{RawModel, ResMade, ResMadeConfig};
 use crate::serialize::{CheckpointError, CheckpointState, LoadError};
-use crate::telemetry::{EpochMetrics, TrainEvent, TrainObserver, TrainStats};
+use crate::serve::{
+    healthy, retry_seed, Estimate, EstimateError, EstimateSource, ServeConfig, Validation,
+};
+use crate::telemetry::{
+    EpochMetrics, ServeEvent, ServeObserver, ServeStats, TrainEvent, TrainObserver, TrainStats,
+};
 use crate::train::{data_loss, query_loss, TrainConfig, TrainQuery};
 use crate::vquery::VirtualQuery;
 
@@ -38,6 +45,9 @@ pub struct UaeConfig {
     pub train: TrainConfig,
     /// Progressive samples used at estimation time (paper: 200–1000).
     pub estimate_samples: usize,
+    /// Serving-robustness configuration: validation, the retry → baseline
+    /// fallback cascade, and deterministic fault injection.
+    pub serve: ServeConfig,
 }
 
 impl Default for UaeConfig {
@@ -49,6 +59,7 @@ impl Default for UaeConfig {
             encoding: crate::encoding::EncodingMode::Binary,
             train: TrainConfig::default(),
             estimate_samples: 200,
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -61,6 +72,28 @@ struct EstCache {
     /// the schema and sample count, not on the weights.
     scratch: InferScratch,
     batch: BatchScratch,
+    serve: ServeState,
+}
+
+/// Serving-side runtime state: degradation counters, the serving-index
+/// cursor fault plans key on, the lazily built always-available baseline,
+/// and the observer sink. Lives inside the `est` mutex because every
+/// estimate entry point takes `&self`.
+#[derive(Default)]
+struct ServeState {
+    stats: ServeStats,
+    /// The histogram baseline, built on first fallback and invalidated by
+    /// data ingestion.
+    fallback: Option<HistogramEstimator>,
+    observer: Option<Box<dyn ServeObserver>>,
+}
+
+impl ServeState {
+    fn emit(&mut self, event: ServeEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_serve_event(&event);
+        }
+    }
 }
 
 /// The last state proven healthy (finite losses throughout an epoch) —
@@ -192,6 +225,7 @@ impl Uae {
                 rng: StdRng::seed_from_u64(seed ^ 0xe57),
                 scratch: InferScratch::new(),
                 batch: BatchScratch::new(),
+                serve: ServeState::default(),
             }),
             stats: TrainStats::default(),
             guard: DivergenceGuard::default(),
@@ -314,17 +348,36 @@ impl Uae {
         if est.raw.is_none() {
             est.raw = Some(self.model.snapshot(&self.store));
         }
-        let EstCache { raw, rng, scratch, .. } = &mut *est;
+        let EstCache { raw, rng, scratch, serve, .. } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
-        let mut qrng = StdRng::seed_from_u64(rng.next_u64());
-        progressive_sample_with(
+        let qseed = rng.next_u64();
+        let mut qrng = StdRng::seed_from_u64(qseed);
+        let sel = progressive_sample_with(
             raw,
             &self.schema,
             vq,
             self.cfg.estimate_samples,
             &mut qrng,
             scratch,
-        )
+        );
+        if sel.is_finite() {
+            return sel.max(0.0);
+        }
+        // Non-finite weights/logits: one retry on a derived substream with
+        // a boosted budget, then degrade to 0. Fanout-weighted vqueries
+        // have no histogram analogue, and join estimates may legitimately
+        // exceed selectivity 1, so neither the baseline tier nor the upper
+        // clamp of the query cascade applies here.
+        serve.stats.retries += 1;
+        let samples = self.cfg.estimate_samples.max(1) * self.cfg.serve.retry_boost.max(1);
+        let mut qrng = StdRng::seed_from_u64(retry_seed(qseed));
+        let sel = progressive_sample_with(raw, &self.schema, vq, samples, &mut qrng, scratch);
+        if sel.is_finite() {
+            sel.max(0.0)
+        } else {
+            serve.stats.fallbacks += 1;
+            0.0
+        }
     }
 
     /// Estimate the selectivities of a batch of pre-translated queries via
@@ -337,25 +390,382 @@ impl Uae {
         if est.raw.is_none() {
             est.raw = Some(self.model.snapshot(&self.store));
         }
-        let EstCache { raw, rng, batch, .. } = &mut *est;
+        let EstCache { raw, rng, scratch, batch, serve } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let seeds: Vec<u64> = vqs.iter().map(|_| rng.next_u64()).collect();
-        progressive_sample_batch_with(
-            raw,
-            &self.schema,
-            vqs,
-            self.cfg.estimate_samples,
-            &seeds,
-            batch,
-        )
+        let samples = self.cfg.estimate_samples;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            progressive_sample_batch_with(raw, &self.schema, vqs, samples, &seeds, batch)
+        }));
+        let sels = match attempt {
+            Ok(sels) => sels,
+            Err(_) => {
+                // Isolate the poisoned query: re-run each query as its own
+                // single-query batch on its original seed. Per-query batch
+                // results do not depend on batch composition, so healthy
+                // queries stay bit-identical to the undisturbed batch.
+                serve.stats.panics_isolated += 1;
+                serve.emit(ServeEvent::PanicIsolated { index: None });
+                vqs.iter()
+                    .zip(&seeds)
+                    .map(|(vq, &seed)| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            progressive_sample_batch_with(
+                                raw,
+                                &self.schema,
+                                std::slice::from_ref(vq),
+                                samples,
+                                &[seed],
+                                batch,
+                            )
+                        }))
+                        .ok()
+                        .and_then(|v| v.into_iter().next())
+                        .unwrap_or(f64::NAN)
+                    })
+                    .collect()
+            }
+        };
+        sels.into_iter()
+            .zip(vqs.iter().zip(&seeds))
+            .map(|(sel, (vq, &qseed))| {
+                if sel.is_finite() {
+                    return sel.max(0.0);
+                }
+                // Same light cascade as `estimate_vquery`: derived-seed
+                // boosted retry, then 0.
+                serve.stats.retries += 1;
+                let boosted = samples.max(1) * self.cfg.serve.retry_boost.max(1);
+                let mut qrng = StdRng::seed_from_u64(retry_seed(qseed));
+                let sel =
+                    progressive_sample_with(raw, &self.schema, vq, boosted, &mut qrng, scratch);
+                if sel.is_finite() {
+                    sel.max(0.0)
+                } else {
+                    serve.stats.fallbacks += 1;
+                    0.0
+                }
+            })
+            .collect()
     }
 
-    /// Estimated selectivities of a batch of queries (the batched
-    /// counterpart of [`Uae::estimate_selectivity`]; identical estimates
-    /// under a matched RNG state, computed with far fewer forward passes).
+    /// Estimated selectivities of a batch of queries through the hardened
+    /// cascade (the batched counterpart of [`Uae::estimate_selectivity`];
+    /// identical estimates under a matched RNG state, computed with far
+    /// fewer forward passes). Rejected queries degrade to `0`; use
+    /// [`Uae::try_estimate_cards`] for typed errors and provenance.
     pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
-        let vqs: Vec<VirtualQuery> = queries.iter().map(|q| self.translate(q)).collect();
-        self.estimate_vquery_batch(&vqs)
+        self.try_estimate_cards(queries)
+            .into_iter()
+            .map(|r| r.map_or(0.0, |e| e.selectivity))
+            .collect()
+    }
+
+    /// Bounds-check a query's columns, remap it into this estimator's
+    /// column order, and classify it. With validation disabled every
+    /// in-bounds query is classified `Sample`, as the pre-hardening code
+    /// behaved.
+    fn validate(&self, query: &Query) -> Result<(Query, Validation), EstimateError> {
+        crate::serve::check_columns(&self.table, query)?;
+        let remapped = self.remap_query(query);
+        if !self.cfg.serve.validate {
+            return Ok((remapped, Validation::Sample));
+        }
+        let verdict = crate::serve::classify(&self.table, &remapped);
+        Ok((remapped, verdict))
+    }
+
+    /// Clamp a final selectivity into `[0, 1]` (a non-finite value, which
+    /// can only come from the baseline tier misbehaving, becomes `0`) and
+    /// package the estimate.
+    fn finish(
+        &self,
+        idx: u64,
+        sel: f64,
+        source: EstimateSource,
+        retried: bool,
+        serve: &mut ServeState,
+    ) -> Estimate {
+        let (clamped_sel, clamped) = if sel.is_finite() {
+            (sel.clamp(0.0, 1.0), !(0.0..=1.0).contains(&sel))
+        } else {
+            (0.0, true)
+        };
+        if clamped {
+            serve.stats.clamped += 1;
+            serve.emit(ServeEvent::Clamped { index: idx, raw: sel });
+        }
+        Estimate {
+            selectivity: clamped_sel,
+            card: clamped_sel * self.table.num_rows() as f64,
+            source,
+            retried,
+            clamped,
+        }
+    }
+
+    /// Drive one sampled query through the health-check → retry → baseline
+    /// cascade. `first` is the first attempt's selectivity (`None` when the
+    /// attempt panicked); the retry re-samples sequentially on a derived
+    /// seed with a boosted budget, and the baseline is the lazily built
+    /// histogram over the training table.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_sampled(
+        &self,
+        idx: u64,
+        qseed: u64,
+        vq: &VirtualQuery,
+        remapped: &Query,
+        first: Option<f64>,
+        raw: &RawModel,
+        scratch: &mut InferScratch,
+        serve: &mut ServeState,
+    ) -> Estimate {
+        let sc = &self.cfg.serve;
+        // A NaN fault models logits going non-finite mid-walk; a panicked
+        // attempt arrives as `None` and enters the cascade the same way.
+        let mut sel = match first {
+            Some(_) if sc.fault.nan_hits(idx, 0) => f64::NAN,
+            Some(v) => v,
+            None => f64::NAN,
+        };
+        let mut retried = false;
+        if !healthy(sel) && sc.retry {
+            serve.stats.retries += 1;
+            serve.emit(ServeEvent::Retry { index: idx, value: sel });
+            retried = true;
+            let samples = self.cfg.estimate_samples.max(1) * sc.retry_boost.max(1);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if sc.fault.panics(idx) {
+                    panic!("uae-serve: fault-plan panic (query {idx})");
+                }
+                let mut qrng = StdRng::seed_from_u64(retry_seed(qseed));
+                progressive_sample_with(raw, &self.schema, vq, samples, &mut qrng, scratch)
+            }));
+            sel = match outcome {
+                Ok(_) if sc.fault.nan_hits(idx, 1) => f64::NAN,
+                Ok(v) => v,
+                Err(_) => {
+                    serve.stats.panics_isolated += 1;
+                    serve.emit(ServeEvent::PanicIsolated { index: Some(idx) });
+                    f64::NAN
+                }
+            };
+        }
+        if !healthy(sel) {
+            serve.stats.fallbacks += 1;
+            serve.emit(ServeEvent::Fallback { index: idx, value: sel });
+            let baseline = {
+                let hist = serve.fallback.get_or_insert_with(|| {
+                    HistogramEstimator::new(&self.table, sc.fallback_buckets)
+                });
+                hist.estimate_selectivity(remapped)
+            };
+            return self.finish(idx, baseline, EstimateSource::Baseline, retried, serve);
+        }
+        self.finish(idx, sel, EstimateSource::Model, retried, serve)
+    }
+
+    /// Estimate one query through the hardened serving cascade. Unknown
+    /// columns are the only error; every `Ok` estimate is finite with a
+    /// cardinality in `[0, N]` and carries its degradation provenance.
+    ///
+    /// Healthy queries consume the estimator's RNG stream exactly as
+    /// [`Uae::estimate_selectivity`] always has (one `u64` per query —
+    /// drawn even for rejected and shortcut queries), so a sequence of
+    /// calls stays bit-identical to one [`Uae::try_estimate_cards`] call
+    /// over the same queries.
+    pub fn try_estimate_card(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let checked = self.validate(query);
+        let mut est = self.est.lock();
+        if est.raw.is_none() {
+            est.raw = Some(self.model.snapshot(&self.store));
+        }
+        let EstCache { raw, rng, scratch, serve, .. } = &mut *est;
+        let raw = raw.as_ref().expect("snapshot just created");
+        let qseed = rng.next_u64();
+        let idx = serve.stats.served;
+        serve.stats.served += 1;
+        match checked {
+            Err(e) => {
+                serve.stats.rejected += 1;
+                serve.emit(ServeEvent::QueryRejected { index: idx, error: e.to_string() });
+                Err(e)
+            }
+            Ok((_, Validation::Empty)) => {
+                serve.stats.validated_empty += 1;
+                serve.emit(ServeEvent::ValidationShortcut { index: idx, empty: true });
+                Ok(self.finish(idx, 0.0, EstimateSource::Validation, false, serve))
+            }
+            Ok((_, Validation::Trivial)) => {
+                serve.stats.validated_trivial += 1;
+                serve.emit(ServeEvent::ValidationShortcut { index: idx, empty: false });
+                Ok(self.finish(idx, 1.0, EstimateSource::Validation, false, serve))
+            }
+            Ok((remapped, Validation::Sample)) => {
+                let vq = VirtualQuery::build(&self.table, &self.schema, &remapped);
+                let samples = self.cfg.estimate_samples;
+                let sc = &self.cfg.serve;
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    if sc.fault.panics(idx) {
+                        panic!("uae-serve: fault-plan panic (query {idx})");
+                    }
+                    let mut qrng = StdRng::seed_from_u64(qseed);
+                    progressive_sample_with(raw, &self.schema, &vq, samples, &mut qrng, scratch)
+                }));
+                let first = match attempt {
+                    Ok(v) => Some(v),
+                    Err(_) => {
+                        serve.stats.panics_isolated += 1;
+                        serve.emit(ServeEvent::PanicIsolated { index: Some(idx) });
+                        None
+                    }
+                };
+                Ok(self.resolve_sampled(idx, qseed, &vq, &remapped, first, raw, scratch, serve))
+            }
+        }
+    }
+
+    /// Batched counterpart of [`Uae::try_estimate_card`], sharing the
+    /// cross-query batched sampler for healthy queries.
+    ///
+    /// A panic anywhere in the batch attempt is isolated by re-running
+    /// every sampled query as its own single-query batch on its original
+    /// seed: the batched sampler's per-query results do not depend on
+    /// which other queries share the batch (matmul rows, softmax rows and
+    /// prefix-dedup shares are all row-local), so healthy queries return
+    /// results bit-identical to the undisturbed batch while the poisoned
+    /// query panics again in isolation and degrades through the cascade.
+    pub fn try_estimate_cards(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        let checked: Vec<Result<(Query, Validation), EstimateError>> =
+            queries.iter().map(|q| self.validate(q)).collect();
+        let mut est = self.est.lock();
+        if est.raw.is_none() {
+            est.raw = Some(self.model.snapshot(&self.store));
+        }
+        let EstCache { raw, rng, scratch, batch, serve } = &mut *est;
+        let raw = raw.as_ref().expect("snapshot just created");
+        // One seed per query, shortcut or not — stream parity with the
+        // sequential path.
+        let seeds: Vec<u64> = queries.iter().map(|_| rng.next_u64()).collect();
+        let base = serve.stats.served;
+        serve.stats.served += queries.len() as u64;
+        // The batched sampler only sees queries that actually need
+        // sampling.
+        let sampled: Vec<usize> = checked
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| matches!(c, Ok((_, Validation::Sample))).then_some(i))
+            .collect();
+        let vqs: Vec<VirtualQuery> = sampled
+            .iter()
+            .map(|&i| {
+                let Ok((remapped, _)) = &checked[i] else { unreachable!() };
+                VirtualQuery::build(&self.table, &self.schema, remapped)
+            })
+            .collect();
+        let sub_seeds: Vec<u64> = sampled.iter().map(|&i| seeds[i]).collect();
+        let samples = self.cfg.estimate_samples;
+        let sc = &self.cfg.serve;
+        let poisoned = sampled.iter().any(|&i| sc.fault.panics(base + i as u64));
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if poisoned {
+                panic!("uae-serve: fault-plan batch panic");
+            }
+            progressive_sample_batch_with(raw, &self.schema, &vqs, samples, &sub_seeds, batch)
+        }));
+        let firsts: Vec<Option<f64>> = match attempt {
+            Ok(sels) => sels.into_iter().map(Some).collect(),
+            Err(_) => {
+                serve.stats.panics_isolated += 1;
+                serve.emit(ServeEvent::PanicIsolated { index: None });
+                sampled
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| {
+                        let idx = base + i as u64;
+                        let one = catch_unwind(AssertUnwindSafe(|| {
+                            if sc.fault.panics(idx) {
+                                panic!("uae-serve: fault-plan panic (query {idx})");
+                            }
+                            progressive_sample_batch_with(
+                                raw,
+                                &self.schema,
+                                std::slice::from_ref(&vqs[k]),
+                                samples,
+                                std::slice::from_ref(&seeds[i]),
+                                batch,
+                            )
+                        }));
+                        match one {
+                            Ok(v) => v.into_iter().next(),
+                            Err(_) => {
+                                serve.stats.panics_isolated += 1;
+                                serve.emit(ServeEvent::PanicIsolated { index: Some(idx) });
+                                None
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let mut firsts = firsts.into_iter();
+        let mut k = 0usize;
+        checked
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let idx = base + i as u64;
+                match c {
+                    Err(e) => {
+                        serve.stats.rejected += 1;
+                        serve.emit(ServeEvent::QueryRejected { index: idx, error: e.to_string() });
+                        Err(e)
+                    }
+                    Ok((_, Validation::Empty)) => {
+                        serve.stats.validated_empty += 1;
+                        serve.emit(ServeEvent::ValidationShortcut { index: idx, empty: true });
+                        Ok(self.finish(idx, 0.0, EstimateSource::Validation, false, serve))
+                    }
+                    Ok((_, Validation::Trivial)) => {
+                        serve.stats.validated_trivial += 1;
+                        serve.emit(ServeEvent::ValidationShortcut { index: idx, empty: false });
+                        Ok(self.finish(idx, 1.0, EstimateSource::Validation, false, serve))
+                    }
+                    Ok((remapped, Validation::Sample)) => {
+                        let first = firsts.next().expect("one attempt per sampled query");
+                        let vq = &vqs[k];
+                        k += 1;
+                        Ok(self.resolve_sampled(
+                            idx, seeds[i], vq, &remapped, first, raw, scratch, serve,
+                        ))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of the cumulative serving counters (validation shortcuts,
+    /// retries, fallbacks, isolated panics, clamps).
+    pub fn serve_stats(&self) -> ServeStats {
+        self.est.lock().serve.stats.clone()
+    }
+
+    /// Mutable serving configuration — cascade knobs and the fault plan.
+    pub fn serve_config_mut(&mut self) -> &mut ServeConfig {
+        &mut self.cfg.serve
+    }
+
+    /// Attach (or replace) an observer receiving [`ServeEvent`]s from the
+    /// estimate paths. Takes `&self` because serving does.
+    pub fn set_serve_observer(&self, observer: Box<dyn ServeObserver>) {
+        self.est.lock().serve.observer = Some(observer);
+    }
+
+    /// Detach the serve observer, returning it (dropping a
+    /// [`crate::telemetry::JsonlObserver`] flushes its sink).
+    pub fn take_serve_observer(&self) -> Option<Box<dyn ServeObserver>> {
+        self.est.lock().serve.observer.take()
     }
 
     /// Ingest new rows (incremental data, §4.5): append and refine with the
@@ -375,6 +785,8 @@ impl Uae {
         for r in 0..new_rows.num_rows() {
             self.rows.push(self.schema.to_virtual_codes(&new_rows.row_codes(r)));
         }
+        // The appended rows invalidate the histogram baseline.
+        self.est.lock().serve.fallback = None;
         self.train_data(epochs)
     }
 
@@ -643,7 +1055,7 @@ impl Uae {
     /// moments from zero and the RNG streams restart.
     pub fn save_checkpoint(&self) -> Vec<u8> {
         let adam = self.opt.state();
-        crate::serialize::save_checkpoint(&CheckpointState {
+        let mut bytes = crate::serialize::save_checkpoint(&CheckpointState {
             weights: crate::serialize::save_params(&self.store),
             adam_t: adam.t,
             adam_m: adam.m,
@@ -652,7 +1064,16 @@ impl Uae {
             rng: self.rng.state(),
             est_rng: self.est.lock().rng.state(),
             stats: self.stats.clone(),
-        })
+        });
+        // Deterministic fault injection: XOR one byte of the serialized
+        // blob so reload exercises the typed corruption errors end to end.
+        if let Some((offset, mask)) = self.cfg.serve.fault.corrupt_checkpoint {
+            if mask != 0 && !bytes.is_empty() {
+                let off = offset % bytes.len();
+                bytes[off] ^= mask;
+            }
+        }
+        bytes
     }
 
     /// Restore a checkpoint produced by [`Uae::save_checkpoint`] into an
@@ -730,10 +1151,12 @@ impl Uae {
         self.observer.take()
     }
 
-    /// Estimated selectivity of a query.
+    /// Estimated selectivity of a query, through the hardened cascade
+    /// (validation shortcuts, retry, baseline fallback, clamping).
+    /// Rejected queries degrade to `0`; use [`Uae::try_estimate_card`] for
+    /// the typed error and degradation provenance.
     pub fn estimate_selectivity(&self, query: &Query) -> f64 {
-        let vq = self.translate(query);
-        self.estimate_vquery(&vq)
+        self.try_estimate_card(query).map_or(0.0, |e| e.selectivity)
     }
 
     /// Estimated selectivity of a **disjunction** of conjunctive queries
@@ -787,6 +1210,10 @@ impl Clone for Uae {
                 rng: StdRng::seed_from_u64(self.cfg.train.seed ^ 0xc10e),
                 scratch: InferScratch::new(),
                 batch: BatchScratch::new(),
+                // Serving counters, baseline and observer are per-run
+                // concerns too; the clone starts a fresh serving history
+                // (its fault plan, part of `cfg`, is inherited).
+                serve: ServeState::default(),
             }),
             stats: self.stats.clone(),
             // Divergence snapshots and observers are per-run concerns; a
@@ -810,12 +1237,11 @@ impl CardinalityEstimator for Uae {
     }
 
     fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.table.num_rows() as f64
+        self.try_estimate_card(query).map_or(0.0, |e| e.card)
     }
 
     fn estimate_cards(&self, queries: &[Query]) -> Vec<f64> {
-        let rows = self.table.num_rows() as f64;
-        self.estimate_batch(queries).into_iter().map(|sel| sel * rows).collect()
+        self.try_estimate_cards(queries).into_iter().map(|r| r.map_or(0.0, |e| e.card)).collect()
     }
 
     fn size_bytes(&self) -> usize {
@@ -843,6 +1269,7 @@ mod tests {
                 ..TrainConfig::default()
             },
             estimate_samples: 100,
+            serve: ServeConfig::default(),
         }
     }
 

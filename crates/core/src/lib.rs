@@ -16,7 +16,10 @@
 //! * [`train`] — the data loss (Eq. 2), the Q-error query loss (Eq. 5–6)
 //!   and hybrid training (Eq. 11, Algorithm 3);
 //! * [`estimator`] — the public [`Uae`] type: UAE-D (≡ Naru), UAE-Q, full
-//!   hybrid UAE, and incremental data/workload ingestion (§4.5).
+//!   hybrid UAE, and incremental data/workload ingestion (§4.5);
+//! * [`serve`] — the hardened serving layer: typed query validation, the
+//!   retry → histogram-baseline fallback cascade, and deterministic fault
+//!   injection ([`FaultPlan`]).
 //!
 //! ```no_run
 //! use uae_core::{Uae, UaeConfig};
@@ -42,6 +45,7 @@ pub mod infer_batch;
 pub mod model;
 pub mod ordering;
 pub mod serialize;
+pub mod serve;
 pub mod sf;
 pub mod telemetry;
 pub mod train;
@@ -55,8 +59,12 @@ pub use infer_batch::BatchScratch;
 pub use model::{ModelScratch, ResMade, ResMadeConfig};
 pub use ordering::ColumnOrder;
 pub use serialize::{CheckpointError, LoadError};
+pub use serve::{
+    validate_query, Estimate, EstimateError, EstimateSource, FaultPlan, ServeConfig, Validation,
+};
 pub use telemetry::{
-    EpochMetrics, JsonlObserver, MemoryObserver, TrainEvent, TrainObserver, TrainStats,
+    EpochMetrics, JsonlObserver, MemoryObserver, ServeEvent, ServeMemoryObserver, ServeObserver,
+    ServeStats, TrainEvent, TrainObserver, TrainStats,
 };
 pub use train::{TrainConfig, TrainQuery};
 pub use vquery::VirtualQuery;

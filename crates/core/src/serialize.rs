@@ -5,6 +5,13 @@
 //! estimation RNG streams, and the epoch/step cursor — everything needed
 //! for a resumed hybrid run (Alg. 3) to be bit-identical to an
 //! uninterrupted one.
+//!
+//! Both formats (version 2) end in an 8-byte FNV-1a checksum of everything
+//! before it, so a bit flip anywhere in the body is caught as a typed
+//! [`LoadError::ChecksumMismatch`] even when the flipped bytes still parse
+//! structurally. Loading is two-phase everywhere: validate the whole blob
+//! (structure, shapes, checksum), then commit — a rejected blob never
+//! leaves partially loaded state behind.
 
 use std::path::Path;
 
@@ -13,10 +20,10 @@ use uae_tensor::{ParamStore, Tensor};
 use crate::telemetry::TrainStats;
 
 const MAGIC: &[u8; 4] = b"UAEW";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 const CHECKPOINT_MAGIC: &[u8; 4] = b"UAEC";
-const CHECKPOINT_VERSION: u32 = 1;
+const CHECKPOINT_VERSION: u32 = 2;
 
 /// Errors from loading a weight blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +34,9 @@ pub enum LoadError {
     BadVersion(u32),
     /// Truncated or structurally invalid payload.
     Corrupt(&'static str),
+    /// The payload parsed but its trailing checksum does not match —
+    /// bytes were corrupted in flight or at rest.
+    ChecksumMismatch,
     /// Parameter count or shapes do not match the target store.
     ShapeMismatch(String),
 }
@@ -37,6 +47,7 @@ impl std::fmt::Display for LoadError {
             LoadError::BadMagic => write!(f, "not a UAEW/UAEC blob"),
             LoadError::BadVersion(v) => write!(f, "unsupported UAEW/UAEC version {v}"),
             LoadError::Corrupt(what) => write!(f, "corrupt blob: {what}"),
+            LoadError::ChecksumMismatch => write!(f, "blob checksum mismatch (corrupted bytes)"),
             LoadError::ShapeMismatch(what) => write!(f, "weight shape mismatch: {what}"),
         }
     }
@@ -77,9 +88,67 @@ impl From<LoadError> for CheckpointError {
     }
 }
 
+/// FNV-1a over a byte slice — the blob integrity hash. Not cryptographic;
+/// it exists to catch accidental corruption (bit rot, torn copies), not
+/// adversaries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Append the trailing FNV-1a checksum of everything written so far.
+fn seal(out: &mut Vec<u8>) {
+    let sum = fnv1a(out);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Validate the common blob envelope (magic, version, minimum length) and
+/// return the payload — everything except the trailing 8-byte checksum.
+/// The checksum itself is verified by [`verify_checksum`] *after* the
+/// structural parse, so truncation and framing errors keep their more
+/// specific `Corrupt` diagnoses.
+fn open_envelope<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    version: u32,
+) -> Result<&'a [u8], LoadError> {
+    if bytes.len() < 4 {
+        return Err(LoadError::Corrupt("unexpected end of blob"));
+    }
+    if &bytes[..4] != magic {
+        return Err(LoadError::BadMagic);
+    }
+    // Smallest well-formed blob: magic + version + trailing checksum.
+    if bytes.len() < 16 {
+        return Err(LoadError::Corrupt("unexpected end of blob"));
+    }
+    let v = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if v != version {
+        return Err(LoadError::BadVersion(v));
+    }
+    Ok(&bytes[..bytes.len() - 8])
+}
+
+/// Compare the trailing checksum of `bytes` against a fresh hash of
+/// `payload` (as returned by [`open_envelope`]).
+fn verify_checksum(bytes: &[u8], payload: &[u8]) -> Result<(), LoadError> {
+    let tail = &bytes[payload.len()..];
+    let stored = u64::from_le_bytes([
+        tail[0], tail[1], tail[2], tail[3], tail[4], tail[5], tail[6], tail[7],
+    ]);
+    if fnv1a(payload) != stored {
+        return Err(LoadError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
 /// Serialize every parameter of a store.
 pub fn save_params(store: &ParamStore) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16 + store.size_bytes());
+    let mut out = Vec::with_capacity(24 + store.size_bytes());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(store.len() as u32).to_le_bytes());
@@ -94,20 +163,15 @@ pub fn save_params(store: &ParamStore) -> Vec<u8> {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+    seal(&mut out);
     out
 }
 
 /// Load a blob into an existing store (shapes and order must match — the
 /// store comes from constructing the same model architecture).
 pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> Result<(), LoadError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(LoadError::BadMagic);
-    }
-    let version = r.u32()?;
-    if version != VERSION {
-        return Err(LoadError::BadVersion(version));
-    }
+    let payload = open_envelope(bytes, MAGIC, VERSION)?;
+    let mut r = Reader { bytes: payload, pos: 8 };
     let count = r.u32()? as usize;
     if count != store.len() {
         return Err(LoadError::ShapeMismatch(format!(
@@ -141,9 +205,10 @@ pub fn load_params(store: &mut ParamStore, bytes: &[u8]) -> Result<(), LoadError
             raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         tensors.push(Tensor::from_vec(rows, cols, data));
     }
-    if r.pos != bytes.len() {
+    if r.pos != payload.len() {
         return Err(LoadError::Corrupt("trailing bytes"));
     }
+    verify_checksum(bytes, payload)?;
     for (id, t) in store.ids().zip(tensors) {
         *store.get_mut(id) = t;
     }
@@ -183,7 +248,7 @@ fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
     }
 }
 
-/// Serialize a trainer checkpoint (format `UAEC`, version 1).
+/// Serialize a trainer checkpoint (format `UAEC`, version 2).
 pub fn save_checkpoint(ck: &CheckpointState) -> Vec<u8> {
     assert_eq!(ck.adam_m.len(), ck.adam_v.len(), "mismatched Adam moment vectors");
     let mut out = Vec::with_capacity(64 + ck.weights.len() * 3);
@@ -207,6 +272,7 @@ pub fn save_checkpoint(ck: &CheckpointState) -> Vec<u8> {
     for c in [epochs, steps, executed_steps, clipped_steps, skipped_steps, rollbacks] {
         out.extend_from_slice(&c.to_le_bytes());
     }
+    seal(&mut out);
     out
 }
 
@@ -214,14 +280,8 @@ pub fn save_checkpoint(ck: &CheckpointState) -> Vec<u8> {
 /// moment shapes are checked against the model by the caller
 /// ([`crate::Uae::load_checkpoint`]).
 pub fn load_checkpoint(bytes: &[u8]) -> Result<CheckpointState, LoadError> {
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(4)? != CHECKPOINT_MAGIC {
-        return Err(LoadError::BadMagic);
-    }
-    let version = r.u32()?;
-    if version != CHECKPOINT_VERSION {
-        return Err(LoadError::BadVersion(version));
-    }
+    let payload = open_envelope(bytes, CHECKPOINT_MAGIC, CHECKPOINT_VERSION)?;
+    let mut r = Reader { bytes: payload, pos: 8 };
     let weights_len = r.u32()? as usize;
     let weights = r.take(weights_len)?.to_vec();
     let adam_t = r.u64()?;
@@ -232,7 +292,7 @@ pub fn load_checkpoint(bytes: &[u8]) -> Result<CheckpointState, LoadError> {
         adam_m.push(r.tensor()?);
         adam_v.push(r.tensor()?);
     }
-    let lr = f32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+    let lr = r.f32()?;
     let mut rng = [0u64; 4];
     for s in &mut rng {
         *s = r.u64()?;
@@ -249,9 +309,10 @@ pub fn load_checkpoint(bytes: &[u8]) -> Result<CheckpointState, LoadError> {
         skipped_steps: r.u64()?,
         rollbacks: r.u64()?,
     };
-    if r.pos != bytes.len() {
+    if r.pos != payload.len() {
         return Err(LoadError::Corrupt("trailing bytes"));
     }
+    verify_checksum(bytes, payload)?;
     for (m, v) in adam_m.iter().zip(&adam_v) {
         if m.shape() != v.shape() {
             return Err(LoadError::Corrupt("mismatched Adam moment shapes"));
@@ -300,7 +361,12 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, LoadError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, LoadError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn tensor(&mut self) -> Result<Tensor, LoadError> {
@@ -364,6 +430,25 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bit_flips_via_checksum() {
+        let mut s = store();
+        let clean = save_params(&store());
+        // Flip a bit inside the last weight value: every structural field
+        // still parses, so only the checksum can catch it.
+        let mut flipped = clean.clone();
+        let idx = flipped.len() - 10;
+        flipped[idx] ^= 0x40;
+        assert_eq!(load_params(&mut s, &flipped), Err(LoadError::ChecksumMismatch));
+        // A damaged checksum itself is also a mismatch.
+        let mut bad_sum = clean.clone();
+        let last = bad_sum.len() - 1;
+        bad_sum[last] ^= 0x01;
+        assert_eq!(load_params(&mut s, &bad_sum), Err(LoadError::ChecksumMismatch));
+        // The pristine blob still loads.
+        load_params(&mut s, &clean).expect("clean blob loads");
+    }
+
+    #[test]
     fn versioning_is_checked() {
         let mut blob = save_params(&store());
         blob[4] = 9; // bump version byte
@@ -424,6 +509,22 @@ mod tests {
         let mut versioned = blob;
         versioned[4] = 9;
         assert_eq!(load_checkpoint(&versioned), Err(LoadError::BadVersion(9)));
+    }
+
+    #[test]
+    fn checkpoint_rejects_bit_flips_via_checksum() {
+        let clean = save_checkpoint(&checkpoint());
+        // Flip a bit inside the trailing stats counters: structurally valid,
+        // semantically corrupt.
+        let mut flipped = clean.clone();
+        let idx = flipped.len() - 12;
+        flipped[idx] ^= 0x80;
+        assert_eq!(load_checkpoint(&flipped), Err(LoadError::ChecksumMismatch));
+        let mut bad_sum = clean.clone();
+        let last = bad_sum.len() - 1;
+        bad_sum[last] ^= 0x01;
+        assert_eq!(load_checkpoint(&bad_sum), Err(LoadError::ChecksumMismatch));
+        load_checkpoint(&clean).expect("clean blob loads");
     }
 
     #[test]

@@ -232,6 +232,157 @@ impl Drop for JsonlObserver {
     }
 }
 
+/// Cumulative serving-side counters: every validation shortcut, retry,
+/// baseline fallback, isolated panic and clamp over the lifetime of one
+/// estimator. The serving analogue of [`TrainStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries served (every entry through the cascade, including
+    /// rejected ones) — the serving-index cursor fault plans key on.
+    pub served: u64,
+    /// Queries rejected with a typed error (unknown column).
+    pub rejected: u64,
+    /// Validation shortcuts to an exact `0` (empty region).
+    pub validated_empty: u64,
+    /// Validation shortcuts to an exact `1` (trivial/full-wildcard).
+    pub validated_trivial: u64,
+    /// Unhealthy first attempts retried on a derived RNG substream.
+    pub retries: u64,
+    /// Queries degraded to the histogram baseline (or to `0` on the
+    /// vquery paths, which have no baseline).
+    pub fallbacks: u64,
+    /// Panics caught and isolated (batch attempts plus per-query reruns).
+    pub panics_isolated: u64,
+    /// Final selectivities that had to be clamped into `[0, 1]` (or
+    /// replaced because they were non-finite).
+    pub clamped: u64,
+}
+
+/// A serving-path event. `index` is the query's serving index — the value
+/// of the estimator's served-query counter when the query arrived.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// A query was rejected before any model work.
+    QueryRejected {
+        /// Serving index of the rejected query.
+        index: u64,
+        /// Rendered [`crate::serve::EstimateError`].
+        error: String,
+    },
+    /// Validation answered exactly without sampling.
+    ValidationShortcut {
+        /// Serving index.
+        index: u64,
+        /// `true` for an empty region (→ 0), `false` for a trivial one
+        /// (→ 1).
+        empty: bool,
+    },
+    /// The first attempt was unhealthy; a retry ran on a derived
+    /// substream with a boosted sample budget.
+    Retry {
+        /// Serving index.
+        index: u64,
+        /// The unhealthy value that triggered the retry (NaN for a
+        /// panicked attempt).
+        value: f64,
+    },
+    /// A sampling panic was caught. `index` is `None` when a whole batch
+    /// attempt panicked (before the culprit was identified by per-query
+    /// reruns).
+    PanicIsolated {
+        /// Serving index of the panicking query, when known.
+        index: Option<u64>,
+    },
+    /// The retry was still unhealthy; the baseline answered.
+    Fallback {
+        /// Serving index.
+        index: u64,
+        /// The unhealthy value being replaced.
+        value: f64,
+    },
+    /// The final selectivity was clamped into `[0, 1]`.
+    Clamped {
+        /// Serving index.
+        index: u64,
+        /// The raw pre-clamp value.
+        raw: f64,
+    },
+}
+
+/// Consumer of serving-path events; `Send` for the same reason as
+/// [`TrainObserver`].
+pub trait ServeObserver: Send {
+    /// Called synchronously from the estimate path for every event.
+    fn on_serve_event(&mut self, event: &ServeEvent);
+}
+
+/// In-memory serve observer — the serving analogue of [`MemoryObserver`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeMemoryObserver {
+    /// The captured events, in emission order.
+    pub events: Arc<Mutex<Vec<ServeEvent>>>,
+}
+
+impl ServeMemoryObserver {
+    /// A fresh observer plus the shared handle to its event log.
+    pub fn new() -> (Self, Arc<Mutex<Vec<ServeEvent>>>) {
+        let obs = ServeMemoryObserver::default();
+        let handle = Arc::clone(&obs.events);
+        (obs, handle)
+    }
+}
+
+impl ServeObserver for ServeMemoryObserver {
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        self.events.lock().expect("event log poisoned").push(event.clone());
+    }
+}
+
+impl ServeObserver for JsonlObserver {
+    fn on_serve_event(&mut self, event: &ServeEvent) {
+        let label = json_str(&self.label);
+        let line = match event {
+            ServeEvent::QueryRejected { index, error } => format!(
+                "{{\"event\":\"query_rejected\",\"model\":{},\"query\":{},\"error\":{}}}",
+                label,
+                index,
+                json_str(error),
+            ),
+            ServeEvent::ValidationShortcut { index, empty } => format!(
+                "{{\"event\":\"validation_shortcut\",\"model\":{label},\"query\":{index},\
+                 \"empty\":{empty}}}"
+            ),
+            ServeEvent::Retry { index, value } => format!(
+                "{{\"event\":\"retry\",\"model\":{},\"query\":{},\"value\":{}}}",
+                label,
+                index,
+                json_f64(*value),
+            ),
+            ServeEvent::PanicIsolated { index } => {
+                let idx = index.map_or("null".to_owned(), |i| i.to_string());
+                format!("{{\"event\":\"panic_isolated\",\"model\":{label},\"query\":{idx}}}")
+            }
+            ServeEvent::Fallback { index, value } => format!(
+                "{{\"event\":\"fallback\",\"model\":{},\"query\":{},\"value\":{}}}",
+                label,
+                index,
+                json_f64(*value),
+            ),
+            ServeEvent::Clamped { index, raw } => format!(
+                "{{\"event\":\"clamped\",\"model\":{},\"query\":{},\"raw\":{}}}",
+                label,
+                index,
+                json_f64(*raw),
+            ),
+        };
+        // Telemetry must never take serving down: swallow I/O errors.
+        let _ = writeln!(self.out, "{line}");
+        // Degradation events are rare; flush each so a crashing process
+        // still leaves the evidence on disk.
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +424,51 @@ mod tests {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_jsonl_lines_are_valid_shape() {
+        let dir = std::env::temp_dir().join(format!("uae_serve_telemetry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.jsonl");
+        {
+            let mut obs = JsonlObserver::create(&path, "serve").unwrap();
+            obs.on_serve_event(&ServeEvent::QueryRejected {
+                index: 0,
+                error: "unknown column 9".into(),
+            });
+            obs.on_serve_event(&ServeEvent::ValidationShortcut { index: 1, empty: true });
+            obs.on_serve_event(&ServeEvent::Retry { index: 2, value: f64::NAN });
+            obs.on_serve_event(&ServeEvent::PanicIsolated { index: None });
+            obs.on_serve_event(&ServeEvent::PanicIsolated { index: Some(3) });
+            obs.on_serve_event(&ServeEvent::Fallback { index: 2, value: 0.0 });
+            obs.on_serve_event(&ServeEvent::Clamped { index: 4, raw: 1.25 });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].contains("\"event\":\"query_rejected\""));
+        assert!(lines[0].contains("\"error\":\"unknown column 9\""));
+        assert!(lines[1].contains("\"empty\":true"));
+        // NaN serializes as null, keeping the line valid JSON.
+        assert!(lines[2].contains("\"event\":\"retry\"") && lines[2].contains("\"value\":null"));
+        assert!(lines[3].contains("\"query\":null"));
+        assert!(lines[4].contains("\"query\":3"));
+        assert!(lines[5].contains("\"event\":\"fallback\""));
+        assert!(lines[6].contains("\"raw\":1.25"));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_memory_observer_captures_events() {
+        let (mut obs, log) = ServeMemoryObserver::new();
+        obs.on_serve_event(&ServeEvent::Fallback { index: 5, value: f64::NAN });
+        let events = log.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], ServeEvent::Fallback { index: 5, .. }));
     }
 
     #[test]

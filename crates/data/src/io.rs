@@ -129,27 +129,26 @@ pub fn table_from_csv(
         None => (0..ncols).map(|c| format!("col{c}")).collect(),
     };
 
-    // Type inference: integer column iff every non-empty cell parses.
-    let is_int: Vec<bool> = (0..ncols)
-        .map(|c| rows.iter().all(|r| r[c].is_empty() || r[c].trim().parse::<i64>().is_ok()))
-        .collect();
+    // Type inference and conversion in one pass: parse optimistically as
+    // integers, and fall back to strings on the first cell that refuses —
+    // no second parse that could disagree with the first.
     let columns = (0..ncols)
         .map(|c| {
-            let values: Vec<Value> = rows
-                .iter()
-                .map(|r| {
-                    let cell = r[c].trim();
-                    if is_int[c] {
-                        if cell.is_empty() {
-                            Value::Int(i64::MIN)
-                        } else {
-                            Value::Int(cell.parse().expect("validated above"))
-                        }
-                    } else {
-                        Value::Str(cell.to_owned())
-                    }
-                })
-                .collect();
+            let mut ints: Option<Vec<i64>> = Some(Vec::with_capacity(rows.len()));
+            for r in &rows {
+                let Some(parsed) = ints.as_mut() else { break };
+                if r[c].is_empty() {
+                    parsed.push(i64::MIN);
+                } else if let Ok(v) = r[c].trim().parse::<i64>() {
+                    parsed.push(v);
+                } else {
+                    ints = None;
+                }
+            }
+            let values: Vec<Value> = match ints {
+                Some(parsed) => parsed.into_iter().map(Value::Int).collect(),
+                None => rows.iter().map(|r| Value::Str(r[c].trim().to_owned())).collect(),
+            };
             (names[c].clone(), values)
         })
         .collect();

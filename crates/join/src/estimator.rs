@@ -273,6 +273,7 @@ mod tests {
                 ..TrainConfig::default()
             },
             estimate_samples: 200,
+            serve: uae_core::ServeConfig::default(),
         }
     }
 

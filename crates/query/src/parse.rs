@@ -194,11 +194,10 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
 /// assert_eq!(Executor::new(&table).cardinality(&q), 10);
 /// ```
 pub fn parse_query(table: &Table, input: &str) -> Result<Query, ParseError> {
-    let disjuncts = parse_disjunction(table, input)?;
-    if disjuncts.len() != 1 {
-        return Err(ParseError::DisjunctionNotAllowed);
+    match <[Query; 1]>::try_from(parse_disjunction(table, input)?) {
+        Ok([query]) => Ok(query),
+        Err(_) => Err(ParseError::DisjunctionNotAllowed),
     }
-    Ok(disjuncts.into_iter().next().expect("checked length"))
 }
 
 /// Parse an expression that may contain top-level `OR`s into its
@@ -374,6 +373,50 @@ mod tests {
         ));
         assert!(parse_query(&t, "age IN (1, 2").is_err());
         assert!(parse_query(&t, "name = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_return_errors_not_panics() {
+        let t = table();
+        // Each shape must produce Err — never a panic, never a silent Ok.
+        let cases: &[(&str, &str)] = &[
+            ("", "empty input"),
+            ("age", "bare column, no operator"),
+            ("age 5", "missing operator"),
+            ("age = = 5", "doubled operator"),
+            ("age =", "operator with no literal"),
+            ("5 = age", "literal where a column belongs"),
+            ("age = 1 2", "trailing literal after predicate"),
+            ("age = 1 AND", "dangling AND"),
+            ("age = 1 OR", "dangling OR"),
+            ("AND age = 1", "leading AND"),
+            ("age IN ()", "empty IN list"),
+            ("age IN (1", "unterminated IN list"),
+            ("age IN (1,", "IN list ending on comma"),
+            ("age IN 1", "IN without parens"),
+            ("age IN (1 2)", "IN list missing comma"),
+            ("!", "lone bang"),
+            ("age ! 5", "bang without equals"),
+            ("age @ 5", "unknown operator character"),
+            ("name = 'unterminated", "unterminated string"),
+            ("age = 99999999999999999999999", "integer overflow"),
+            ("age = 'x' AND bogus = 1", "unknown column mid-conjunction"),
+        ];
+        for (input, what) in cases {
+            let res = parse_disjunction(&t, input);
+            assert!(res.is_err(), "{what}: `{input}` must be rejected, got {res:?}");
+        }
+        // And the specific diagnoses clients branch on:
+        assert_eq!(parse_query(&t, ""), Err(ParseError::UnexpectedEnd("a column name")));
+        assert_eq!(parse_query(&t, "age"), Err(ParseError::UnexpectedEnd("a comparison operator")));
+        assert!(matches!(
+            parse_query(&t, "age @ 5"),
+            Err(ParseError::Unexpected { found, .. }) if found == "@"
+        ));
+        assert!(matches!(
+            parse_query(&t, "age = 99999999999999999999999"),
+            Err(ParseError::Unexpected { expected: "integer", .. })
+        ));
     }
 
     #[test]

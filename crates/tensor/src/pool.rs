@@ -22,6 +22,10 @@
 //!   only inside that window.
 //! * Worker panics are caught, the remaining indices are drained, and the
 //!   panic is re-raised on the calling thread.
+//! * A worker thread that nevertheless dies unwinding (only possible via
+//!   injected faults today, but any future bug qualifies) is **respawned**
+//!   by a drop guard, so the pool returns to full strength instead of
+//!   silently shrinking toward a serial pool.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -31,6 +35,73 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// participating caller).
 pub fn pool_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+}
+
+/// Workers currently alive (armed and not unwound). Zero until the pool is
+/// first used, then `pool_threads() - 1` in steady state.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// Workers respawned after dying on a panic.
+static RESPAWNS: AtomicUsize = AtomicUsize::new(0);
+/// Pending injected worker deaths (see [`inject_worker_panic`]).
+static KILL_REQUESTS: AtomicUsize = AtomicUsize::new(0);
+/// Respawn budget: a backstop against a pathological kill loop burning OS
+/// threads forever, far above anything a fault drill requests.
+const MAX_RESPAWNS: usize = 1024;
+
+/// Workers currently alive (0 until the pool's first use).
+pub fn live_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Total workers respawned after panic-deaths since process start.
+pub fn respawn_count() -> usize {
+    RESPAWNS.load(Ordering::SeqCst)
+}
+
+/// Deterministic fault injection for robustness tests: the next `n`
+/// workers to look at the queue panic (outside the queue lock, so the
+/// queue mutex is never poisoned) instead of taking a job, exercising the
+/// respawn path. Never used by production code.
+#[doc(hidden)]
+pub fn inject_worker_panic(n: usize) {
+    KILL_REQUESTS.fetch_add(n, Ordering::SeqCst);
+    injector().ready.notify_all();
+}
+
+/// Atomically claim one pending kill request, if any.
+fn claim_kill() -> bool {
+    KILL_REQUESTS.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |k| k.checked_sub(1)).is_ok()
+}
+
+/// Keeps [`LIVE_WORKERS`] honest and respawns the worker if it dies
+/// unwinding. Spawning from a `Drop` impl during a panic is safe here:
+/// `spawn_worker` never panics (spawn failure is tolerated — the pool
+/// shrinks but the participating caller keeps every job completing).
+struct RespawnGuard;
+
+impl RespawnGuard {
+    fn arm() -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        RespawnGuard
+    }
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() {
+            let n = RESPAWNS.fetch_add(1, Ordering::SeqCst);
+            if n < MAX_RESPAWNS {
+                spawn_worker(format!("uae-pool-r{n}"));
+            }
+        }
+    }
+}
+
+/// Spawn one detached pool worker; failure leaves the pool smaller but
+/// functional (the caller always participates in every job).
+fn spawn_worker(name: String) {
+    let _ = std::thread::Builder::new().name(name).spawn(worker_loop);
 }
 
 /// A type-erased parallel-for job. `func` points at a caller-owned closure;
@@ -102,21 +173,30 @@ fn injector() -> &'static Injector {
         // the target width. On a single-core machine this spawns nothing
         // and `parallel_for` degenerates to an inline loop.
         for i in 0..pool_threads().saturating_sub(1) {
-            std::thread::Builder::new()
-                .name(format!("uae-pool-{i}"))
-                .spawn(worker_loop)
-                .expect("spawn pool worker");
+            spawn_worker(format!("uae-pool-{i}"));
         }
         inj
     })
 }
 
 fn worker_loop() {
+    // Armed before the first job: if this worker dies unwinding, the guard
+    // decrements the live count and spawns a replacement.
+    let _guard = RespawnGuard::arm();
     let inj = injector();
     loop {
         let job = {
             let mut queue = inj.queue.lock().expect("pool queue");
             loop {
+                if claim_kill() {
+                    // Injected death. Drop the queue lock *before*
+                    // panicking — unwinding while holding it would poison
+                    // the mutex and take the whole pool down. A worker
+                    // dying before claiming any index is harmless: the
+                    // participating caller drains every job to completion.
+                    drop(queue);
+                    panic!("uae-pool: injected worker death (fault plan)");
+                }
                 if let Some(job) = queue.pop_front() {
                     break job;
                 }
@@ -258,5 +338,42 @@ mod tests {
         // Pool stays usable afterwards.
         let out = parallel_map(8, |i| i);
         assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn injected_worker_death_respawns() {
+        // Warm the pool so every worker is armed.
+        parallel_for(16, |_| {});
+        let full = pool_threads().saturating_sub(1);
+        if full == 0 {
+            return; // single-core: no workers exist, nothing to kill
+        }
+        // Wait for all initial workers to come up (spawns are async).
+        for _ in 0..1000 {
+            if live_workers() >= full {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let before = respawn_count();
+        // The victim's panic backtrace on stderr is expected noise.
+        inject_worker_panic(1);
+        for _ in 0..1000 {
+            if respawn_count() > before && live_workers() >= full {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(respawn_count() > before, "no respawn observed after injected death");
+        assert!(
+            live_workers() >= full,
+            "pool below strength after respawn: {} < {full}",
+            live_workers()
+        );
+        // The pool stays fully usable and correct.
+        for _ in 0..4 {
+            let out = parallel_map(64, |i| i * 2);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i));
+        }
     }
 }
