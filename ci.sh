@@ -14,6 +14,10 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== scalar fallback: kernel + parity suites under UAE_FORCE_SCALAR =="
+UAE_FORCE_SCALAR=1 cargo test -q -p uae-tensor
+UAE_FORCE_SCALAR=1 cargo test -q -p uae-core --test quant_parity
+
 echo "== benches compile =="
 cargo bench --no-run
 

@@ -19,6 +19,8 @@ use uae_join::{
 use uae_query::{
     default_bounded_column, generate_workload, CardinalityEstimator, LabeledQuery, WorkloadSpec,
 };
+use uae_tensor::simd;
+use uae_tensor::{Backend, QuantMode};
 
 struct Setup {
     queries: Vec<LabeledQuery>,
@@ -150,10 +152,17 @@ fn emit_inference_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
 const PR1_BASELINE_QPS: [(usize, usize, f64); 3] =
     [(1000, 256, 148.82), (1000, 1, 18.32), (200, 256, 462.97)];
 
-/// Re-measure the PR1 sweep points on the workspace-reusing engine and
-/// write `BENCH_workspace.json` with the before/after comparison. Buffers
-/// are warmed with one untimed pass per point so the measurement reflects
-/// the steady state the refactor targets.
+/// Queries/sec of the PR3 scalar workspace engine at S=1000 / batch=256
+/// on this exact workload, from `BENCH_workspace.json` at that commit.
+/// Baseline for the SIMD / int8 trajectory gates.
+const PR3_SCALAR_QPS: f64 = 413.72;
+
+/// Re-measure the PR1 sweep points on the current engine and append the
+/// scalar → SIMD f32 → int8 trajectory at S=1000 / batch=256, writing
+/// `BENCH_workspace.json`. Buffers are warmed with one untimed pass per
+/// point so every measurement reflects the steady state. Each trajectory
+/// leg rebuilds the snapshot: weight *layout* (mask packing, quantized
+/// panels) is fixed at snapshot time by the backend and quant mode.
 fn emit_workspace_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
     let mut rows: Vec<String> = Vec::new();
     let mut headline = 0.0f64;
@@ -176,18 +185,62 @@ fn emit_workspace_json(uae: &mut JoinUae, queries: &[JoinQuery]) {
              \"speedup\": {speedup:.2}}}"
         ));
     }
+
+    // The kernel trajectory: identical workload and engine, only the
+    // numeric backend of the forward pass changes.
+    uae.uae_mut().set_estimate_samples(1000);
+    let legs: [(&str, Backend, QuantMode); 3] = [
+        ("scalar", Backend::Exact, QuantMode::F32),
+        ("simd_f32", Backend::Avx2, QuantMode::F32),
+        ("int8", Backend::Avx2, QuantMode::Int8),
+    ];
+    let mut traj: Vec<String> = Vec::new();
+    let mut leg_qps = [0.0f64; 3];
+    let prev = simd::backend();
+    for (i, &(name, be, mode)) in legs.iter().enumerate() {
+        simd::set_backend(be);
+        uae.uae_mut().set_quant_mode(mode);
+        uae.uae_mut().invalidate_snapshot();
+        run_batched(uae, queries, 256); // warm + rebuild snapshot
+        let secs = run_batched(uae, queries, 256);
+        let qps = queries.len() as f64 / secs.max(1e-12);
+        leg_qps[i] = qps;
+        let vs_pr3 = qps / PR3_SCALAR_QPS;
+        eprintln!(
+            "[trajectory] {name} (backend {:?}): {qps:.1} queries/sec ({vs_pr3:.2}x PR3 scalar)",
+            simd::backend()
+        );
+        traj.push(format!(
+            "    {{\"mode\": \"{name}\", \"backend\": \"{:?}\", \"samples\": 1000, \
+             \"batch\": 256, \"queries_per_sec\": {qps:.2}, \"speedup_vs_pr3_scalar\": {vs_pr3:.2}}}",
+            simd::backend()
+        ));
+    }
+    simd::set_backend(prev);
+    uae.uae_mut().set_quant_mode(QuantMode::F32);
+    uae.uae_mut().invalidate_snapshot();
+
     let json = format!(
         "{{\n  \"workload\": \"table5 JOB-light-ranges-focused (imdb_like star schema)\",\n  \
          \"baseline\": \"PR1 batched inference engine (pre plan/workspace split)\",\n  \
          \"num_queries\": {},\n  \"results\": [\n{}\n  ],\n  \
-         \"speedup_at_s1000_batch256\": {:.2}\n}}\n",
+         \"speedup_at_s1000_batch256\": {:.2},\n  \
+         \"trajectory_baseline\": \"PR3 scalar workspace engine, {PR3_SCALAR_QPS} qps at S=1000 batch=256\",\n  \
+         \"trajectory\": [\n{}\n  ],\n  \
+         \"simd_speedup_vs_pr3_scalar\": {:.2},\n  \"int8_speedup_vs_pr3_scalar\": {:.2}\n}}\n",
         queries.len(),
         rows.join(",\n"),
-        headline
+        headline,
+        traj.join(",\n"),
+        leg_qps[1] / PR3_SCALAR_QPS,
+        leg_qps[2] / PR3_SCALAR_QPS,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workspace.json");
     std::fs::write(path, json).expect("write BENCH_workspace.json");
-    eprintln!("[workspace] S=1000 batch=256 speedup over PR1: {headline:.2}x");
+    eprintln!(
+        "[trajectory] S=1000 batch=256: scalar {:.1} -> simd {:.1} -> int8 {:.1} queries/sec",
+        leg_qps[0], leg_qps[1], leg_qps[2]
+    );
 }
 
 fn bench_batched_inference(c: &mut Criterion) {

@@ -11,7 +11,9 @@ use rand::{Rng, RngExt, SeedableRng};
 use uae_data::Table;
 use uae_estimators::HistogramEstimator;
 use uae_query::{CardinalityEstimator, LabeledQuery, Query};
-use uae_tensor::{Adam, AdamState, GradStore, Optimizer, ParamStore, Tape, TapeWorkspace};
+use uae_tensor::{
+    Adam, AdamState, GradStore, Optimizer, ParamStore, QuantMode, Tape, TapeWorkspace,
+};
 
 use crate::encoding::VirtualSchema;
 use crate::infer::{progressive_sample_with, InferScratch};
@@ -336,6 +338,18 @@ impl Uae {
         )
     }
 
+    /// Build the inference snapshot on demand and align both scratches'
+    /// numeric mode with the serving config. Mask packing and int8
+    /// quantization happen here — once per weight version, never per query.
+    fn ensure_snapshot(&self, est: &mut EstCache) {
+        let mode = self.cfg.serve.quant;
+        if est.raw.is_none() {
+            est.raw = Some(self.model.snapshot_with(&self.store, mode));
+        }
+        est.scratch.set_quant_mode(mode);
+        est.batch.set_quant_mode(mode);
+    }
+
     /// Estimate the selectivity of a pre-translated query (supports
     /// [`crate::vquery::StepRegion::Weighted`] fanout scaling).
     ///
@@ -345,9 +359,7 @@ impl Uae {
     /// the stream identically and return bit-identical estimates.
     pub fn estimate_vquery(&self, vq: &VirtualQuery) -> f64 {
         let mut est = self.est.lock();
-        if est.raw.is_none() {
-            est.raw = Some(self.model.snapshot(&self.store));
-        }
+        self.ensure_snapshot(&mut est);
         let EstCache { raw, rng, scratch, serve, .. } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let qseed = rng.next_u64();
@@ -387,9 +399,7 @@ impl Uae {
     /// rows with identical sampled prefixes share one forward row.
     pub fn estimate_vquery_batch(&self, vqs: &[VirtualQuery]) -> Vec<f64> {
         let mut est = self.est.lock();
-        if est.raw.is_none() {
-            est.raw = Some(self.model.snapshot(&self.store));
-        }
+        self.ensure_snapshot(&mut est);
         let EstCache { raw, rng, scratch, batch, serve } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let seeds: Vec<u64> = vqs.iter().map(|_| rng.next_u64()).collect();
@@ -578,9 +588,7 @@ impl Uae {
     pub fn try_estimate_card(&self, query: &Query) -> Result<Estimate, EstimateError> {
         let checked = self.validate(query);
         let mut est = self.est.lock();
-        if est.raw.is_none() {
-            est.raw = Some(self.model.snapshot(&self.store));
-        }
+        self.ensure_snapshot(&mut est);
         let EstCache { raw, rng, scratch, serve, .. } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         let qseed = rng.next_u64();
@@ -640,9 +648,7 @@ impl Uae {
         let checked: Vec<Result<(Query, Validation), EstimateError>> =
             queries.iter().map(|q| self.validate(q)).collect();
         let mut est = self.est.lock();
-        if est.raw.is_none() {
-            est.raw = Some(self.model.snapshot(&self.store));
-        }
+        self.ensure_snapshot(&mut est);
         let EstCache { raw, rng, scratch, batch, serve } = &mut *est;
         let raw = raw.as_ref().expect("snapshot just created");
         // One seed per query, shortcut or not — stream parity with the
@@ -754,6 +760,29 @@ impl Uae {
     /// Mutable serving configuration — cascade knobs and the fault plan.
     pub fn serve_config_mut(&mut self) -> &mut ServeConfig {
         &mut self.cfg.serve
+    }
+
+    /// Switch the inference forward pass between f32 and int8. Invalidates
+    /// the cached snapshot so the next estimate rebuilds it with (or
+    /// without) the quantized weight panels; training and checkpoints are
+    /// unaffected — quantization exists only inside the snapshot.
+    pub fn set_quant_mode(&mut self, mode: QuantMode) {
+        if self.cfg.serve.quant != mode {
+            self.cfg.serve.quant = mode;
+            self.est.lock().raw = None;
+        }
+    }
+
+    /// The configured numeric mode of the inference forward pass.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.cfg.serve.quant
+    }
+
+    /// Drop the cached inference snapshot so the next estimate rebuilds it.
+    /// Required after [`uae_tensor::simd::set_backend`]: snapshot weight
+    /// *layout* depends on the backend selected at snapshot time.
+    pub fn invalidate_snapshot(&self) {
+        self.est.lock().raw = None;
     }
 
     /// Attach (or replace) an observer receiving [`ServeEvent`]s from the

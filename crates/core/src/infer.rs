@@ -40,6 +40,12 @@ impl InferScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Numeric mode of the model forward pass driven through this scratch.
+    /// Must match the mode the [`RawModel`] snapshot was built with.
+    pub fn set_quant_mode(&mut self, mode: uae_tensor::QuantMode) {
+        self.model.set_quant_mode(mode);
+    }
 }
 
 /// [`progressive_sample`] writing into caller-owned buffers. Bit-exact with

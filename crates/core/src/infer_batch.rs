@@ -82,6 +82,12 @@ impl BatchScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Numeric mode of the model forward pass driven through this scratch.
+    /// Must match the mode the [`RawModel`] snapshot was built with.
+    pub fn set_quant_mode(&mut self, mode: uae_tensor::QuantMode) {
+        self.model.set_quant_mode(mode);
+    }
 }
 
 /// Per-query sampler state between column rounds.

@@ -67,4 +67,5 @@ pub use telemetry::{
     ServeStats, TrainEvent, TrainObserver, TrainStats,
 };
 pub use train::{TrainConfig, TrainQuery};
+pub use uae_tensor::QuantMode;
 pub use vquery::VirtualQuery;

@@ -11,8 +11,10 @@
 
 use std::rc::Rc;
 
+use uae_tensor::quant::{self, QuantMatrix, QuantMode};
 use uae_tensor::rng::he_uniform;
-use uae_tensor::tensor::{add_bias_assign, add_bias_relu_assign, matmul_into};
+use uae_tensor::simd;
+use uae_tensor::tensor::{add_bias_assign, add_bias_relu_assign, matmul_masked_into};
 use uae_tensor::{NodeId, ParamId, ParamStore, Tape, Tensor};
 
 use crate::encoding::{EncodingMode, VirtualSchema};
@@ -283,29 +285,142 @@ impl ResMade {
     }
 
     /// Pre-masked weight snapshot for fast tape-free inference
-    /// (progressive sampling runs many forwards per query).
+    /// (progressive sampling runs many forwards per query). Equivalent to
+    /// [`ResMade::snapshot_with`] in [`QuantMode::F32`].
     pub fn snapshot(&self, store: &ParamStore) -> RawModel {
+        self.snapshot_with(store, QuantMode::F32)
+    }
+
+    /// Weight snapshot with an explicit inference numeric mode.
+    ///
+    /// Unless the scalar reference backend is forced (`UAE_FORCE_SCALAR=1`),
+    /// the snapshot stores weights in the **packed** layout: hidden units
+    /// are permuted by ascending MADE degree, which turns every masked
+    /// weight row into a dense panel behind a contiguous zero prefix
+    /// (recorded in per-row `starts`) and every output head into a
+    /// contiguous *row prefix* of the hidden state (recorded in
+    /// `head_rows`). The forward then never multiplies structurally-masked
+    /// weights at all. The permutation is exact — it only reorders the
+    /// hidden basis consistently across layers — but it reorders f32
+    /// accumulation, so the forced-scalar path keeps the plain layout to
+    /// stay bit-identical with the pre-SIMD engine.
+    ///
+    /// With [`QuantMode::Int8`] the snapshot additionally carries
+    /// per-column symmetric int8 panels for every matmul operand
+    /// (inference-only: the [`ParamStore`] and checkpoint bytes are
+    /// untouched). Scratches opt in via [`ModelScratch::set_quant_mode`].
+    pub fn snapshot_with(&self, store: &ParamStore, mode: QuantMode) -> RawModel {
         let masked = |w: ParamId, m: &Tensor| store.get(w).zip(m, |a, b| a * b);
-        let w_out = masked(self.w_out, &self.mask_out);
+        let mut w_in = masked(self.w_in, &self.mask_in);
+        let mut b_in = store.get(self.b_in).clone();
+        let mut blocks: Vec<RawBlock> = self
+            .blocks
+            .iter()
+            .map(|blk| RawBlock {
+                w1: masked(blk.w1, &self.mask_hidden),
+                b1: store.get(blk.b1).clone(),
+                w2: masked(blk.w2, &self.mask_hidden),
+                b2: store.get(blk.b2).clone(),
+            })
+            .collect();
+        let mut w_out = masked(self.w_out, &self.mask_out);
         let b_out = store.get(self.b_out).clone();
+
+        let packed = if simd::packed_enabled() {
+            let n = self.logit_slices.len();
+            let hidden_deg: Vec<usize> =
+                (0..self.hidden).map(|h| if n > 1 { (h % (n - 1)) + 1 } else { 0 }).collect();
+            // Stable sort: uniform degrees keep the identity permutation.
+            let mut perm: Vec<usize> = (0..self.hidden).collect();
+            perm.sort_by_key(|&h| hidden_deg[h]);
+
+            w_in = permute_cols(&w_in, &perm);
+            b_in = permute_cols(&b_in, &perm);
+            for blk in &mut blocks {
+                blk.w1 = permute_cols(&permute_rows(&blk.w1, &perm), &perm);
+                blk.b1 = permute_cols(&blk.b1, &perm);
+                blk.w2 = permute_cols(&permute_rows(&blk.w2, &perm), &perm);
+                blk.b2 = permute_cols(&blk.b2, &perm);
+            }
+            w_out = permute_rows(&w_out, &perm);
+
+            // Suffix starts come from the masks (not the weights, which can
+            // be zero by coincidence): permuted-ascending degrees make each
+            // mask row `0…0 1…1`.
+            let start_in: Vec<u32> = (0..self.input_width)
+                .map(|i| suffix_start(&perm, |h| self.mask_in.at(i, h) != 0.0))
+                .collect();
+            let start_h: Vec<u32> = perm
+                .iter()
+                .map(|&a| suffix_start(&perm, |b| self.mask_hidden.at(a, b) != 0.0))
+                .collect();
+            // Heads see a row *prefix*: hidden degrees strictly below the
+            // column's output degree sort first. All logits of one virtual
+            // column share a degree, so one count per head suffices.
+            let head_rows: Vec<usize> = self
+                .logit_slices
+                .iter()
+                .map(|&(s, e)| {
+                    let live = perm.iter().filter(|&&h| self.mask_out.at(h, s) != 0.0).count();
+                    debug_assert!(
+                        (s..e).all(|o| {
+                            perm[..live].iter().all(|&h| self.mask_out.at(h, o) != 0.0)
+                                && perm[live..].iter().all(|&h| self.mask_out.at(h, o) == 0.0)
+                        }),
+                        "head rows must be a shared prefix"
+                    );
+                    live
+                })
+                .collect();
+            Some(Packed { start_in, start_h, head_rows })
+        } else {
+            None
+        };
+
         // Pre-slice the per-column output heads once per snapshot, so
         // `logits_col_into` never slices in the per-round hot loop.
-        let w_out_cols = self.logit_slices.iter().map(|&(s, e)| w_out.slice_cols(s, e)).collect();
+        let w_out_cols: Vec<Tensor> =
+            self.logit_slices.iter().map(|&(s, e)| w_out.slice_cols(s, e)).collect();
         let b_out_cols = self.logit_slices.iter().map(|&(s, e)| b_out.slice_cols(s, e)).collect();
+
+        let quant = match mode {
+            QuantMode::F32 => None,
+            QuantMode::Int8 => Some(QuantModel {
+                // The packed starts carry over: they bound the per-column
+                // reduction depth of the integer kernels exactly like the
+                // f32 path's prefix skipping, at identical results (the
+                // pruned weights quantize to integer zero).
+                w_in: QuantMatrix::quantize_packed(
+                    &w_in,
+                    w_in.rows(),
+                    packed.as_ref().map(|p| p.start_in.as_slice()),
+                ),
+                blocks: blocks
+                    .iter()
+                    .map(|blk| {
+                        let st = packed.as_ref().map(|p| p.start_h.as_slice());
+                        QuantBlock {
+                            w1: QuantMatrix::quantize_packed(&blk.w1, blk.w1.rows(), st),
+                            w2: QuantMatrix::quantize_packed(&blk.w2, blk.w2.rows(), st),
+                        }
+                    })
+                    .collect(),
+                heads: w_out_cols
+                    .iter()
+                    .enumerate()
+                    .map(|(v, w)| {
+                        let k = packed.as_ref().map_or(w.rows(), |p| p.head_rows[v]);
+                        QuantMatrix::quantize(w, k)
+                    })
+                    .collect(),
+            }),
+        };
+
         RawModel {
             zero_row: Tensor::zeros(1, self.input_width),
-            w_in: masked(self.w_in, &self.mask_in),
-            b_in: store.get(self.b_in).clone(),
-            blocks: self
-                .blocks
-                .iter()
-                .map(|blk| RawBlock {
-                    w1: masked(blk.w1, &self.mask_hidden),
-                    b1: store.get(blk.b1).clone(),
-                    w2: masked(blk.w2, &self.mask_hidden),
-                    b2: store.get(blk.b2).clone(),
-                })
-                .collect(),
+            w_in,
+            b_in,
+            blocks,
             w_out,
             b_out,
             w_out_cols,
@@ -319,9 +434,43 @@ impl ResMade {
                     EncTable::Learned(id) => store.get(*id).clone(),
                 })
                 .collect(),
+            packed,
+            quant,
             first_step: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
+}
+
+/// `out[:, j] = t[:, perm[j]]`.
+fn permute_cols(t: &Tensor, perm: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(t.rows(), t.cols());
+    for r in 0..t.rows() {
+        let src = t.row(r);
+        for (j, &p) in perm.iter().enumerate() {
+            out.set(r, j, src[p]);
+        }
+    }
+    out
+}
+
+/// `out[i, :] = t[perm[i], :]`.
+fn permute_rows(t: &Tensor, perm: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(t.rows(), t.cols());
+    for (i, &p) in perm.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(t.row(p));
+    }
+    out
+}
+
+/// First position in permuted order where `live` holds, as a dense-suffix
+/// start offset (`len` when the whole row is masked out).
+fn suffix_start(perm: &[usize], live: impl Fn(usize) -> bool) -> u32 {
+    let first = perm.iter().position(|&h| live(h)).unwrap_or(perm.len());
+    debug_assert!(
+        perm[first..].iter().all(|&h| live(h)),
+        "mask must be a contiguous suffix after degree sort"
+    );
+    first as u32
 }
 
 /// Caller-owned forward buffers for [`RawModel::hidden_into`] /
@@ -338,12 +487,51 @@ pub struct ModelScratch {
     t2: Tensor,
     /// Per-column logits (softmaxed in place by the inference drivers).
     pub(crate) logits: Tensor,
+    /// Numeric mode of forwards driven through this scratch. Int8 only
+    /// takes effect when the snapshot carries quantized panels.
+    mode: QuantMode,
+    /// Quantized-activation staging (row-major `rows x padded_k`) and the
+    /// per-row symmetric scales, reused across layers/rounds/queries.
+    qa: Vec<i16>,
+    qscale: Vec<f32>,
 }
 
 impl ModelScratch {
     /// Fresh, empty scratch; buffers are sized lazily on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Select the numeric mode for forwards using this scratch. Int8 is
+    /// honored only when the model snapshot was built with
+    /// [`QuantMode::Int8`]; otherwise forwards silently stay f32.
+    pub fn set_quant_mode(&mut self, mode: QuantMode) {
+        self.mode = mode;
+    }
+
+    /// The configured numeric mode.
+    pub fn quant_mode(&self) -> QuantMode {
+        self.mode
+    }
+}
+
+/// Quantize every row prefix (`..k_limit`) of `x` into `qa` (stride
+/// `padded_k`), recording per-row scales. Plain `Vec` buffers: they grow to
+/// the largest batch seen and are invisible to the tensor allocation
+/// counter, preserving the steady-state zero-alloc guarantee.
+fn quantize_rows(
+    x: &Tensor,
+    k_limit: usize,
+    padded_k: usize,
+    qa: &mut Vec<i16>,
+    qscale: &mut Vec<f32>,
+) {
+    let rows = x.rows();
+    qa.resize(rows * padded_k, 0);
+    qscale.resize(rows, 0.0);
+    for r in 0..rows {
+        qscale[r] =
+            quant::quantize_row(&x.row(r)[..k_limit], &mut qa[r * padded_k..(r + 1) * padded_k]);
     }
 }
 
@@ -366,6 +554,12 @@ pub struct RawModel {
     logit_slices: Vec<(usize, usize)>,
     /// Materialized per-column input encodings (`enc[v].row(code)`).
     enc: Vec<Tensor>,
+    /// Packed-layout metadata (`None` on the forced-scalar reference path):
+    /// dense-suffix starts for the input/hidden matmuls and per-head live
+    /// row prefixes. See [`ResMade::snapshot_with`].
+    packed: Option<Packed>,
+    /// Int8 panels for every matmul operand; `None` for f32 snapshots.
+    quant: Option<QuantModel>,
     /// Memoized first-step distributions, keyed by virtual column: the
     /// first constrained column of every query sees the all-wildcard
     /// (all-zero) input, so its softmaxed logits are identical across all
@@ -389,6 +583,8 @@ impl Clone for RawModel {
             b_out_cols: self.b_out_cols.clone(),
             logit_slices: self.logit_slices.clone(),
             enc: self.enc.clone(),
+            packed: self.packed.clone(),
+            quant: self.quant.clone(),
             // The memo is derived state; a fresh clone recomputes on demand.
             first_step: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
@@ -403,6 +599,31 @@ struct RawBlock {
     b2: Tensor,
 }
 
+/// Packed-layout metadata; see [`ResMade::snapshot_with`].
+#[derive(Debug, Clone)]
+struct Packed {
+    /// Per input row: first live (non-masked) hidden column of `w_in`.
+    start_in: Vec<u32>,
+    /// Per hidden row: first live hidden column of each block matmul.
+    start_h: Vec<u32>,
+    /// Per virtual column: number of leading hidden rows its head reads.
+    head_rows: Vec<usize>,
+}
+
+/// Int8 snapshot panels (inference-only; never serialized).
+#[derive(Debug, Clone)]
+struct QuantModel {
+    w_in: QuantMatrix,
+    blocks: Vec<QuantBlock>,
+    heads: Vec<QuantMatrix>,
+}
+
+#[derive(Debug, Clone)]
+struct QuantBlock {
+    w1: QuantMatrix,
+    w2: QuantMatrix,
+}
+
 impl RawModel {
     /// Hidden representation of a batch (rows = samples). Allocating
     /// convenience wrapper around [`RawModel::hidden_into`]; serving paths
@@ -414,15 +635,59 @@ impl RawModel {
     }
 
     /// Hidden representation written into `s.h`, reusing every buffer in
-    /// `s`. Bit-exact with [`RawModel::hidden`].
+    /// `s`. Bit-exact with [`RawModel::hidden`] for a scratch in the same
+    /// numeric mode (the allocating wrapper always runs f32).
     pub fn hidden_into(&self, x: &Tensor, s: &mut ModelScratch) {
+        if s.mode == QuantMode::Int8 && self.quant.is_some() {
+            return self.hidden_into_quant(x, s);
+        }
+        let (si, sh) = match &self.packed {
+            Some(p) => (Some(p.start_in.as_slice()), Some(p.start_h.as_slice())),
+            None => (None, None),
+        };
         let ModelScratch { h, t, t2, .. } = s;
-        matmul_into(x, &self.w_in, h, false);
+        matmul_masked_into(x, &self.w_in, si, x.cols(), h, false);
         add_bias_relu_assign(h, &self.b_in);
         for blk in &self.blocks {
-            matmul_into(h, &blk.w1, t, false);
+            matmul_masked_into(h, &blk.w1, sh, h.cols(), t, false);
             add_bias_relu_assign(t, &blk.b1);
-            matmul_into(t, &blk.w2, t2, false);
+            matmul_masked_into(t, &blk.w2, sh, t.cols(), t2, false);
+            add_bias_assign(t2, &blk.b2);
+            h.add_assign(t2);
+        }
+        h.map_in_place(|v| v.max(0.0));
+    }
+
+    /// Int8 forward: weights come from the snapshot panels, activations are
+    /// re-quantized per row before each matmul, accumulation is exact i32,
+    /// and all epilogues (bias, ReLU, residual) stay f32.
+    fn hidden_into_quant(&self, x: &Tensor, s: &mut ModelScratch) {
+        let q = self.quant.as_ref().expect("quant panels checked by caller");
+        let rows = x.rows();
+        let hidden = self.b_in.cols();
+        let ModelScratch { h, t, t2, qa, qscale, .. } = s;
+
+        quantize_rows(x, q.w_in.k_limit(), q.w_in.padded_k(), qa, qscale);
+        h.resize(rows, hidden);
+        let pk = q.w_in.padded_k();
+        for r in 0..rows {
+            quant::qmatmul_row(&qa[r * pk..(r + 1) * pk], &q.w_in, qscale[r], h.row_mut(r));
+        }
+        add_bias_relu_assign(h, &self.b_in);
+        for (blk, qb) in self.blocks.iter().zip(&q.blocks) {
+            quantize_rows(h, qb.w1.k_limit(), qb.w1.padded_k(), qa, qscale);
+            t.resize(rows, hidden);
+            let pk = qb.w1.padded_k();
+            for r in 0..rows {
+                quant::qmatmul_row(&qa[r * pk..(r + 1) * pk], &qb.w1, qscale[r], t.row_mut(r));
+            }
+            add_bias_relu_assign(t, &blk.b1);
+            quantize_rows(t, qb.w2.k_limit(), qb.w2.padded_k(), qa, qscale);
+            t2.resize(rows, hidden);
+            let pk = qb.w2.padded_k();
+            for r in 0..rows {
+                quant::qmatmul_row(&qa[r * pk..(r + 1) * pk], &qb.w2, qscale[r], t2.row_mut(r));
+            }
             add_bias_assign(t2, &blk.b2);
             h.add_assign(t2);
         }
@@ -438,11 +703,34 @@ impl RawModel {
     }
 
     /// Logits of virtual column `v` for the hidden states in `s.h`,
-    /// written into `s.logits`. Uses the pre-sliced per-column head, so no
-    /// slicing or allocation happens per call.
+    /// written into `s.logits`. Uses the pre-sliced per-column head — and,
+    /// in the packed layout, only the prefix of hidden rows the head's MADE
+    /// degree can legally read — so no slicing, no allocation, and no
+    /// structurally-zero multiplies happen per call.
     pub fn logits_col_into(&self, v: usize, s: &mut ModelScratch) {
+        if s.mode == QuantMode::Int8 {
+            if let Some(q) = &self.quant {
+                let head = &q.heads[v];
+                let rows = s.h.rows();
+                let (pk, kl) = (head.padded_k(), head.k_limit());
+                let ModelScratch { h, logits, qa, qscale, .. } = s;
+                quantize_rows(h, kl, pk, qa, qscale);
+                logits.resize(rows, head.cols());
+                for r in 0..rows {
+                    quant::qmatmul_row(
+                        &qa[r * pk..(r + 1) * pk],
+                        head,
+                        qscale[r],
+                        logits.row_mut(r),
+                    );
+                }
+                add_bias_assign(logits, &self.b_out_cols[v]);
+                return;
+            }
+        }
+        let k_limit = self.packed.as_ref().map_or(s.h.cols(), |p| p.head_rows[v]);
         let ModelScratch { h, logits, .. } = s;
-        matmul_into(h, &self.w_out_cols[v], logits, false);
+        matmul_masked_into(h, &self.w_out_cols[v], None, k_limit, logits, false);
         add_bias_assign(logits, &self.b_out_cols[v]);
     }
 

@@ -1,0 +1,131 @@
+//! The int8 inference path is gated by parity: its estimation quality must
+//! stay within 5% (relative, median and p95 q-error) of the f32 path on a
+//! table5-style workload, it must be strictly inference-only (training
+//! state and checkpoint bytes are untouched by quantization), and it must
+//! uphold the same sequential/batched bit-parity contract as f32.
+
+use std::collections::HashSet;
+
+use uae_core::{QuantMode, ResMadeConfig, TrainConfig, Uae, UaeConfig};
+use uae_data::census_like;
+use uae_query::{generate_workload, LabeledQuery, Query, WorkloadSpec};
+
+fn quick_cfg() -> UaeConfig {
+    UaeConfig {
+        model: ResMadeConfig { hidden: 32, blocks: 1, seed: 11 },
+        train: TrainConfig { batch_size: 128, ..TrainConfig::default() },
+        estimate_samples: 200,
+        ..UaeConfig::default()
+    }
+}
+
+/// Multiplicative estimation error against the labeled truth, floored so
+/// empty-region estimates stay finite.
+fn q_error(est: f64, truth: f64) -> f64 {
+    let est = est.max(1e-9);
+    let truth = truth.max(1e-9);
+    (est / truth).max(truth / est)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn q_error_profile(uae: &Uae, workload: &[LabeledQuery]) -> (f64, f64, Vec<f64>) {
+    let queries: Vec<Query> = workload.iter().map(|lq| lq.query.clone()).collect();
+    let sels = uae.estimate_batch(&queries);
+    let mut qs: Vec<f64> =
+        sels.iter().zip(workload).map(|(&est, lq)| q_error(est, lq.selectivity)).collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (percentile(&qs, 0.5), percentile(&qs, 0.95), sels)
+}
+
+/// The q-error parity gate: median and p95 q-error under int8 inference
+/// must land within 5% relative of the f32 path on the same workload.
+#[test]
+fn int8_q_error_within_five_percent_of_f32() {
+    let t = census_like(1200, 31);
+    let mut uae = Uae::new(&t, quick_cfg());
+    uae.train_data(2);
+    let workload = generate_workload(&t, &WorkloadSpec::random(48, 97), &HashSet::new());
+
+    let f32_est = uae.clone();
+    let (f32_median, f32_p95, f32_sels) = q_error_profile(&f32_est, &workload);
+
+    let mut int8_est = uae.clone();
+    int8_est.set_quant_mode(QuantMode::Int8);
+    assert_eq!(int8_est.quant_mode(), QuantMode::Int8);
+    let (i8_median, i8_p95, i8_sels) = q_error_profile(&int8_est, &workload);
+
+    // Clones reseed identically, so the only difference between the two
+    // estimate streams is the numeric mode — if no estimate moved at all,
+    // the int8 path never actually engaged and this gate is vacuous.
+    assert_ne!(f32_sels, i8_sels, "int8 mode produced bit-identical estimates — not engaged?");
+
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+    assert!(
+        rel(i8_median, f32_median) <= 0.05,
+        "median q-error parity broken: int8 {i8_median} vs f32 {f32_median}"
+    );
+    assert!(
+        rel(i8_p95, f32_p95) <= 0.05,
+        "p95 q-error parity broken: int8 {i8_p95} vs f32 {f32_p95}"
+    );
+    // Sanity: the model actually learned something on both paths.
+    assert!(f32_median < 10.0, "f32 baseline degenerate: median {f32_median}");
+}
+
+/// Quantization is inference-only: estimating under int8 must not perturb
+/// training state, and checkpoint bytes stay identical to a clone that
+/// never quantized. Training afterwards proceeds from identical weights.
+#[test]
+fn int8_leaves_training_state_and_checkpoint_bytes_untouched() {
+    let t = census_like(600, 7);
+    let mut uae = Uae::new(&t, quick_cfg());
+    uae.train_data(1);
+
+    let mut pristine = uae.clone();
+    let mut quantized = uae.clone();
+    quantized.set_quant_mode(QuantMode::Int8);
+
+    let workload = generate_workload(&t, &WorkloadSpec::random(8, 3), &HashSet::new());
+    let queries: Vec<Query> = workload.into_iter().map(|lq| lq.query).collect();
+    let _ = quantized.estimate_batch(&queries); // builds the quantized snapshot
+    let _ = pristine.estimate_batch(&queries);
+
+    assert_eq!(
+        pristine.save_checkpoint(),
+        quantized.save_checkpoint(),
+        "int8 inference leaked into checkpoint bytes"
+    );
+
+    // Training from both estimators stays bit-identical: quantization never
+    // touches the parameters the tape trains.
+    let lp = pristine.train_data(1);
+    let lq = quantized.train_data(1);
+    assert_eq!(lp, lq, "training diverged after int8 inference");
+}
+
+/// The sequential/batched parity contract holds under int8 exactly as it
+/// does under f32: the integer kernels are row-independent and the dequant
+/// arithmetic has one shared op order, so batching changes nothing.
+#[test]
+fn int8_sequential_matches_batched() {
+    let t = census_like(700, 19);
+    let mut uae = Uae::new(&t, quick_cfg());
+    uae.train_data(1);
+    uae.set_quant_mode(QuantMode::Int8);
+    let workload = generate_workload(&t, &WorkloadSpec::random(16, 23), &HashSet::new());
+    let queries: Vec<Query> = workload.into_iter().map(|lq| lq.query).collect();
+
+    let seq = uae.clone();
+    let bat = uae.clone();
+    let sequential: Vec<f64> = queries.iter().map(|q| seq.estimate_selectivity(q)).collect();
+    let batched = bat.estimate_batch(&queries);
+    for (i, (&s, &b)) in sequential.iter().zip(&batched).enumerate() {
+        let rel = (s - b).abs() / s.abs().max(b.abs()).max(1e-300);
+        assert!(rel <= 1e-9, "query {i}: sequential {s} vs batched {b}");
+    }
+    assert!(sequential.iter().any(|&s| s > 0.0), "degenerate workload");
+}

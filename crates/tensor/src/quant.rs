@@ -1,0 +1,629 @@
+//! Inference-only int8 quantization.
+//!
+//! Weights are quantized **per output column** with symmetric scales
+//! (`scale_j = max_k |w[k][j]| / 127`) at snapshot time; activations are
+//! quantized **per row** with a dynamic symmetric scale right before each
+//! quantized matmul. Products accumulate in `i32` — exactly, since
+//! `127 * 127 * K` stays far below `i32::MAX` for any realistic reduction
+//! depth — and are dequantized once per output element:
+//! `out[j] = acc as f32 * (a_scale * col_scale[j])`, so a quantized matmul
+//! is deterministic and **bit-identical across scalar and AVX2 backends**
+//! (the integer part is exact; the dequant multiplies are performed in the
+//! same order per element).
+//!
+//! Storage layout: values are widened to `i16` and packed in interleaved
+//! k-pair panels, `panel[(p * n + j) * 2 + {0, 1}] = q[2p][j], q[2p+1][j]`
+//! (odd trailing k zero-padded). One AVX2 `madd_epi16` then computes 16
+//! multiply-accumulates per instruction: a broadcast activation pair times
+//! 8 adjacent weight-column pairs → 8 exact `i32` partial sums. The `u8×i8
+//! maddubs` variant was rejected: its intermediate `i16` sums saturate at
+//! `255 * 127 * 2 > i16::MAX`, breaking exactness.
+//!
+//! Training never sees any of this: quantized panels live only in inference
+//! snapshots (`RawModel`), so checkpoint bytes are unchanged whether
+//! quantization is on or off.
+
+use crate::simd::{self, Backend};
+use crate::tensor::Tensor;
+
+/// Numeric mode of the inference forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Full-precision f32 forwards (the default).
+    #[default]
+    F32,
+    /// Int8 weights + dynamically quantized activations, f32 epilogues.
+    Int8,
+}
+
+/// An int8-quantized weight matrix in interleaved k-pair panel layout.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    /// Reduction depth actually packed (rows of the source matrix below
+    /// `k_limit`; the rest are structurally zero under the MADE mask).
+    k: usize,
+    /// Output columns.
+    n: usize,
+    /// `ceil(k / 2)` interleaved row pairs.
+    pairs: usize,
+    /// `pairs * n * 2` i16 values, `panel[(p*n + j)*2 + s] = q[2p+s][j]`.
+    panel: Vec<i16>,
+    /// Per-column symmetric dequant scales (`max|w_col| / 127`).
+    col_scale: Vec<f32>,
+    /// Per-8-column-group pair limits: the columns `8g..8g+8` only ever
+    /// read pairs `0..group_pairs[g]` — every later pair is structurally
+    /// zero in all of the group's columns under the packed MADE mask
+    /// (zero-prefix rows, see [`crate::simd::matmul_row`]'s `starts`
+    /// contract). Dense matrices carry `pairs` everywhere. Kernels may
+    /// over-read up to the block-wide maximum: the extra products are
+    /// integer zeros, so results stay bit-identical.
+    group_pairs: Vec<u32>,
+}
+
+impl QuantMatrix {
+    /// Quantize rows `0..k_limit` of `w` (rows at or past `k_limit` must be
+    /// zero — the caller prunes them via the MADE degree structure).
+    pub fn quantize(w: &Tensor, k_limit: usize) -> Self {
+        Self::quantize_packed(w, k_limit, None)
+    }
+
+    /// [`QuantMatrix::quantize`] with the packed-mask `starts` contract:
+    /// row `k` of `w` is zero below column `starts[k]`. The panel stores
+    /// the same values either way; `starts` only tightens the per-group
+    /// reduction limits so the integer kernels skip the structurally-zero
+    /// prefix exactly like the f32 path does.
+    pub fn quantize_packed(w: &Tensor, k_limit: usize, starts: Option<&[u32]>) -> Self {
+        let n = w.cols();
+        let k = k_limit.min(w.rows());
+        let pairs = k.div_ceil(2);
+        let mut col_scale = vec![0.0f32; n];
+        for r in 0..k {
+            for (j, &v) in w.row(r).iter().enumerate() {
+                let a = v.abs();
+                if a > col_scale[j] {
+                    col_scale[j] = a;
+                }
+            }
+        }
+        let mut panel = vec![0i16; pairs * n * 2];
+        for r in 0..k {
+            let (p, s) = (r / 2, r % 2);
+            for (j, &v) in w.row(r).iter().enumerate() {
+                let amax = col_scale[j];
+                if amax > 0.0 {
+                    panel[(p * n + j) * 2 + s] = quantize_value(v, 127.0 / amax);
+                }
+            }
+        }
+        // Convert per-column maxima into dequant scales only once the panel
+        // is filled.
+        for s in col_scale.iter_mut() {
+            *s /= 127.0;
+        }
+        let groups = n.div_ceil(8).max(1);
+        let group_pairs = match starts {
+            None => vec![pairs as u32; groups],
+            Some(st) => {
+                debug_assert!(st.len() >= k);
+                (0..groups)
+                    .map(|g| {
+                        let j_hi = (8 * g + 7).min(n.saturating_sub(1));
+                        let live_k =
+                            (0..k).rev().find(|&r| st[r] as usize <= j_hi).map_or(0, |r| r + 1);
+                        (live_k.div_ceil(2)) as u32
+                    })
+                    .collect()
+            }
+        };
+        QuantMatrix { k, n, pairs, panel, col_scale, group_pairs }
+    }
+
+    /// Reduction depth the panel covers.
+    pub fn k_limit(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Activation buffer length [`qmatmul_row`] expects (`2 * pairs`,
+    /// zero-padded when `k` is odd).
+    pub fn padded_k(&self) -> usize {
+        self.pairs * 2
+    }
+}
+
+#[inline]
+fn quantize_value(v: f32, inv_scale: f32) -> i16 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i16
+}
+
+/// Quantize an activation row prefix into `q` (length `padded_k`, trailing
+/// pad zeroed) and return the symmetric dequant scale `max|x| / 127`.
+/// An all-zero (or non-finite-free degenerate) row returns scale 0 with an
+/// all-zero `q`, making the downstream matmul contribute exactly 0.
+/// Backends produce bit-identical `q` and scale (asserted by the kernel
+/// property suite).
+pub fn quantize_row(x: &[f32], q: &mut [i16]) -> f32 {
+    quantize_row_with(simd::backend(), x, q)
+}
+
+/// [`quantize_row`] against an explicit backend (oracle tests / benches).
+pub fn quantize_row_with(be: Backend, x: &[f32], q: &mut [i16]) -> f32 {
+    match be {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable after runtime feature detection.
+        Backend::Avx2 if x.len() >= 16 => unsafe { quantize_row_avx2(x, q) },
+        _ => quantize_row_scalar(x, q),
+    }
+}
+
+fn quantize_row_scalar(x: &[f32], q: &mut [i16]) -> f32 {
+    let mut amax = 0.0f32;
+    for &v in x {
+        let a = v.abs();
+        if a > amax {
+            amax = a;
+        }
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        q.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    for (o, &v) in q.iter_mut().zip(x) {
+        *o = quantize_value(v, inv);
+    }
+    q[x.len()..].fill(0);
+    amax / 127.0
+}
+
+/// Largest f32 strictly below 0.5. `trunc(y + copysign(HALF_UP, y))`
+/// reproduces round-half-away-from-zero for every finite f32 — the same
+/// expansion LLVM legalizes `llvm.round.f32` into — which makes the AVX2
+/// quantizer bit-identical to the scalar `f32::round` path (the kernel
+/// property suite sweeps the tie neighborhoods to hold this claim).
+#[cfg(target_arch = "x86_64")]
+const HALF_UP: f32 = 0.499_999_97;
+
+/// # Safety
+/// avx2+fma available; `q.len() >= x.len()`; `x.len() >= 16`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn quantize_row_avx2(x: &[f32], q: &mut [i16]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let xp = x.as_ptr();
+    let sign_mask = _mm256_set1_ps(-0.0);
+    // Abs-max scan with the scalar `if a > amax` NaN semantics: the
+    // ordered-greater compare is false for NaN lanes, so they are ignored
+    // exactly like the scalar loop ignores them.
+    let mut vmax = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let a = _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(xp.add(i)));
+        let gt = _mm256_cmp_ps(a, vmax, _CMP_GT_OQ);
+        vmax = _mm256_blendv_ps(vmax, a, gt);
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+    let mut amax = 0.0f32;
+    for &l in &lanes {
+        if l > amax {
+            amax = l;
+        }
+    }
+    while i < n {
+        let a = (*xp.add(i)).abs();
+        if a > amax {
+            amax = a;
+        }
+        i += 1;
+    }
+    if amax == 0.0 || !amax.is_finite() {
+        q.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / amax;
+    let invv = _mm256_set1_ps(inv);
+    let half = _mm256_set1_ps(HALF_UP);
+    let lim = _mm256_set1_ps(127.0);
+    let nlim = _mm256_set1_ps(-127.0);
+    let qp = q.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let q0 = quant8(_mm256_loadu_ps(xp.add(i)), invv, sign_mask, half, lim, nlim);
+        let q1 = quant8(_mm256_loadu_ps(xp.add(i + 8)), invv, sign_mask, half, lim, nlim);
+        // packs interleaves 128-bit halves; permute restores lane order.
+        let packed = _mm256_packs_epi32(q0, q1);
+        let fixed = _mm256_permute4x64_epi64(packed, 0b1101_1000);
+        _mm256_storeu_si256(qp.add(i) as _, fixed);
+        i += 16;
+    }
+    while i < n {
+        *q.get_unchecked_mut(i) = quantize_value(*xp.add(i), inv);
+        i += 1;
+    }
+    q[n..].fill(0);
+    amax / 127.0
+}
+
+/// Quantize 8 lanes: `clamp(round_half_away(v * inv), -127, 127)` as i32.
+///
+/// # Safety
+/// avx2+fma available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[inline]
+unsafe fn quant8(
+    v: std::arch::x86_64::__m256,
+    invv: std::arch::x86_64::__m256,
+    sign_mask: std::arch::x86_64::__m256,
+    half: std::arch::x86_64::__m256,
+    lim: std::arch::x86_64::__m256,
+    nlim: std::arch::x86_64::__m256,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let y = _mm256_mul_ps(v, invv);
+    // NaN lanes -> +0.0, matching the scalar `NaN as i16 == 0` cast.
+    let y = _mm256_and_ps(y, _mm256_cmp_ps(y, y, _CMP_ORD_Q));
+    let cs = _mm256_or_ps(_mm256_and_ps(y, sign_mask), half);
+    let t = _mm256_round_ps(_mm256_add_ps(y, cs), _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    let t = _mm256_max_ps(_mm256_min_ps(t, lim), nlim);
+    _mm256_cvtps_epi32(t)
+}
+
+/// `out[j] = (sum_k qa[k] * q[k][j]) * a_scale * col_scale[j]` over the
+/// panel's packed reduction depth. `qa` must be `m.padded_k()` long (use
+/// [`quantize_row`]). Integer accumulation is exact, so every backend
+/// produces bit-identical output.
+#[inline]
+pub fn qmatmul_row(qa: &[i16], m: &QuantMatrix, a_scale: f32, out: &mut [f32]) {
+    qmatmul_row_with(simd::backend(), qa, m, a_scale, out)
+}
+
+/// [`qmatmul_row`] against an explicit backend (oracle tests / benches).
+pub fn qmatmul_row_with(be: Backend, qa: &[i16], m: &QuantMatrix, a_scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(qa.len(), m.pairs * 2);
+    debug_assert_eq!(out.len(), m.n);
+    match be {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the Avx2 backend is only selected after runtime feature
+        // detection confirmed avx2+fma (see `simd::set_backend`).
+        Backend::Avx2 => NZ_PAIRS.with(|cell| {
+            let mut nz = cell.borrow_mut();
+            compact_nonzero_pairs(qa, m.pairs, &mut nz);
+            unsafe {
+                qmatmul_row_avx2(&nz, &m.panel, m.n, &m.group_pairs, a_scale, &m.col_scale, out)
+            }
+        }),
+        _ => qmatmul_row_scalar(qa, m, a_scale, out),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+std::thread_local! {
+    /// Reusable scratch for the per-row compacted activation-pair list, so
+    /// the quantized hot path stays allocation-free after warm-up.
+    static NZ_PAIRS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Compact the quantized activation row into its nonzero k-pairs, encoded
+/// `(pair_index << 32) | (a1 << 16 | a0)` in ascending pair order. Post-relu
+/// activations are roughly half zeros, so skipping whole pairs here — once
+/// per row, branchlessly — beats testing every pair inside every column
+/// block of the panel sweep (where the test mispredicts constantly).
+#[cfg(target_arch = "x86_64")]
+fn compact_nonzero_pairs(qa: &[i16], pairs: usize, nz: &mut Vec<u64>) {
+    nz.clear();
+    nz.resize(pairs, 0);
+    let mut len = 0usize;
+    for p in 0..pairs {
+        let a0 = qa[2 * p] as u16 as u32;
+        let a1 = qa[2 * p + 1] as u16 as u32;
+        let packed = (a1 << 16) | a0;
+        nz[len] = ((p as u64) << 32) | packed as u64;
+        len += (packed != 0) as usize;
+    }
+    nz.truncate(len);
+}
+
+fn qmatmul_row_scalar(qa: &[i16], m: &QuantMatrix, a_scale: f32, out: &mut [f32]) {
+    let n = m.n;
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i32;
+        for p in 0..m.group_pairs[j / 8] as usize {
+            let a0 = qa[2 * p] as i32;
+            let a1 = qa[2 * p + 1] as i32;
+            if a0 == 0 && a1 == 0 {
+                continue;
+            }
+            let base = (p * n + j) * 2;
+            acc += a0 * m.panel[base] as i32 + a1 * m.panel[base + 1] as i32;
+        }
+        *o = acc as f32 * (a_scale * m.col_scale[j]);
+    }
+}
+
+/// # Safety
+/// avx2+fma available; `panel.len() == pairs * n * 2`; `nz` is an ascending
+/// compacted pair list from [`compact_nonzero_pairs`] whose pair indices all
+/// lie below `pairs`; `out.len() == n == col_scale.len()`;
+/// `group_pairs.len() == max(1, ceil(n / 8))` with every entry `<= pairs`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn qmatmul_row_avx2(
+    nz: &[u64],
+    panel: &[i16],
+    n: usize,
+    group_pairs: &[u32],
+    a_scale: f32,
+    col_scale: &[f32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let pp = panel.as_ptr();
+    let nzp = nz.as_ptr();
+    let nzn = nz.len();
+    let mut j = 0usize;
+    // 32 columns per iteration: 4 accumulator vectors of 8 i32 lanes. The
+    // reduction walks the compacted nonzero-pair list — branch-free except
+    // for the group-limit cutoff, which fires once per block because the
+    // list is sorted by pair index. It runs to the widest of the 4 groups'
+    // limits: the extra pairs of tighter groups are structurally zero
+    // there, and integer zeros keep the result bit-identical to the
+    // per-group scalar loop.
+    while j + 32 <= n {
+        let g = j / 8;
+        let plim =
+            group_pairs[g].max(group_pairs[g + 1]).max(group_pairs[g + 2]).max(group_pairs[g + 3])
+                as u64;
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut acc2 = _mm256_setzero_si256();
+        let mut acc3 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i < nzn {
+            let e = *nzp.add(i);
+            let p = (e >> 32) as usize;
+            if p as u64 >= plim {
+                break;
+            }
+            let bc = _mm256_set1_epi32(e as u32 as i32);
+            let base = pp.add((p * n + j) * 2);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(bc, _mm256_loadu_si256(base as _)));
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_madd_epi16(bc, _mm256_loadu_si256(base.add(16) as _)),
+            );
+            acc2 = _mm256_add_epi32(
+                acc2,
+                _mm256_madd_epi16(bc, _mm256_loadu_si256(base.add(32) as _)),
+            );
+            acc3 = _mm256_add_epi32(
+                acc3,
+                _mm256_madd_epi16(bc, _mm256_loadu_si256(base.add(48) as _)),
+            );
+            i += 1;
+        }
+        let av = _mm256_set1_ps(a_scale);
+        for (t, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+            let jj = j + t * 8;
+            let sc = _mm256_mul_ps(av, _mm256_loadu_ps(col_scale.as_ptr().add(jj)));
+            let v = _mm256_mul_ps(_mm256_cvtepi32_ps(acc), sc);
+            _mm256_storeu_ps(out.as_mut_ptr().add(jj), v);
+        }
+        j += 32;
+    }
+    // 8 columns per iteration.
+    while j + 8 <= n {
+        let plim = group_pairs[j / 8] as u64;
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i < nzn {
+            let e = *nzp.add(i);
+            let p = (e >> 32) as usize;
+            if p as u64 >= plim {
+                break;
+            }
+            let bc = _mm256_set1_epi32(e as u32 as i32);
+            let base = pp.add((p * n + j) * 2);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(bc, _mm256_loadu_si256(base as _)));
+            i += 1;
+        }
+        let sc = _mm256_mul_ps(_mm256_set1_ps(a_scale), _mm256_loadu_ps(col_scale.as_ptr().add(j)));
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_mul_ps(_mm256_cvtepi32_ps(acc), sc));
+        j += 8;
+    }
+    // Scalar tail — same exact integer math, so results stay bit-identical.
+    while j < n {
+        let plim = *group_pairs.get_unchecked(j / 8) as u64;
+        let mut acc = 0i32;
+        for i in 0..nzn {
+            let e = *nzp.add(i);
+            let p = (e >> 32) as usize;
+            if p as u64 >= plim {
+                break;
+            }
+            let a0 = e as u32 as u16 as i16 as i32;
+            let a1 = (e as u32 >> 16) as u16 as i16 as i32;
+            let base = (p * n + j) * 2;
+            acc +=
+                a0 * *panel.get_unchecked(base) as i32 + a1 * *panel.get_unchecked(base + 1) as i32;
+        }
+        *out.get_unchecked_mut(j) = acc as f32 * (a_scale * *col_scale.get_unchecked(j));
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                lo + (hi - lo) * ((s >> 40) as f32 / (1u64 << 24) as f32)
+            })
+            .collect()
+    }
+
+    fn avx2_available() -> bool {
+        simd::detect_backend() == Backend::Avx2
+    }
+
+    /// f32 reference of the fully dequantized product, for error bounds.
+    fn f32_reference(a: &[f32], w: &Tensor, k: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; w.cols()];
+        for (r, &av) in a.iter().enumerate().take(k) {
+            for (o, &wv) in out.iter_mut().zip(w.row(r)) {
+                *o += av * wv;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn quantized_matmul_is_close_and_backend_exact() {
+        for &(k, n) in &[(1usize, 1usize), (3, 7), (16, 64), (127, 128), (128, 131), (5, 40)] {
+            let w = Tensor::from_vec(k, n, pseudo(7 * k as u64 + n as u64, k * n, -1.2, 1.2));
+            let a = pseudo(k as u64 + 100, k, -2.0, 2.0);
+            let m = QuantMatrix::quantize(&w, k);
+            let mut qa = vec![0i16; m.padded_k()];
+            let a_scale = quantize_row(&a, &mut qa);
+
+            let mut scalar = vec![0.0f32; n];
+            qmatmul_row_with(Backend::Exact, &qa, &m, a_scale, &mut scalar);
+
+            // Error bound: each term carries two symmetric int8 roundings
+            // (activation err <= a_scale/2 times |w|, weight err <=
+            // col_scale/2 times |a|), accumulated over k terms:
+            // ~ k * amax * wmax / 127.
+            let reference = f32_reference(&a, &w, k);
+            let amax = a.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let tol = 1e-6 + (k as f32) * amax * 1.3 / 127.0;
+            for (r, s) in reference.iter().zip(&scalar) {
+                assert!((r - s).abs() <= tol, "({k}x{n}) quant err: {r} vs {s}, tol {tol}");
+            }
+
+            if avx2_available() {
+                let mut v = vec![0.0f32; n];
+                qmatmul_row_with(Backend::Avx2, &qa, &m, a_scale, &mut v);
+                assert_eq!(scalar, v, "quantized matmul must be bit-exact across backends");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_k_pads_with_zero() {
+        let w = Tensor::from_vec(3, 4, pseudo(11, 12, -1.0, 1.0));
+        let m = QuantMatrix::quantize(&w, 3);
+        assert_eq!(m.padded_k(), 4);
+        let a = pseudo(12, 3, -1.0, 1.0);
+        let mut qa = vec![7i16; m.padded_k()]; // trailing garbage must be overwritten
+        let a_scale = quantize_row(&a, &mut qa);
+        assert_eq!(qa[3], 0, "pad lane must be zeroed");
+        let mut out = vec![0.0f32; 4];
+        qmatmul_row_with(Backend::Exact, &qa, &m, a_scale, &mut out);
+        let reference = f32_reference(&a, &w, 3);
+        for (r, s) in reference.iter().zip(&out) {
+            assert!((r - s).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn zero_row_and_zero_columns() {
+        let mut w = Tensor::zeros(4, 3);
+        w.set(0, 1, 0.5);
+        w.set(3, 1, -0.25);
+        let m = QuantMatrix::quantize(&w, 4);
+        // Column 0 and 2 are all-zero: scale 0, quantized values 0.
+        let a = [1.0f32, -1.0, 2.0, 0.5];
+        let mut qa = vec![0i16; m.padded_k()];
+        let a_scale = quantize_row(&a, &mut qa);
+        let mut out = vec![0.0f32; 3];
+        qmatmul_row_with(Backend::Exact, &qa, &m, a_scale, &mut out);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[2], 0.0);
+        assert!((out[1] - (0.5 - 0.25 * 0.5)).abs() < 0.02);
+
+        // All-zero activation row: scale 0, exact zero output.
+        let mut qz = vec![0i16; m.padded_k()];
+        let z_scale = quantize_row(&[0.0; 4], &mut qz);
+        assert_eq!(z_scale, 0.0);
+        let mut outz = vec![1.0f32; 3];
+        qmatmul_row_with(Backend::Exact, &qz, &m, z_scale, &mut outz);
+        assert_eq!(outz, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn packed_starts_match_dense_bit_for_bit() {
+        // Rows zero below their start column (the packed MADE layout):
+        // the per-group limits must change nothing observable, on either
+        // backend, including when a 32-column block spans mixed limits.
+        for &(k, n) in &[(16usize, 40usize), (33, 64), (7, 9), (128, 128)] {
+            let starts: Vec<u32> = (0..k).map(|r| ((r * n) / k) as u32).collect();
+            let mut data = pseudo(3 * k as u64 + n as u64, k * n, -1.5, 1.5);
+            for r in 0..k {
+                for j in 0..starts[r] as usize {
+                    data[r * n + j] = 0.0;
+                }
+            }
+            let w = Tensor::from_vec(k, n, data);
+            let dense = QuantMatrix::quantize(&w, k);
+            let packed = QuantMatrix::quantize_packed(&w, k, Some(&starts));
+            assert!(
+                packed.group_pairs.iter().zip(&dense.group_pairs).any(|(p, d)| p < d) || n < 16,
+                "starts produced no pruning at ({k}x{n})"
+            );
+
+            let a = pseudo(k as u64 + 5, k, -2.0, 2.0);
+            let mut qa = vec![0i16; dense.padded_k()];
+            let a_scale = quantize_row(&a, &mut qa);
+            let mut want = vec![0.0f32; n];
+            qmatmul_row_with(Backend::Exact, &qa, &dense, a_scale, &mut want);
+            for be in [Backend::Exact, Backend::Avx2] {
+                if be == Backend::Avx2 && !avx2_available() {
+                    continue;
+                }
+                let mut got = vec![0.0f32; n];
+                qmatmul_row_with(be, &qa, &packed, a_scale, &mut got);
+                assert_eq!(got, want, "({k}x{n}) on {be:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_limit_prunes_masked_rows() {
+        // Rows >= k_limit are structurally zero in MADE-masked heads; the
+        // panel must simply not include them.
+        let mut data = pseudo(21, 6 * 4, -1.0, 1.0);
+        for v in data.iter_mut().skip(3 * 4) {
+            *v = 0.0;
+        }
+        let w = Tensor::from_vec(6, 4, data);
+        let pruned = QuantMatrix::quantize(&w, 3);
+        let full = QuantMatrix::quantize(&w, 6);
+        assert_eq!(pruned.k_limit(), 3);
+        let a = pseudo(22, 6, -1.0, 1.0);
+        let mut qa_p = vec![0i16; pruned.padded_k()];
+        let s_p = quantize_row(&a[..3], &mut qa_p);
+        let mut qa_f = vec![0i16; full.padded_k()];
+        let s_f = quantize_row(&a, &mut qa_f);
+        let mut out_p = vec![0.0f32; 4];
+        let mut out_f = vec![0.0f32; 4];
+        qmatmul_row_with(Backend::Exact, &qa_p, &pruned, s_p, &mut out_p);
+        qmatmul_row_with(Backend::Exact, &qa_f, &full, s_f, &mut out_f);
+        // Same math modulo the (different) activation scale granularity.
+        for (p, f) in out_p.iter().zip(&out_f) {
+            assert!((p - f).abs() < 0.05, "{p} vs {f}");
+        }
+    }
+}

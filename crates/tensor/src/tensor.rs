@@ -8,6 +8,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pool;
+use crate::simd;
 
 /// Number of tensor-buffer heap allocations performed since process start
 /// (fresh buffers and capacity growth; buffer reuse via [`Tensor::resize`]
@@ -533,11 +534,41 @@ impl Tensor {
 /// much lower than the seed's 4M-FLOP threshold.
 const PAR_FLOP_THRESHOLD: usize = 500_000;
 
-/// `out (+)= a @ b`; when `accumulate` is false `out` is overwritten
-/// (resized to `a.rows x b.cols`, reusing its buffer). Accumulation
-/// requires `out` to already have the result shape.
+/// `out (+)= a @ b`.
+///
+/// `accumulate` contract: when **false**, `out` is resized to
+/// `a.rows x b.cols` (reusing its buffer), zeroed, and overwritten with the
+/// product. When **true**, `out` must *already* be exactly
+/// `a.rows x b.cols` with every element initialized — the product is added
+/// on top, and nothing else about `out` changes. Callers may not rely on
+/// accumulation into a stale-shaped or uninitialized buffer.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
+    matmul_masked_into(a, b, None, a.cols, out, accumulate)
+}
+
+/// `out (+)= a[:, ..k_limit] @ b[..k_limit, :]`, with `b` additionally
+/// treated as zero left of `starts[k]` on row `k` when `starts` is given.
+///
+/// This is the mask-aware product behind the packed ResMADE forward:
+/// `uae-core` permutes hidden units by MADE degree at snapshot time so each
+/// masked weight row is zero on a contiguous column *prefix* (encoded in
+/// `starts`) and each output head touches only a contiguous row prefix of
+/// the hidden state (encoded by slicing `a`'s columns via `k_limit`). The
+/// inner loops then run dense over the live panel instead of testing a
+/// per-element zero-skip. Same `accumulate` contract as [`matmul_into`].
+pub fn matmul_masked_into(
+    a: &Tensor,
+    b: &Tensor,
+    starts: Option<&[u32]>,
+    k_limit: usize,
+    out: &mut Tensor,
+    accumulate: bool,
+) {
     assert_eq!(a.cols, b.rows);
+    assert!(k_limit <= a.cols);
+    if let Some(st) = starts {
+        assert!(st.len() >= k_limit);
+    }
     if accumulate {
         assert_eq!(out.rows, a.rows);
         assert_eq!(out.cols, b.cols);
@@ -545,7 +576,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
         out.resize(a.rows, b.cols);
         out.fill_zero();
     }
-    let flops = 2 * a.rows * a.cols * b.cols;
+    let flops = 2 * a.rows * k_limit * b.cols;
     if flops >= PAR_FLOP_THRESHOLD && a.rows >= 2 {
         let threads = pool::pool_threads();
         let chunk = a.rows.div_ceil(threads);
@@ -567,27 +598,27 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor, accumulate: bool) {
                     (row_end - row_start) * bcols,
                 )
             };
-            matmul_rows(a, b, row_start, orows, accumulate);
+            matmul_rows(a, b, starts, k_limit, row_start, orows);
         });
         return;
     }
     let orows = &mut out.data[..];
-    matmul_rows(a, b, 0, orows, accumulate);
+    matmul_rows(a, b, starts, k_limit, 0, orows);
 }
 
-fn matmul_rows(a: &Tensor, b: &Tensor, row_start: usize, out_rows: &mut [f32], _acc: bool) {
+fn matmul_rows(
+    a: &Tensor,
+    b: &Tensor,
+    starts: Option<&[u32]>,
+    k_limit: usize,
+    row_start: usize,
+    out_rows: &mut [f32],
+) {
+    let be = simd::backend();
     let bcols = b.cols;
     for (local_i, out_row) in out_rows.chunks_mut(bcols).enumerate() {
-        let a_row = a.row(row_start + local_i);
-        for (k, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b.data[k * bcols..(k + 1) * bcols];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bv;
-            }
-        }
+        let a_row = &a.row(row_start + local_i)[..k_limit];
+        simd::matmul_row_with(be, a_row, &b.data, bcols, starts, out_row);
     }
 }
 
@@ -596,11 +627,10 @@ pub fn add_bias_into(x: &Tensor, bias: &Tensor, out: &mut Tensor) {
     debug_assert_eq!(bias.rows(), 1);
     debug_assert_eq!(bias.cols(), x.cols());
     out.resize(x.rows, x.cols);
+    let be = simd::backend();
     let b = bias.row(0);
     for r in 0..x.rows {
-        for ((o, xv), bv) in out.row_mut(r).iter_mut().zip(x.row(r)).zip(b) {
-            *o = xv + bv;
-        }
+        simd::add_bias_into_row_with(be, x.row(r), b, out.row_mut(r));
     }
 }
 
@@ -608,11 +638,9 @@ pub fn add_bias_into(x: &Tensor, bias: &Tensor, out: &mut Tensor) {
 pub fn add_bias_assign(t: &mut Tensor, bias: &Tensor) {
     debug_assert_eq!(bias.rows(), 1);
     debug_assert_eq!(bias.cols(), t.cols());
+    let be = simd::backend();
     for r in 0..t.rows {
-        let b = bias.row(0);
-        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
-            *o += bv;
-        }
+        simd::add_bias_row_with(be, t.row_mut(r), bias.row(0));
     }
 }
 
@@ -620,11 +648,9 @@ pub fn add_bias_assign(t: &mut Tensor, bias: &Tensor) {
 pub fn add_bias_relu_assign(t: &mut Tensor, bias: &Tensor) {
     debug_assert_eq!(bias.rows(), 1);
     debug_assert_eq!(bias.cols(), t.cols());
+    let be = simd::backend();
     for r in 0..t.rows {
-        let b = bias.row(0);
-        for (o, bv) in t.row_mut(r).iter_mut().zip(b) {
-            *o = (*o + bv).max(0.0);
-        }
+        simd::add_bias_relu_row_with(be, t.row_mut(r), bias.row(0));
     }
 }
 
@@ -633,51 +659,62 @@ pub fn relu_into(x: &Tensor, out: &mut Tensor) {
     map_into(x, out, |v| v.max(0.0));
 }
 
-/// `out = softmax_rows(x)`.
+/// `out = softmax_rows(x)`: a single fused max/exp/normalize pass per row,
+/// computed directly into `out` (no `copy_from` + in-place second pass).
+/// Bit-identical to [`Tensor::softmax_rows`] on every backend — both
+/// dispatch to the same per-row kernel.
 pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) {
-    out.copy_from(x);
-    out.softmax_rows_in_place();
+    out.resize(x.rows, x.cols);
+    let be = simd::backend();
+    for r in 0..x.rows {
+        simd::softmax_into_with(be, x.row(r), out.row_mut(r));
+    }
 }
 
-/// `out = f(x)` elementwise, reusing `out`'s buffer.
+/// `out = f(x)` elementwise, reusing `out`'s buffer. Unrolled 4-wide so the
+/// closure call chain exposes independent element work to the scheduler;
+/// per-element arithmetic is unchanged.
 pub fn map_into(x: &Tensor, out: &mut Tensor, f: impl Fn(f32) -> f32) {
     out.resize(x.rows, x.cols);
-    for (o, &v) in out.data.iter_mut().zip(&x.data) {
+    let mut oc = out.data.chunks_exact_mut(4);
+    let mut xc = x.data.chunks_exact(4);
+    for (os, xs) in (&mut oc).zip(&mut xc) {
+        os[0] = f(xs[0]);
+        os[1] = f(xs[1]);
+        os[2] = f(xs[2]);
+        os[3] = f(xs[3]);
+    }
+    for (o, &v) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
         *o = f(v);
     }
 }
 
-/// `out = f(a, b)` elementwise, reusing `out`'s buffer.
+/// `out = f(a, b)` elementwise, reusing `out`'s buffer. Unrolled like
+/// [`map_into`].
 ///
 /// # Panics
 /// Panics on shape mismatch.
 pub fn zip_into(a: &Tensor, b: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32) {
     assert_eq!(a.shape(), b.shape(), "zip_into shape mismatch");
     out.resize(a.rows, a.cols);
-    for (o, (&x, &y)) in out.data.iter_mut().zip(a.data.iter().zip(&b.data)) {
+    let mut oc = out.data.chunks_exact_mut(4);
+    let mut ac = a.data.chunks_exact(4);
+    let mut bc = b.data.chunks_exact(4);
+    for ((os, xs), ys) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        os[0] = f(xs[0], ys[0]);
+        os[1] = f(xs[1], ys[1]);
+        os[2] = f(xs[2], ys[2]);
+        os[3] = f(xs[3], ys[3]);
+    }
+    for ((o, &x), &y) in oc.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder()) {
         *o = f(x, y);
     }
 }
 
-/// Numerically stable in-place softmax of a single slice.
+/// Numerically stable in-place softmax of a single slice. A fully `-inf`
+/// row becomes uniform (callers treat it as an impossible region).
 pub fn softmax_in_place(xs: &mut [f32]) {
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    if !max.is_finite() {
-        // All entries are -inf (fully masked row): fall back to uniform to
-        // avoid NaNs; callers treat this as an impossible region.
-        let u = 1.0 / xs.len() as f32;
-        xs.fill(u);
-        return;
-    }
-    let mut sum = 0.0f32;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    let inv = 1.0 / sum;
-    for x in xs.iter_mut() {
-        *x *= inv;
-    }
+    simd::softmax_slice(xs);
 }
 
 /// Numerically stable in-place log-softmax of a single slice.

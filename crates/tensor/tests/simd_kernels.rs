@@ -1,0 +1,294 @@
+//! Property tests pitting every SIMD / quantized kernel against the Exact
+//! scalar oracle across adversarial shapes: odd lengths, remainder lanes
+//! (`cols % 8 != 0`), denormals and negative zero.
+//!
+//! These tests use the explicit `_with(Backend, ...)` kernel entry points
+//! rather than the process-global backend selector, so they are immune to
+//! test-thread interleaving and run identically on any host; the AVX2
+//! assertions are simply skipped where the ISA is absent.
+
+use proptest::prelude::*;
+use uae_tensor::quant::{self, QuantMatrix};
+use uae_tensor::simd::{self, avx2_available};
+use uae_tensor::{Backend, Tensor};
+
+/// Sprinkle IEEE edge cases over a bland random vector: exact zeros,
+/// negative zero, denormals of both signs, and a value small enough that
+/// products with it are themselves denormal.
+fn with_specials(mut v: Vec<f32>) -> Vec<f32> {
+    const SPECIALS: [f32; 6] = [0.0, -0.0, 1.0e-41, -1.0e-41, 1.2e-38, -2.5e-20];
+    for (i, x) in v.iter_mut().enumerate() {
+        if i % 5 == 3 {
+            *x = SPECIALS[(i / 5) % SPECIALS.len()];
+        }
+    }
+    v
+}
+
+fn arb_vec(len: core::ops::RangeInclusive<usize>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len).prop_map(with_specials)
+}
+
+/// AVX2 FMA reassociates the k-reduction, so the bound scales with the
+/// reduction depth, not the (possibly cancelled-to-tiny) result.
+fn close_for_reduction(x: f32, y: f32, k: usize) -> bool {
+    let abs = (x - y).abs();
+    abs < 1e-6 * (k as f32).max(8.0) || abs / x.abs().max(y.abs()) < 1e-5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Portable matmul is bit-identical to Exact (unrolling does not
+    /// reorder any per-element operation); AVX2 is ULP-bounded.
+    #[test]
+    fn matmul_row_matches_oracle(
+        dims in (1usize..=33, 1usize..=37),
+        seed_a in arb_vec(33..=33),
+        seed_b in arb_vec(33 * 37..=33 * 37),
+    ) {
+        let (k, n) = dims;
+        let a = &seed_a[..k];
+        let b: Vec<f32> = seed_b[..k * n].to_vec();
+
+        let mut exact = vec![0.0f32; n];
+        simd::matmul_row_with(Backend::Exact, a, &b, n, None, &mut exact);
+
+        let mut portable = vec![0.0f32; n];
+        simd::matmul_row_with(Backend::Portable, a, &b, n, None, &mut portable);
+        prop_assert_eq!(&portable, &exact);
+
+        if avx2_available() {
+            let mut vect = vec![0.0f32; n];
+            simd::matmul_row_with(Backend::Avx2, a, &b, n, None, &mut vect);
+            for j in 0..n {
+                prop_assert!(
+                    close_for_reduction(vect[j], exact[j], k),
+                    "col {}: avx2 {} vs exact {} (k={})", j, vect[j], exact[j], k
+                );
+            }
+        }
+    }
+
+    /// Column-pruned panels: a start-offset run over zero-prefixed rows
+    /// equals the dense run on every backend — the skipped region is
+    /// structurally zero, so skipping it changes no arithmetic.
+    #[test]
+    fn matmul_row_start_offsets_equal_dense(
+        dims in (1usize..=19, 1usize..=21),
+        seed_a in arb_vec(19..=19),
+        seed_b in arb_vec(19 * 21..=19 * 21),
+        seed_s in proptest::collection::vec(0usize..=21, 19..=19),
+    ) {
+        let (k, n) = dims;
+        let a = &seed_a[..k];
+        let starts: Vec<u32> = seed_s[..k].iter().map(|&s| (s % (n + 1)) as u32).collect();
+        let mut b: Vec<f32> = seed_b[..k * n].to_vec();
+        for (row, &s) in starts.iter().enumerate() {
+            b[row * n..row * n + s as usize].fill(0.0);
+        }
+
+        for be in [Backend::Exact, Backend::Portable, Backend::Avx2] {
+            if be == Backend::Avx2 && !avx2_available() {
+                continue;
+            }
+            let mut dense = vec![0.0f32; n];
+            simd::matmul_row_with(be, a, &b, n, None, &mut dense);
+            let mut pruned = vec![0.0f32; n];
+            simd::matmul_row_with(be, a, &b, n, Some(&starts), &mut pruned);
+            prop_assert_eq!(&pruned, &dense, "backend {:?}", be);
+        }
+    }
+
+    /// All three bias epilogues are element-wise, hence bit-identical
+    /// across every backend, remainder lanes and denormals included.
+    #[test]
+    fn bias_epilogues_bit_identical(
+        n in 1usize..=41,
+        seed_x in arb_vec(41..=41),
+        seed_b in arb_vec(41..=41),
+    ) {
+        let (x, bias) = (&seed_x[..n], &seed_b[..n]);
+        let mut oracle_into = vec![0.0f32; n];
+        simd::add_bias_into_row_with(Backend::Exact, x, bias, &mut oracle_into);
+        let mut oracle_add = x.to_vec();
+        simd::add_bias_row_with(Backend::Exact, &mut oracle_add, bias);
+        let mut oracle_relu = x.to_vec();
+        simd::add_bias_relu_row_with(Backend::Exact, &mut oracle_relu, bias);
+
+        for be in [Backend::Portable, Backend::Avx2] {
+            if be == Backend::Avx2 && !avx2_available() {
+                continue;
+            }
+            let mut into = vec![0.0f32; n];
+            simd::add_bias_into_row_with(be, x, bias, &mut into);
+            prop_assert_eq!(&into, &oracle_into, "into {:?}", be);
+            let mut add = x.to_vec();
+            simd::add_bias_row_with(be, &mut add, bias);
+            prop_assert_eq!(&add, &oracle_add, "assign {:?}", be);
+            let mut relu = x.to_vec();
+            simd::add_bias_relu_row_with(be, &mut relu, bias);
+            prop_assert_eq!(&relu, &oracle_relu, "relu {:?}", be);
+        }
+    }
+
+    /// Fused softmax: probabilities on every backend, ULP-bounded against
+    /// the Exact oracle, and the in-place variant bit-matches the
+    /// out-of-place one per backend (the seq/batch parity contract).
+    #[test]
+    fn softmax_matches_oracle(
+        n in 1usize..=37,
+        seed in proptest::collection::vec(-30.0f32..30.0, 37..=37),
+        mask_every in 0usize..=4,
+    ) {
+        let mut src = seed[..n].to_vec();
+        if mask_every > 0 {
+            // Masked logits are -inf; their probability must be *exactly* 0.
+            for x in src.iter_mut().step_by(mask_every + 1) {
+                *x = f32::NEG_INFINITY;
+            }
+        }
+        let mut oracle = vec![0.0f32; n];
+        simd::softmax_into_with(Backend::Exact, &src, &mut oracle);
+
+        for be in [Backend::Portable, Backend::Avx2] {
+            if be == Backend::Avx2 && !avx2_available() {
+                continue;
+            }
+            let mut out = vec![0.0f32; n];
+            simd::softmax_into_with(be, &src, &mut out);
+            let mut inplace = src.clone();
+            simd::softmax_slice_with(be, &mut inplace);
+            prop_assert_eq!(&inplace, &out, "in-place vs into {:?}", be);
+
+            let sum: f32 = out.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "sum {} on {:?}", sum, be);
+            for j in 0..n {
+                // A fully masked row degenerates to uniform by contract;
+                // otherwise a -inf lane must be *exactly* zero.
+                if src[j] == f32::NEG_INFINITY && src.iter().any(|&x| x != f32::NEG_INFINITY) {
+                    prop_assert_eq!(out[j], 0.0, "masked lane {:?}", be);
+                }
+                prop_assert!(
+                    (out[j] - oracle[j]).abs() < 1e-5,
+                    "lane {}: {} vs {} on {:?}", j, out[j], oracle[j], be
+                );
+            }
+        }
+    }
+
+    /// Int8 panel matmul: bit-identical across backends (integer
+    /// accumulation is exact; dequant uses one shared op order) and within
+    /// the quantization-noise envelope of the f32 oracle.
+    #[test]
+    fn qmatmul_row_matches_f32_within_quant_noise(
+        dims in (1usize..=33, 1usize..=37),
+        seed_a in arb_vec(33..=33),
+        seed_w in arb_vec(33 * 37..=33 * 37),
+    ) {
+        let (k, n) = dims;
+        let a = &seed_a[..k];
+        let w = Tensor::from_vec(k, n, seed_w[..k * n].to_vec());
+        let m = QuantMatrix::quantize(&w, k);
+
+        let mut qa = vec![0i16; m.padded_k()];
+        let a_scale = quant::quantize_row(a, &mut qa);
+
+        let mut scalar = vec![0.0f32; n];
+        quant::qmatmul_row_with(Backend::Exact, &qa, &m, a_scale, &mut scalar);
+        if avx2_available() {
+            let mut vect = vec![0.0f32; n];
+            quant::qmatmul_row_with(Backend::Avx2, &qa, &m, a_scale, &mut vect);
+            prop_assert_eq!(&vect, &scalar);
+        }
+
+        let amax = a.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let mut exact = vec![0.0f32; n];
+        simd::matmul_row_with(Backend::Exact, a, w.data(), n, None, &mut exact);
+        for j in 0..n {
+            let wmax = (0..k).map(|r| w.at(r, j).abs()).fold(0.0f32, f32::max);
+            let tol = 1e-6 + (k as f32) * (amax * wmax.max(1.0) + wmax * amax.max(1.0)) / 127.0;
+            prop_assert!(
+                (scalar[j] - exact[j]).abs() <= tol,
+                "col {}: int8 {} vs f32 {} (tol {})", j, scalar[j], exact[j], tol
+            );
+        }
+    }
+
+    /// Dynamic row quantization round-trips within half a step, flushes
+    /// denormal-only and zero rows to scale 0, and zero-pads the tail.
+    #[test]
+    fn quantize_row_roundtrip(
+        n in 1usize..=41,
+        seed in arb_vec(41..=41),
+        pad in 0usize..=3,
+    ) {
+        let x = &seed[..n];
+        let mut qa = vec![i16::MAX; n + pad];
+        let scale = quant::quantize_row(x, &mut qa);
+        let amax = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if amax == 0.0 {
+            prop_assert_eq!(scale, 0.0);
+            prop_assert!(qa.iter().all(|&q| q == 0));
+        } else {
+            for (j, &v) in x.iter().enumerate() {
+                prop_assert!(qa[j].unsigned_abs() <= 127);
+                let back = qa[j] as f32 * scale;
+                prop_assert!(
+                    (back - v).abs() <= 0.5 * scale + 1e-12,
+                    "lane {}: {} -> {} (scale {})", j, v, back, scale
+                );
+            }
+            prop_assert!(qa[n..].iter().all(|&q| q == 0), "tail not zero-padded");
+        }
+    }
+
+    /// The AVX2 quantizer is bit-identical to the scalar one: same i16
+    /// codes, same scale, across lengths spanning the vector body, the
+    /// 16-lane remainder and the small-row scalar fallback.
+    #[test]
+    fn quantize_row_backends_bit_identical(
+        n in 1usize..=67,
+        seed in arb_vec(67..=67),
+    ) {
+        if avx2_available() {
+            let x = &seed[..n];
+            let mut q_s = vec![i16::MAX; n + 2];
+            let mut q_v = vec![i16::MAX; n + 2];
+            let s_s = quant::quantize_row_with(Backend::Exact, x, &mut q_s);
+            let s_v = quant::quantize_row_with(Backend::Avx2, x, &mut q_v);
+            prop_assert_eq!(s_s.to_bits(), s_v.to_bits(), "scale mismatch");
+            prop_assert_eq!(&q_s, &q_v);
+        }
+    }
+}
+
+/// Deterministic sweep of the rounding tie neighborhoods: with the row max
+/// pinned to 127.0 the quantizer's inverse scale is exactly 1.0, so every
+/// other lane is rounded verbatim — including exact `k + 0.5` ties (round
+/// half away from zero) and the representable values one ulp either side.
+/// The AVX2 path must reproduce the scalar `f32::round` bit-for-bit here.
+#[test]
+fn quantize_tie_neighborhoods_bit_identical() {
+    if !avx2_available() {
+        return;
+    }
+    let mut x = vec![127.0f32];
+    for k in 0..127 {
+        let tie = k as f32 + 0.5;
+        for v in [tie, f32::from_bits(tie.to_bits() - 1), f32::from_bits(tie.to_bits() + 1)] {
+            x.push(v);
+            x.push(-v);
+        }
+    }
+    x.extend([0.0, -0.0, 1.0e-41, -1.0e-41, f32::from_bits(0x3EFF_FFFF)]);
+    let mut q_s = vec![0i16; x.len()];
+    let mut q_v = vec![0i16; x.len()];
+    let s_s = quant::quantize_row_with(Backend::Exact, &x, &mut q_s);
+    let s_v = quant::quantize_row_with(Backend::Avx2, &x, &mut q_v);
+    assert_eq!(s_s.to_bits(), s_v.to_bits());
+    assert_eq!(q_s, q_v);
+    // Spot-check the half-away semantics themselves (inv scale is 1.0).
+    assert_eq!(q_s[1], 1, "0.5 must round away from zero");
+    assert_eq!(q_s[2], -1, "-0.5 must round away from zero");
+}
