@@ -31,4 +31,9 @@ cargo run --release --example serve_fault_drill -- \
     --metrics-out target/serve_faults.jsonl
 test -s target/serve_faults.jsonl
 
+echo "== serving smoke: concurrent front-end burst drill =="
+cargo run --release --example serve_concurrent -- \
+    --metrics-out target/serving.jsonl
+test -s target/serving.jsonl
+
 echo "CI OK"

@@ -193,7 +193,10 @@ pub struct Uae {
     est: Mutex<EstCache>,
     stats: TrainStats,
     guard: DivergenceGuard,
-    observer: Option<Box<dyn TrainObserver>>,
+    /// Train-loop observer. Only touched through `&mut self`, but kept
+    /// behind a mutex so `Uae` stays `Sync`: the concurrent serving
+    /// front-end shares one estimator across executor threads via `Arc`.
+    observer: Mutex<Option<Box<dyn TrainObserver>>>,
 }
 
 impl Uae {
@@ -231,7 +234,7 @@ impl Uae {
             }),
             stats: TrainStats::default(),
             guard: DivergenceGuard::default(),
-            observer: None,
+            observer: Mutex::new(None),
         }
     }
 
@@ -265,6 +268,13 @@ impl Uae {
     /// Override the number of progressive samples used at estimation time.
     pub fn set_estimate_samples(&mut self, samples: usize) {
         self.cfg.estimate_samples = samples.max(1);
+    }
+
+    /// The configured per-query progressive-sample budget. The serving
+    /// front-end's degradation ladder shrinks *from* this value (via
+    /// [`Uae::try_estimate_cards_with`]).
+    pub fn estimate_samples(&self) -> usize {
+        self.cfg.estimate_samples
     }
 
     /// Change the optimizer learning rate (e.g. a smaller rate for
@@ -518,7 +528,10 @@ impl Uae {
     /// cascade. `first` is the first attempt's selectivity (`None` when the
     /// attempt panicked); the retry re-samples sequentially on a derived
     /// seed with a boosted budget, and the baseline is the lazily built
-    /// histogram over the training table.
+    /// histogram over the training table. `samples` is the per-query
+    /// budget the attempt ran under; when it is a degradation-shrunken
+    /// budget (`degraded`), the retry boosts the shrunken budget and a
+    /// model answer is tagged [`EstimateSource::ModelDegraded`].
     #[allow(clippy::too_many_arguments)]
     fn resolve_sampled(
         &self,
@@ -527,11 +540,21 @@ impl Uae {
         vq: &VirtualQuery,
         remapped: &Query,
         first: Option<f64>,
+        samples: usize,
+        degraded: bool,
         raw: &RawModel,
         scratch: &mut InferScratch,
         serve: &mut ServeState,
     ) -> Estimate {
         let sc = &self.cfg.serve;
+        if degraded {
+            serve.stats.degraded += 1;
+            serve.emit(ServeEvent::Degraded {
+                index: idx,
+                samples,
+                configured: self.cfg.estimate_samples,
+            });
+        }
         // A NaN fault models logits going non-finite mid-walk; a panicked
         // attempt arrives as `None` and enters the cascade the same way.
         let mut sel = match first {
@@ -544,7 +567,7 @@ impl Uae {
             serve.stats.retries += 1;
             serve.emit(ServeEvent::Retry { index: idx, value: sel });
             retried = true;
-            let samples = self.cfg.estimate_samples.max(1) * sc.retry_boost.max(1);
+            let samples = samples.max(1) * sc.retry_boost.max(1);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if sc.fault.panics(idx) {
                     panic!("uae-serve: fault-plan panic (query {idx})");
@@ -573,7 +596,8 @@ impl Uae {
             };
             return self.finish(idx, baseline, EstimateSource::Baseline, retried, serve);
         }
-        self.finish(idx, sel, EstimateSource::Model, retried, serve)
+        let source = if degraded { EstimateSource::ModelDegraded } else { EstimateSource::Model };
+        self.finish(idx, sel, source, retried, serve)
     }
 
     /// Estimate one query through the hardened serving cascade. Unknown
@@ -586,6 +610,22 @@ impl Uae {
     /// calls stays bit-identical to one [`Uae::try_estimate_cards`] call
     /// over the same queries.
     pub fn try_estimate_card(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        self.try_estimate_card_with(query, None)
+    }
+
+    /// [`Uae::try_estimate_card`] with an optional per-call progressive-
+    /// sample budget override. A budget **below** the configured
+    /// `estimate_samples` marks the estimate as SLO-degraded
+    /// ([`EstimateSource::ModelDegraded`], counted in
+    /// [`ServeStats::degraded`]) — the serving front-end shrinks the budget
+    /// under load to keep draining its queue. The estimator-level RNG
+    /// stream still advances one `u64` per query regardless of the budget,
+    /// so degraded and undegraded call sequences stay stream-compatible.
+    pub fn try_estimate_card_with(
+        &self,
+        query: &Query,
+        samples_override: Option<usize>,
+    ) -> Result<Estimate, EstimateError> {
         let checked = self.validate(query);
         let mut est = self.est.lock();
         self.ensure_snapshot(&mut est);
@@ -612,7 +652,8 @@ impl Uae {
             }
             Ok((remapped, Validation::Sample)) => {
                 let vq = VirtualQuery::build(&self.table, &self.schema, &remapped);
-                let samples = self.cfg.estimate_samples;
+                let samples = samples_override.unwrap_or(self.cfg.estimate_samples).max(1);
+                let degraded = samples < self.cfg.estimate_samples;
                 let sc = &self.cfg.serve;
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
                     if sc.fault.panics(idx) {
@@ -629,7 +670,9 @@ impl Uae {
                         None
                     }
                 };
-                Ok(self.resolve_sampled(idx, qseed, &vq, &remapped, first, raw, scratch, serve))
+                Ok(self.resolve_sampled(
+                    idx, qseed, &vq, &remapped, first, samples, degraded, raw, scratch, serve,
+                ))
             }
         }
     }
@@ -645,6 +688,21 @@ impl Uae {
     /// results bit-identical to the undisturbed batch while the poisoned
     /// query panics again in isolation and degrades through the cascade.
     pub fn try_estimate_cards(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        self.try_estimate_cards_with(queries, None)
+    }
+
+    /// [`Uae::try_estimate_cards`] with an optional per-call progressive-
+    /// sample budget override — the batched counterpart of
+    /// [`Uae::try_estimate_card_with`], and the entry point the concurrent
+    /// serving front-end drives: each micro-batch picks its budget from
+    /// the degradation ladder at flush time and the whole batch runs under
+    /// it. Seed-stream parity with the undegraded paths is preserved (one
+    /// `u64` per query, budget-independent).
+    pub fn try_estimate_cards_with(
+        &self,
+        queries: &[Query],
+        samples_override: Option<usize>,
+    ) -> Vec<Result<Estimate, EstimateError>> {
         let checked: Vec<Result<(Query, Validation), EstimateError>> =
             queries.iter().map(|q| self.validate(q)).collect();
         let mut est = self.est.lock();
@@ -671,7 +729,8 @@ impl Uae {
             })
             .collect();
         let sub_seeds: Vec<u64> = sampled.iter().map(|&i| seeds[i]).collect();
-        let samples = self.cfg.estimate_samples;
+        let samples = samples_override.unwrap_or(self.cfg.estimate_samples).max(1);
+        let degraded = samples < self.cfg.estimate_samples;
         let sc = &self.cfg.serve;
         let poisoned = sampled.iter().any(|&i| sc.fault.panics(base + i as u64));
         let attempt = catch_unwind(AssertUnwindSafe(|| {
@@ -743,7 +802,8 @@ impl Uae {
                         let vq = &vqs[k];
                         k += 1;
                         Ok(self.resolve_sampled(
-                            idx, seeds[i], vq, &remapped, first, raw, scratch, serve,
+                            idx, seeds[i], vq, &remapped, first, samples, degraded, raw, scratch,
+                            serve,
                         ))
                     }
                 }
@@ -1052,7 +1112,7 @@ impl Uae {
 
     /// Forward an event to the attached observer, if any.
     fn emit(&mut self, event: TrainEvent) {
-        if let Some(obs) = self.observer.as_mut() {
+        if let Some(obs) = self.observer.get_mut().as_mut() {
             obs.on_event(&event);
         }
     }
@@ -1171,13 +1231,13 @@ impl Uae {
     /// Attach (or replace) an observer receiving [`TrainEvent`]s from the
     /// train loop (per-epoch metrics, skipped steps, rollbacks).
     pub fn set_observer(&mut self, observer: Box<dyn TrainObserver>) {
-        self.observer = Some(observer);
+        *self.observer.get_mut() = Some(observer);
     }
 
     /// Detach the current observer, returning it (dropping a
     /// [`crate::telemetry::JsonlObserver`] flushes its sink).
     pub fn take_observer(&mut self) -> Option<Box<dyn TrainObserver>> {
-        self.observer.take()
+        self.observer.get_mut().take()
     }
 
     /// Estimated selectivity of a query, through the hardened cascade
@@ -1248,7 +1308,7 @@ impl Clone for Uae {
             // Divergence snapshots and observers are per-run concerns; a
             // branched refinement starts with a clean guard and no sink.
             guard: DivergenceGuard::default(),
-            observer: None,
+            observer: Mutex::new(None),
         }
     }
 }

@@ -63,8 +63,8 @@ pub use serve::{
     validate_query, Estimate, EstimateError, EstimateSource, FaultPlan, ServeConfig, Validation,
 };
 pub use telemetry::{
-    EpochMetrics, JsonlObserver, MemoryObserver, ServeEvent, ServeMemoryObserver, ServeObserver,
-    ServeStats, TrainEvent, TrainObserver, TrainStats,
+    EpochMetrics, FlushReason, JsonlObserver, MemoryObserver, ServeEvent, ServeMemoryObserver,
+    ServeObserver, ServeStats, TrainEvent, TrainObserver, TrainStats,
 };
 pub use train::{TrainConfig, TrainQuery};
 pub use uae_tensor::QuantMode;

@@ -9,7 +9,7 @@
 //! layer, and `m < deg(output)` into the output layer. Residual blocks
 //! reuse one degree assignment, so identity skips are mask-consistent.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use uae_tensor::quant::{self, QuantMatrix, QuantMode};
 use uae_tensor::rng::he_uniform;
@@ -49,9 +49,9 @@ pub struct ResMade {
     blocks: Vec<BlockParams>,
     w_out: ParamId,
     b_out: ParamId,
-    mask_in: Rc<Tensor>,
-    mask_hidden: Rc<Tensor>,
-    mask_out: Rc<Tensor>,
+    mask_in: Arc<Tensor>,
+    mask_hidden: Arc<Tensor>,
+    mask_out: Arc<Tensor>,
     /// Per-virtual-column logit slices, copied from the schema.
     logit_slices: Vec<(usize, usize)>,
     /// Per-virtual-column input encoding tables (`E_v` with
@@ -63,7 +63,7 @@ pub struct ResMade {
 #[derive(Debug, Clone)]
 enum EncTable {
     /// Fixed binary encoding matrix.
-    Const(Rc<Tensor>),
+    Const(Arc<Tensor>),
     /// Learnable embedding parameter.
     Learned(ParamId),
 }
@@ -99,7 +99,7 @@ impl ResMade {
                     }
                 }
             }
-            Rc::new(m)
+            Arc::new(m)
         };
         let mask_hidden = {
             let mut m = Tensor::zeros(hidden, hidden);
@@ -110,7 +110,7 @@ impl ResMade {
                     }
                 }
             }
-            Rc::new(m)
+            Arc::new(m)
         };
         let mask_out = {
             let mut m = Tensor::zeros(hidden, logit_width);
@@ -121,7 +121,7 @@ impl ResMade {
                     }
                 }
             }
-            Rc::new(m)
+            Arc::new(m)
         };
 
         let mut rng = uae_tensor::rng::seeded_rng(cfg.seed);
@@ -142,7 +142,7 @@ impl ResMade {
 
         let enc = (0..n)
             .map(|v| match schema.mode() {
-                EncodingMode::Binary => EncTable::Const(Rc::new(schema.codec(v).soft_matrix())),
+                EncodingMode::Binary => EncTable::Const(Arc::new(schema.codec(v).soft_matrix())),
                 EncodingMode::Embedding { dim } => {
                     let domain = schema.codec(v).domain();
                     EncTable::Learned(
@@ -184,7 +184,7 @@ impl ResMade {
             EncodingMode::Embedding { .. } => {
                 let blocks: Vec<NodeId> = (0..schema.num_virtual())
                     .map(|v| {
-                        let idx: Rc<Vec<u32>> = Rc::new(
+                        let idx: Arc<Vec<u32>> = Arc::new(
                             rows.iter()
                                 .enumerate()
                                 .map(|(r, codes)| {
@@ -244,7 +244,7 @@ impl ResMade {
     pub fn hidden_tape(&self, tape: &mut Tape<'_>, x: NodeId) -> NodeId {
         let w = tape.param(self.w_in);
         let b = tape.param(self.b_in);
-        let h = tape.matmul_masked(x, w, Rc::clone(&self.mask_in));
+        let h = tape.matmul_masked(x, w, Arc::clone(&self.mask_in));
         let h = tape.add_bias(h, b);
         let mut h = tape.relu(h);
         for blk in &self.blocks {
@@ -252,10 +252,10 @@ impl ResMade {
             let b1 = tape.param(blk.b1);
             let w2 = tape.param(blk.w2);
             let b2 = tape.param(blk.b2);
-            let t = tape.matmul_masked(h, w1, Rc::clone(&self.mask_hidden));
+            let t = tape.matmul_masked(h, w1, Arc::clone(&self.mask_hidden));
             let t = tape.add_bias(t, b1);
             let t = tape.relu(t);
-            let t = tape.matmul_masked(t, w2, Rc::clone(&self.mask_hidden));
+            let t = tape.matmul_masked(t, w2, Arc::clone(&self.mask_hidden));
             let t = tape.add_bias(t, b2);
             h = tape.add(h, t);
         }
@@ -267,7 +267,7 @@ impl ResMade {
         let h = self.hidden_tape(tape, x);
         let w = tape.param(self.w_out);
         let b = tape.param(self.b_out);
-        let y = tape.matmul_masked(h, w, Rc::clone(&self.mask_out));
+        let y = tape.matmul_masked(h, w, Arc::clone(&self.mask_out));
         tape.add_bias(y, b)
     }
 
@@ -279,7 +279,7 @@ impl ResMade {
         let wv = tape.slice_cols(w, s, e);
         let b = tape.param(self.b_out);
         let bv = tape.slice_cols(b, s, e);
-        let mask = Rc::new(self.mask_out.slice_cols(s, e));
+        let mask = Arc::new(self.mask_out.slice_cols(s, e));
         let y = tape.matmul_masked(hidden, wv, mask);
         tape.add_bias(y, bv)
     }

@@ -110,6 +110,12 @@ pub enum EstimateSource {
     /// The deep model's progressive-sampling estimate (possibly after a
     /// retry).
     Model,
+    /// The deep model answered, but under a shrunken progressive-sample
+    /// budget: the serving front-end engaged its latency-SLO degradation
+    /// ladder (queue depth or observed tail latency over threshold) and
+    /// traded accuracy for drain rate. Still a model estimate — consumers
+    /// that only split model/baseline should treat it as [`Self::Model`].
+    ModelDegraded,
     /// A validation shortcut: exactly `0` (empty region) or exactly `1`
     /// (trivial region), no sampling performed.
     Validation,

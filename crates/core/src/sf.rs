@@ -18,7 +18,7 @@
 //! A running-mean baseline reduces (but, as the paper predicts, does not
 //! eliminate) the variance.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::RngExt;
 use uae_tensor::tensor::softmax_in_place;
@@ -170,7 +170,7 @@ pub fn score_function_loss(
 
             // log P(z_v | z_<v, masked) = log_probs[z_v] - log p_in.
             if let Some(code) = path.codes[v] {
-                let picked = tape.gather_cols(log_probs, Rc::new(vec![code]));
+                let picked = tape.gather_cols(log_probs, Arc::new(vec![code]));
                 let ln_p_in = tape.ln(p_in);
                 let cond = tape.sub(picked, ln_p_in);
                 log_p = Some(match log_p {

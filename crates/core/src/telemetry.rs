@@ -256,6 +256,40 @@ pub struct ServeStats {
     /// Final selectivities that had to be clamped into `[0, 1]` (or
     /// replaced because they were non-finite).
     pub clamped: u64,
+    /// Sampled queries answered under a shrunken progressive-sample budget
+    /// (latency-SLO degradation: the serving front-end trades accuracy for
+    /// queue drain under load; results carry
+    /// [`crate::serve::EstimateSource::ModelDegraded`]).
+    pub degraded: u64,
+}
+
+/// Why the serving front-end closed a micro-batch and handed it to an
+/// executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The pending batch reached `max_batch`.
+    Size,
+    /// The oldest pending request reached `max_delay`.
+    Deadline,
+    /// The server is shutting down and drained whatever was pending.
+    Drain,
+}
+
+impl FlushReason {
+    /// Stable lowercase label (used in JSONL telemetry and stats keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlushReason::Size => "size",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Drain => "drain",
+        }
+    }
+}
+
+impl std::fmt::Display for FlushReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// A serving-path event. `index` is the query's serving index — the value
@@ -306,6 +340,41 @@ pub enum ServeEvent {
         index: u64,
         /// The raw pre-clamp value.
         raw: f64,
+    },
+    /// A sampled query ran under a shrunken sample budget (latency-SLO
+    /// degradation requested by the serving front-end).
+    Degraded {
+        /// Serving index.
+        index: u64,
+        /// The shrunken per-query sample budget actually used.
+        samples: usize,
+        /// The configured (undegraded) budget.
+        configured: usize,
+    },
+    /// The concurrent front-end closed a micro-batch and handed it to an
+    /// executor.
+    BatchFlushed {
+        /// Monotonic batch sequence number (per server).
+        batch: u64,
+        /// Tenant the batch belongs to.
+        tenant: String,
+        /// Number of requests in the batch.
+        size: usize,
+        /// What closed the batch.
+        reason: FlushReason,
+        /// Requests still queued (submitted, not yet executed) at flush.
+        queue_depth: usize,
+    },
+    /// One request finished its trip through the concurrent front-end.
+    RequestServed {
+        /// Server-wide request sequence number.
+        index: u64,
+        /// Tenant that served it.
+        tenant: String,
+        /// Milliseconds spent queued and in a forming batch.
+        queue_ms: f64,
+        /// Milliseconds the executor spent on the batch containing it.
+        execute_ms: f64,
     },
 }
 
@@ -374,12 +443,38 @@ impl ServeObserver for JsonlObserver {
                 index,
                 json_f64(*raw),
             ),
+            ServeEvent::Degraded { index, samples, configured } => format!(
+                "{{\"event\":\"degraded\",\"model\":{label},\"query\":{index},\
+                 \"samples\":{samples},\"configured\":{configured}}}"
+            ),
+            ServeEvent::BatchFlushed { batch, tenant, size, reason, queue_depth } => format!(
+                "{{\"event\":\"batch_flushed\",\"model\":{},\"batch\":{},\"tenant\":{},\
+                 \"size\":{},\"reason\":{},\"queue_depth\":{}}}",
+                label,
+                batch,
+                json_str(tenant),
+                size,
+                json_str(reason.label()),
+                queue_depth,
+            ),
+            ServeEvent::RequestServed { index, tenant, queue_ms, execute_ms } => format!(
+                "{{\"event\":\"request_served\",\"model\":{},\"request\":{},\"tenant\":{},\
+                 \"queue_ms\":{},\"execute_ms\":{}}}",
+                label,
+                index,
+                json_str(tenant),
+                json_f64(*queue_ms),
+                json_f64(*execute_ms),
+            ),
         };
         // Telemetry must never take serving down: swallow I/O errors.
         let _ = writeln!(self.out, "{line}");
         // Degradation events are rare; flush each so a crashing process
-        // still leaves the evidence on disk.
-        let _ = self.out.flush();
+        // still leaves the evidence on disk. The per-request/per-batch
+        // front-end events are high-rate and stay buffered.
+        if !matches!(event, ServeEvent::RequestServed { .. } | ServeEvent::BatchFlushed { .. }) {
+            let _ = self.out.flush();
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Training losses and the hybrid training loop (paper §4.2 Eq. 2,
 //! §4.3 Eq. 5–6, §4.4 Alg. 3).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -120,7 +120,7 @@ pub fn data_loss(
         let (s, e) = schema.logit_slice(v);
         let slice = tape.slice_cols(logits, s, e);
         let ls = tape.log_softmax(slice);
-        let targets: Rc<Vec<u32>> = Rc::new(rows.iter().map(|r| r[v]).collect());
+        let targets: Arc<Vec<u32>> = Arc::new(rows.iter().map(|r| r[v]).collect());
         let picked = tape.gather_cols(ls, targets);
         acc = Some(match acc {
             Some(a) => tape.add(a, picked),

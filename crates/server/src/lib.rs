@@ -1,0 +1,54 @@
+//! # uae-server — concurrent serving front-end for UAE
+//!
+//! The estimation engine underneath (`uae-core`) is synchronous: one
+//! caller, one `&Uae`, one (possibly batched) estimate call. Real serving
+//! traffic is the opposite shape — many concurrent submitters, each with a
+//! single query, arriving at random times, possibly for different tables.
+//! This crate bridges the two with three pieces:
+//!
+//! * [`Registry`] — a per-tenant model registry: named [`uae_core::Uae`]
+//!   snapshots behind an atomic swap point, each with its own serving
+//!   configuration and [`DegradeConfig`] ladder.
+//! * [`MicroBatcher`] — a pure flush-on-size-or-deadline state machine
+//!   (mock-clock testable) that coalesces independent arrivals into the
+//!   batches the engine is fast at.
+//! * [`Server`] — threads wiring them together: a bounded submission
+//!   queue with typed [`SubmitError::Overloaded`] backpressure, one
+//!   dispatcher, a pool of batch executors driving
+//!   [`uae_core::Uae::try_estimate_cards_with`] so the full fallback
+//!   cascade and the quantized kernels apply per micro-batch, and a
+//!   latency-SLO degradation ladder that shrinks the progressive-sample
+//!   budget under load (tagged [`uae_core::EstimateSource::ModelDegraded`]).
+//!
+//! No async runtime, no executor dependency: plain `std::thread` +
+//! channels + condvars, matching the rest of the workspace.
+//!
+//! ## Determinism
+//!
+//! Concurrent serving trades the engine's bit-for-bit replayability for
+//! throughput: batch composition depends on arrival timing, and each
+//! tenant's RNG stream advances in flush order. The escape hatch is
+//! [`ServerConfig::deterministic`] — one executor, unbounded batch,
+//! paused dispatcher — under which a submitted sequence replays as a
+//! single batch bit-identical to [`uae_core::Uae::try_estimate_cards`].
+
+pub mod batcher;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{MicroBatcher, Poll};
+pub use registry::{DegradeConfig, Registry, Tenant, UnknownTenant};
+pub use server::{
+    ServeCallError, Server, ServerConfig, ServerError, ServerFaultPlan, SubmitError, Ticket,
+};
+pub use stats::{batch_bucket_label, LatencyWindow, ServerStats, BATCH_HIST_BUCKETS};
+
+// The whole design leans on sharing `Arc<Uae>` across executor threads;
+// fail the build loudly if the estimator ever loses Send + Sync.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<uae_core::Uae>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<Registry>();
+};

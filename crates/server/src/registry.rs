@@ -1,0 +1,241 @@
+//! Per-tenant model registry: named [`Uae`] snapshots behind an
+//! atomic-swap point.
+//!
+//! A production estimation service hosts many tables/tenants at once, each
+//! with its own trained model, serving configuration (`ServeConfig` lives
+//! *inside* the tenant's `Uae`) and degradation policy. The registry maps
+//! tenant names to [`Tenant`] handles; the model inside a tenant is an
+//! `Arc<Uae>` behind an `RwLock`, so
+//!
+//! * executors grab a cheap `Arc` clone per batch (a read lock held for
+//!   nanoseconds, never across an estimate), and
+//! * [`Registry::swap_model`] publishes a retrained model atomically
+//!   between batches — in-flight batches finish on the snapshot they
+//!   started with, the next flush sees the new one. This is the hot-swap
+//!   point the online-learning loop (ROADMAP item 2) will drive.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use uae_core::Uae;
+
+/// Latency-SLO degradation ladder for one tenant (or the server default).
+///
+/// Rungs engage in order as load signals cross their thresholds:
+///
+/// | rung | condition | per-query budget |
+/// |---|---|---|
+/// | 0 | nominal | the tenant's configured `estimate_samples` |
+/// | 1 | queue depth **or** observed p99 over threshold | `degraded_fraction` × configured |
+/// | 2 | **both** over threshold | `floor_fraction` × configured |
+///
+/// Degraded batches run through the same cascade; their results carry
+/// [`uae_core::EstimateSource::ModelDegraded`] and count into
+/// [`uae_core::ServeStats::degraded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeConfig {
+    /// In-flight requests (accepted, not yet replied) above which rung 1
+    /// engages. `0` disables the queue-depth signal.
+    pub queue_depth_threshold: usize,
+    /// Observed end-to-end p99 (over the rolling latency window) above
+    /// which rung 1 engages, in milliseconds. `0.0` disables the latency
+    /// signal.
+    pub p99_target_ms: f64,
+    /// Rung-1 budget as a fraction of the tenant's configured
+    /// `estimate_samples`.
+    pub degraded_fraction: f64,
+    /// Rung-2 budget fraction (both signals firing).
+    pub floor_fraction: f64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            queue_depth_threshold: 256,
+            p99_target_ms: 0.0,
+            degraded_fraction: 0.25,
+            floor_fraction: 0.1,
+        }
+    }
+}
+
+impl DegradeConfig {
+    /// A ladder that never engages (full budget regardless of load).
+    pub fn disabled() -> Self {
+        DegradeConfig { queue_depth_threshold: 0, p99_target_ms: 0.0, ..Self::default() }
+    }
+
+    /// The per-query sample budget for the current load signals: `None`
+    /// for the full configured budget, `Some(shrunken)` when a rung
+    /// engages. `configured` is the tenant's nominal `estimate_samples`.
+    pub fn budget(&self, configured: usize, queue_depth: usize, p99_ms: f64) -> Option<usize> {
+        let depth_hot = self.queue_depth_threshold > 0 && queue_depth > self.queue_depth_threshold;
+        let lat_hot = self.p99_target_ms > 0.0 && p99_ms > self.p99_target_ms;
+        let fraction = match (depth_hot, lat_hot) {
+            (false, false) => return None,
+            (true, true) => self.floor_fraction,
+            _ => self.degraded_fraction,
+        };
+        let shrunk = ((configured as f64 * fraction).round() as usize).max(1);
+        (shrunk < configured).then_some(shrunk)
+    }
+}
+
+/// One registered tenant: a named model swap point plus its degradation
+/// policy. The tenant's serving configuration (validation, fallback
+/// cascade, quantization, fault plan) travels inside the `Uae` itself.
+pub struct Tenant {
+    name: String,
+    /// Stable dense index — the micro-batcher lane this tenant batches in.
+    lane: usize,
+    model: RwLock<Arc<Uae>>,
+    degrade: Option<DegradeConfig>,
+}
+
+impl Tenant {
+    /// Tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The batching lane assigned at registration.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// The live model snapshot (cheap `Arc` clone; never blocks on an
+    /// estimate in flight).
+    pub fn model(&self) -> Arc<Uae> {
+        self.model.read().clone()
+    }
+
+    /// This tenant's degradation ladder, if it overrides the server's.
+    pub fn degrade(&self) -> Option<&DegradeConfig> {
+        self.degrade.as_ref()
+    }
+}
+
+/// Error for operations addressing a tenant that was never registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTenant(pub String);
+
+impl std::fmt::Display for UnknownTenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown tenant `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTenant {}
+
+/// Name → tenant map. Registration order assigns dense lane indices.
+#[derive(Default)]
+pub struct Registry {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Lane-indexed view (registration order), for dispatchers that key
+    /// batches by lane.
+    by_lane: RwLock<Vec<Arc<Tenant>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register `model` under `name` with the server-default degradation
+    /// ladder. Re-registering an existing name swaps the model instead
+    /// (the lane is stable for the life of the registry).
+    pub fn register(&self, name: impl Into<String>, model: Uae) -> Arc<Tenant> {
+        self.register_with(name, model, None)
+    }
+
+    /// Register with a per-tenant degradation ladder override.
+    pub fn register_with(
+        &self,
+        name: impl Into<String>,
+        model: Uae,
+        degrade: Option<DegradeConfig>,
+    ) -> Arc<Tenant> {
+        let name = name.into();
+        let mut tenants = self.tenants.write();
+        if let Some(existing) = tenants.get(&name) {
+            *existing.model.write() = Arc::new(model);
+            return existing.clone();
+        }
+        let mut by_lane = self.by_lane.write();
+        let tenant = Arc::new(Tenant {
+            name: name.clone(),
+            lane: by_lane.len(),
+            model: RwLock::new(Arc::new(model)),
+            degrade,
+        });
+        by_lane.push(tenant.clone());
+        tenants.insert(name, tenant.clone());
+        tenant
+    }
+
+    /// Atomically publish a new model for `name`, returning the previous
+    /// snapshot (which in-flight batches may still be using).
+    pub fn swap_model(&self, name: &str, model: Uae) -> Result<Arc<Uae>, UnknownTenant> {
+        let tenants = self.tenants.read();
+        let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
+        let mut slot = tenant.model.write();
+        Ok(std::mem::replace(&mut *slot, Arc::new(model)))
+    }
+
+    /// Look a tenant up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().get(name).cloned()
+    }
+
+    /// Look a tenant up by lane index.
+    pub fn by_lane(&self, lane: usize) -> Option<Arc<Tenant>> {
+        self.by_lane.read().get(lane).cloned()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.by_lane.read().len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered tenant names, in lane order.
+    pub fn names(&self) -> Vec<String> {
+        self.by_lane.read().iter().map(|t| t.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_ladder_rungs() {
+        let d = DegradeConfig {
+            queue_depth_threshold: 10,
+            p99_target_ms: 5.0,
+            degraded_fraction: 0.25,
+            floor_fraction: 0.1,
+        };
+        // Nominal load: full budget.
+        assert_eq!(d.budget(1000, 5, 1.0), None);
+        // Queue depth alone: rung 1.
+        assert_eq!(d.budget(1000, 11, 1.0), Some(250));
+        // Latency alone: rung 1.
+        assert_eq!(d.budget(1000, 5, 6.0), Some(250));
+        // Both: rung 2.
+        assert_eq!(d.budget(1000, 11, 6.0), Some(100));
+        // Shrunken budget never hits zero…
+        assert_eq!(d.budget(3, 11, 6.0), Some(1));
+        // …and never "degrades" to >= the configured budget.
+        assert_eq!(d.budget(1, 11, 6.0), None);
+        // Disabled signals never engage.
+        let off = DegradeConfig::disabled();
+        assert_eq!(off.budget(1000, usize::MAX, 1e9), None);
+    }
+}

@@ -79,7 +79,7 @@ mod tests {
     use crate::rng::seeded_rng;
     use crate::tensor::Tensor;
     use rand::RngExt;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn random_tensor(seed: u64, rows: usize, cols: usize) -> Tensor {
         let mut rng = seeded_rng(seed);
@@ -100,7 +100,7 @@ mod tests {
         let b1 = store.add("b1", random_tensor(92, 1, 5));
         let w2 = store.add("w2", random_tensor(93, 5, 4));
         let x = random_tensor(94, 2, 3);
-        let targets = Rc::new(vec![1u32, 3]);
+        let targets = Arc::new(vec![1u32, 3]);
 
         let res = gradient_check(&mut store, 1e-3, |tape| {
             let xin = tape.input(x.clone());
@@ -123,7 +123,7 @@ mod tests {
     fn check_masked_matmul() {
         let mut store = ParamStore::new();
         let w = store.add("w", random_tensor(10, 4, 3));
-        let mask = Rc::new(Tensor::from_vec(
+        let mask = Arc::new(Tensor::from_vec(
             4,
             3,
             vec![1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0],

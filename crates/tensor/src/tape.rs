@@ -24,7 +24,7 @@
 //! of model forwards, masked softmaxes and Gumbel-Softmax samples, all of
 //! which are ordinary nodes on this tape.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::tensor::{
     add_bias_into, log_softmax_in_place, map_into, matmul_into, softmax_in_place, zip_into, Tensor,
@@ -192,7 +192,7 @@ enum Op {
     /// `a @ b`.
     MatMul(NodeId, NodeId),
     /// `a @ (b ⊙ mask)` — masked linear layer (MADE).
-    MatMulMasked(NodeId, NodeId, Rc<Tensor>),
+    MatMulMasked(NodeId, NodeId, Arc<Tensor>),
     /// `x + bias`, bias broadcast over rows (`1 x c`).
     AddBias(NodeId, NodeId),
     Add(NodeId, NodeId),
@@ -215,7 +215,7 @@ enum Op {
     /// Sum across columns → `r x 1`.
     RowSum(NodeId),
     /// Per-row column gather → `r x 1`.
-    GatherCols(NodeId, Rc<Vec<u32>>),
+    GatherCols(NodeId, Arc<Vec<u32>>),
     /// Elementwise max with subgradient to the larger branch (ties → first).
     Maximum(NodeId, NodeId),
     /// Mean of all elements → `1 x 1`.
@@ -229,7 +229,7 @@ enum Op {
     /// Row lookup: `out[r] = table[idx[r]]` (`u32::MAX` → zero row).
     /// Backward scatter-adds into the table's gradient — the embedding
     /// lookup of §4.6's learnable tuple encodings.
-    EmbedRows(NodeId, Rc<Vec<u32>>),
+    EmbedRows(NodeId, Arc<Vec<u32>>),
 }
 
 /// The structural half of a tape: the op sequence with its operand
@@ -485,7 +485,7 @@ impl<'a> Tape<'a> {
 
     /// `a @ (b ⊙ mask)` — the masked linear layer used by MADE. `mask` has
     /// `b`'s shape and is treated as a constant.
-    pub fn matmul_masked(&mut self, a: NodeId, b: NodeId, mask: Rc<Tensor>) -> NodeId {
+    pub fn matmul_masked(&mut self, a: NodeId, b: NodeId, mask: Arc<Tensor>) -> NodeId {
         assert_eq!(self.value(b).shape(), mask.shape(), "mask shape mismatch");
         let rows = self.value(a).rows();
         let cols = self.value(b).cols();
@@ -665,7 +665,7 @@ impl<'a> Tape<'a> {
     }
 
     /// Per-row gather: `out[r] = x[r, idx[r]]` → `r x 1`.
-    pub fn gather_cols(&mut self, x: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+    pub fn gather_cols(&mut self, x: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
         let rows = self.value(x).rows();
         assert_eq!(rows, idx.len(), "gather index length mismatch");
         {
@@ -725,7 +725,7 @@ impl<'a> Tape<'a> {
     /// Embedding lookup: `out[r] = table[idx[r]]`, with the sentinel
     /// `u32::MAX` producing a zero row (the wildcard token for learnable
     /// encodings). Gradients scatter-add into `table`.
-    pub fn embed_rows(&mut self, table: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+    pub fn embed_rows(&mut self, table: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
         let cols = self.value(table).cols();
         {
             let (prev, out) = self.begin(idx.len(), cols);
@@ -1081,7 +1081,7 @@ mod tests {
         let mut tape = Tape::new(&store);
         let x = tape.param(ids[0]);
         let s = tape.softmax(x);
-        let g = tape.gather_cols(s, Rc::new(vec![2]));
+        let g = tape.gather_cols(s, Arc::new(vec![2]));
         let loss = tape.sum_all(g);
         let mut grads = GradStore::zeros_like(&store);
         tape.backward(loss, &mut grads);
@@ -1096,7 +1096,7 @@ mod tests {
         let mut tape = Tape::new(&store);
         let e = tape.param(ids[0]);
         // Rows 2, 0, 0, wildcard.
-        let out = tape.embed_rows(e, Rc::new(vec![2, 0, 0, u32::MAX]));
+        let out = tape.embed_rows(e, Arc::new(vec![2, 0, 0, u32::MAX]));
         assert_eq!(tape.value(out).data(), &[5.0, 6.0, 1.0, 2.0, 1.0, 2.0, 0.0, 0.0]);
         let loss = tape.sum_all(out);
         let mut grads = GradStore::zeros_like(&store);
@@ -1143,11 +1143,11 @@ mod tests {
     }
 
     /// The same graph builder used for the reuse tests below.
-    fn build_graph(tape: &mut Tape<'_>, ids: &[ParamId], x: &Tensor, mask: &Rc<Tensor>) -> NodeId {
+    fn build_graph(tape: &mut Tape<'_>, ids: &[ParamId], x: &Tensor, mask: &Arc<Tensor>) -> NodeId {
         let xn = tape.input_ref(x);
         let w = tape.param(ids[0]);
         let b = tape.param(ids[1]);
-        let h = tape.matmul_masked(xn, w, Rc::clone(mask));
+        let h = tape.matmul_masked(xn, w, Arc::clone(mask));
         let h = tape.add_bias(h, b);
         let h = tape.relu(h);
         let s = tape.softmax(h);
@@ -1162,7 +1162,7 @@ mod tests {
             ("b", Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.0, 0.3])),
         ]);
         let x = Tensor::from_vec(2, 3, vec![1.0, -0.5, 2.0, 0.0, 0.25, -1.5]);
-        let mask = Rc::new(Tensor::from_vec(3, 4, vec![1.0; 12]).map(|_| 1.0));
+        let mask = Arc::new(Tensor::from_vec(3, 4, vec![1.0; 12]).map(|_| 1.0));
 
         // Reference: fresh owned-workspace tape.
         let mut ref_tape = Tape::new(&store);
@@ -1200,7 +1200,7 @@ mod tests {
             ("b", Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.0, 0.3])),
         ]);
         let x = Tensor::from_vec(2, 3, vec![1.0, -0.5, 2.0, 0.0, 0.25, -1.5]);
-        let mask = Rc::new(Tensor::full(3, 4, 1.0));
+        let mask = Arc::new(Tensor::full(3, 4, 1.0));
         let mut ws = TapeWorkspace::new();
         // Warm up: first build allocates the arena buffers.
         {

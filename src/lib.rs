@@ -10,11 +10,14 @@
 //! * [`query`] — generate workloads and compute ground-truth cardinalities;
 //! * [`core`] — train a [`core::Uae`] estimator from data, queries, or both;
 //! * [`estimators`] — the nine baseline estimators from the paper;
-//! * [`join`] — multi-table join estimation and the optimizer study.
+//! * [`join`] — multi-table join estimation and the optimizer study;
+//! * [`server`] — the concurrent serving front-end (micro-batching,
+//!   per-tenant registry, backpressure, SLO degradation).
 
 pub use uae_core as core;
 pub use uae_data as data;
 pub use uae_estimators as estimators;
 pub use uae_join as join;
 pub use uae_query as query;
+pub use uae_server as server;
 pub use uae_tensor as tensor;
