@@ -36,4 +36,10 @@ cargo run --release --example serve_concurrent -- \
     --metrics-out target/serving.jsonl
 test -s target/serving.jsonl
 
+echo "== online smoke: drift drill with shadow-gated recovery =="
+cargo run --release --example online_drift_drill -- \
+    --metrics-out target/online_promotions.jsonl
+test -s target/online_promotions.jsonl
+test -s target/BENCH_online.json
+
 echo "CI OK"

@@ -857,6 +857,35 @@ impl Uae {
         self.est.lock().serve.observer.take()
     }
 
+    /// Deterministic fault injection for the online-loop drills: poison
+    /// every parameter scalar with NaN and invalidate the inference
+    /// snapshot — the shape of a diverged training epoch (the online
+    /// analogue of [`crate::train::TrainConfig::inject_nan_steps`]).
+    ///
+    /// Note the serving cascade does **not** fall back on this fault:
+    /// the softmax kernels sanitize non-finite logits to a uniform
+    /// distribution, so a diverged model keeps answering with finite
+    /// (garbage) estimates. Detecting divergence is the job of
+    /// [`Uae::weights_finite`], which the online shadow gate checks
+    /// before any promotion.
+    pub fn inject_weight_nan(&mut self) {
+        let ids: Vec<_> = self.store.ids().collect();
+        for id in ids {
+            self.store.get_mut(id).data_mut().fill(f32::NAN);
+        }
+        self.est.lock().raw = None;
+    }
+
+    /// Whether every parameter scalar is finite. A `false` here is the
+    /// definitive signature of a diverged training epoch: the serving
+    /// cascade's uniform-softmax sanitization keeps such a model
+    /// *answering*, so q-error margins alone cannot be relied on to
+    /// catch it. The online shadow gate rejects any candidate that
+    /// fails this check.
+    pub fn weights_finite(&self) -> bool {
+        self.store.ids().all(|id| self.store.get(id).data().iter().all(|w| w.is_finite()))
+    }
+
     /// Ingest new rows (incremental data, §4.5): append and refine with the
     /// unsupervised loss only.
     pub fn ingest_data(&mut self, new_rows: &Table, epochs: usize) -> Vec<f32> {

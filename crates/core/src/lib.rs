@@ -43,6 +43,7 @@ pub mod estimator;
 pub mod infer;
 pub mod infer_batch;
 pub mod model;
+pub mod online;
 pub mod ordering;
 pub mod serialize;
 pub mod serve;
@@ -57,14 +58,19 @@ pub use estimator::{Uae, UaeConfig};
 pub use infer::InferScratch;
 pub use infer_batch::BatchScratch;
 pub use model::{ModelScratch, ResMade, ResMadeConfig};
+pub use online::{
+    shadow_score, GateConfig, GateDecision, OnlineConfig, OnlineFaultPlan, OnlineTrainer,
+    PoolStats, QueryPool, RoundOutcome, RoundReport, ShadowScore,
+};
 pub use ordering::ColumnOrder;
 pub use serialize::{CheckpointError, LoadError};
 pub use serve::{
     validate_query, Estimate, EstimateError, EstimateSource, FaultPlan, ServeConfig, Validation,
 };
 pub use telemetry::{
-    EpochMetrics, FlushReason, JsonlObserver, MemoryObserver, ServeEvent, ServeMemoryObserver,
-    ServeObserver, ServeStats, TrainEvent, TrainObserver, TrainStats,
+    EpochMetrics, FlushReason, JsonlObserver, MemoryObserver, OnlineEvent, OnlineMemoryObserver,
+    OnlineObserver, ServeEvent, ServeMemoryObserver, ServeObserver, ServeStats, TrainEvent,
+    TrainObserver, TrainStats,
 };
 pub use train::{TrainConfig, TrainQuery};
 pub use uae_tensor::QuantMode;

@@ -478,6 +478,168 @@ impl ServeObserver for JsonlObserver {
     }
 }
 
+/// An online-learning-loop event (see [`crate::online`]). `t_ns` is the
+/// loop's nanosecond clock — supplied by the caller of
+/// [`crate::online::OnlineTrainer::round`], so tests drive it from a mock
+/// clock and replays stamp identical times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEvent {
+    /// A training round ran incremental epochs on the private branch.
+    Trained {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// Labeled queries drained into supervised epochs.
+        queries: usize,
+        /// Staged drift rows ingested into unsupervised epochs.
+        rows: usize,
+    },
+    /// The shadow gate scored a candidate against the live model.
+    Gated {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// Holdout queries both models were scored on.
+        evaluated: usize,
+        /// Candidate median q-error on the holdout.
+        candidate_median: f64,
+        /// Candidate p95 q-error on the holdout.
+        candidate_p95: f64,
+        /// Baseline fallbacks the candidate's shadow clone needed (any
+        /// fallback marks the candidate unhealthy).
+        candidate_fallbacks: u64,
+        /// Live-model median q-error on the same holdout.
+        live_median: f64,
+        /// Live-model p95 q-error on the same holdout.
+        live_p95: f64,
+        /// Verdict (stable label of [`crate::online::GateDecision`]).
+        decision: String,
+    },
+    /// The gate passed: a new model version is ready to swap in.
+    Promoted {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// Version the candidate was published as.
+        version: u64,
+        /// Size of the versioned `UAEC` checkpoint.
+        checkpoint_bytes: usize,
+    },
+    /// The gate failed: the candidate was discarded and the branch
+    /// restored to its last promoted state.
+    Rejected {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// Verdict (stable label of [`crate::online::GateDecision`]).
+        decision: String,
+    },
+    /// Post-promotion regression: the previously live version was
+    /// republished.
+    RolledBack {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// Version the rollback was published as.
+        version: u64,
+        /// The version whose model was restored.
+        restored_version: u64,
+    },
+}
+
+/// Consumer of online-loop events; `Send` for the same reason as
+/// [`TrainObserver`].
+pub trait OnlineObserver: Send {
+    /// Called synchronously from the trainer loop for every event.
+    fn on_online_event(&mut self, event: &OnlineEvent);
+}
+
+/// In-memory online observer — the online analogue of [`MemoryObserver`].
+#[derive(Debug, Clone, Default)]
+pub struct OnlineMemoryObserver {
+    /// The captured events, in emission order.
+    pub events: Arc<Mutex<Vec<OnlineEvent>>>,
+}
+
+impl OnlineMemoryObserver {
+    /// A fresh observer plus the shared handle to its event log.
+    pub fn new() -> (Self, Arc<Mutex<Vec<OnlineEvent>>>) {
+        let obs = OnlineMemoryObserver::default();
+        let handle = Arc::clone(&obs.events);
+        (obs, handle)
+    }
+}
+
+impl OnlineObserver for OnlineMemoryObserver {
+    fn on_online_event(&mut self, event: &OnlineEvent) {
+        self.events.lock().expect("event log poisoned").push(event.clone());
+    }
+}
+
+impl OnlineObserver for JsonlObserver {
+    fn on_online_event(&mut self, event: &OnlineEvent) {
+        let label = json_str(&self.label);
+        let line = match event {
+            OnlineEvent::Trained { round, t_ns, queries, rows } => format!(
+                "{{\"event\":\"online_trained\",\"model\":{label},\"round\":{round},\
+                 \"t_ns\":{t_ns},\"queries\":{queries},\"rows\":{rows}}}"
+            ),
+            OnlineEvent::Gated {
+                round,
+                t_ns,
+                evaluated,
+                candidate_median,
+                candidate_p95,
+                candidate_fallbacks,
+                live_median,
+                live_p95,
+                decision,
+            } => format!(
+                "{{\"event\":\"online_gated\",\"model\":{},\"round\":{},\"t_ns\":{},\
+                 \"evaluated\":{},\"candidate_median\":{},\"candidate_p95\":{},\
+                 \"candidate_fallbacks\":{},\"live_median\":{},\"live_p95\":{},\
+                 \"decision\":{}}}",
+                label,
+                round,
+                t_ns,
+                evaluated,
+                json_f64(*candidate_median),
+                json_f64(*candidate_p95),
+                candidate_fallbacks,
+                json_f64(*live_median),
+                json_f64(*live_p95),
+                json_str(decision),
+            ),
+            OnlineEvent::Promoted { round, t_ns, version, checkpoint_bytes } => format!(
+                "{{\"event\":\"online_promoted\",\"model\":{label},\"round\":{round},\
+                 \"t_ns\":{t_ns},\"version\":{version},\"checkpoint_bytes\":{checkpoint_bytes}}}"
+            ),
+            OnlineEvent::Rejected { round, t_ns, decision } => format!(
+                "{{\"event\":\"online_rejected\",\"model\":{},\"round\":{},\"t_ns\":{},\
+                 \"decision\":{}}}",
+                label,
+                round,
+                t_ns,
+                json_str(decision),
+            ),
+            OnlineEvent::RolledBack { round, t_ns, version, restored_version } => format!(
+                "{{\"event\":\"online_rolled_back\",\"model\":{label},\"round\":{round},\
+                 \"t_ns\":{t_ns},\"version\":{version},\"restored_version\":{restored_version}}}"
+            ),
+        };
+        // Telemetry must never take the trainer down: swallow I/O errors.
+        let _ = writeln!(self.out, "{line}");
+        // Promotion decisions are rare and load-bearing; keep them on
+        // disk even if the process dies mid-drill.
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,16 @@
 /// `max(1, c/ĉ, ĉ/c)` with both sides floored at 1 row so that empty
 /// results do not divide by zero (the convention of Moerkotte et al. and of
 /// the paper's evaluation).
+///
+/// A non-finite input (NaN or ±∞ on either side) yields `+∞`: such an
+/// estimate is maximally wrong, and Rust's `f64::max` would otherwise
+/// *discard* a NaN operand — `f64::NAN.max(1.0) == 1.0` — silently scoring
+/// a diverged model as perfect. The shadow-eval gate sorts on these values,
+/// so "broken" must compare worse than every finite error.
 pub fn q_error(true_card: f64, est_card: f64) -> f64 {
+    if !true_card.is_finite() || !est_card.is_finite() {
+        return f64::INFINITY;
+    }
     let t = true_card.max(1.0);
     let e = est_card.max(1.0);
     (t / e).max(e / t).max(1.0)
@@ -28,11 +37,16 @@ pub struct ErrorSummary {
 
 impl ErrorSummary {
     /// Summarize a sample of q-errors. Returns all-1 for an empty sample.
+    /// NaN observations are treated as `+∞` (a NaN q-error means a broken
+    /// estimate, and `total_cmp` would otherwise sort it past `+∞` where
+    /// `max`/`p95` pick it up as NaN and poison every downstream
+    /// comparison).
     pub fn from_errors(errors: &[f64]) -> Self {
         if errors.is_empty() {
             return ErrorSummary { mean: 1.0, median: 1.0, p95: 1.0, max: 1.0, count: 0 };
         }
-        let mut sorted = errors.to_vec();
+        let mut sorted: Vec<f64> =
+            errors.iter().map(|&e| if e.is_nan() { f64::INFINITY } else { e }).collect();
         sorted.sort_by(f64::total_cmp);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         ErrorSummary {
@@ -64,16 +78,37 @@ impl ErrorSummary {
 }
 
 /// Percentile of an ascending-sorted sample using nearest-rank with linear
-/// interpolation.
+/// interpolation. `p` is clamped to `[0, 1]`; `p = 0` is the minimum and
+/// `p = 1` the maximum.
+///
+/// Edge cases are total rather than panicking, because callers feed this
+/// from live telemetry windows that may be empty or polluted:
+///
+/// * an **empty** slice returns NaN (there is no order statistic to take);
+/// * a **single** element is every percentile of itself;
+/// * **NaN** elements (which [`f64::total_cmp`] sorts to the ends —
+///   negative NaN first, positive NaN last) are trimmed off, and the
+///   percentile is taken over the finite-or-infinite remainder. Only an
+///   all-NaN sample returns NaN.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
+    let lo_trim = sorted.iter().take_while(|v| v.is_nan()).count();
+    // An all-NaN slice would otherwise be trimmed from both ends at once.
+    let hi_trim = sorted[lo_trim..].iter().rev().take_while(|v| v.is_nan()).count();
+    let sorted = &sorted[lo_trim..sorted.len() - hi_trim];
+    match sorted.len() {
+        0 => return f64::NAN,
+        1 => return sorted[0],
+        _ => {}
     }
     let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
+    if sorted[lo] == sorted[hi] {
+        // Avoids `inf * 0 = NaN` when interpolating between equal
+        // infinities (and exact-rank hits generally).
+        return sorted[lo];
+    }
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
@@ -127,10 +162,45 @@ mod tests {
     }
 
     #[test]
+    fn q_error_zero_and_negative_cards_stay_finite() {
+        // Zero on either side uses the 1-row floor, never a division by
+        // zero: truth 0 / estimate 7 is as wrong as truth 7 / estimate 0.
+        assert_eq!(q_error(0.0, 7.0), 7.0);
+        assert_eq!(q_error(7.0, 0.0), 7.0);
+        assert_eq!(q_error(0.0, 1.0), 1.0);
+        // Negative inputs (a buggy estimator) also floor at 1.
+        assert_eq!(q_error(-3.0, 5.0), 5.0);
+        assert_eq!(q_error(-3.0, -8.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_non_finite_inputs_are_infinitely_wrong() {
+        // `f64::NAN.max(1.0) == 1.0` — the old code scored a NaN estimate
+        // as *perfect*. It must instead compare worse than any finite
+        // error so the shadow gate rejects the model producing it.
+        assert_eq!(q_error(100.0, f64::NAN), f64::INFINITY);
+        assert_eq!(q_error(f64::NAN, 100.0), f64::INFINITY);
+        assert_eq!(q_error(f64::NAN, f64::NAN), f64::INFINITY);
+        assert_eq!(q_error(100.0, f64::INFINITY), f64::INFINITY);
+        assert_eq!(q_error(f64::NEG_INFINITY, 100.0), f64::INFINITY);
+    }
+
+    #[test]
     fn summary_of_empty_is_unit() {
         let s = ErrorSummary::from_errors(&[]);
         assert_eq!(s.max, 1.0);
         assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn summary_treats_nan_observations_as_infinite() {
+        let s = ErrorSummary::from_errors(&[2.0, f64::NAN, 4.0]);
+        assert_eq!(s.max, f64::INFINITY, "NaN observation must surface as +inf, not NaN");
+        assert_eq!(s.median, 4.0);
+        assert!(s.mean.is_infinite());
+        assert_eq!(s.count, 3);
+        // A summary with NaNs anywhere would break every `<=` gate check.
+        assert!(s.max > 1e300);
     }
 
     #[test]
@@ -139,6 +209,50 @@ mod tests {
         assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_empty_and_single_element() {
+        // Empty: no order statistic exists — NaN, not a panic.
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[], 0.0).is_nan());
+        // Single element is every percentile of itself.
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 0.5), 42.0);
+        assert_eq!(percentile(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -0.5), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 3.0);
+        assert!(percentile(&xs, f64::NAN).is_nan() || percentile(&xs, f64::NAN) >= 1.0);
+    }
+
+    #[test]
+    fn percentile_trims_nan_tails() {
+        // total_cmp sorts positive NaN past +inf: p=1 / p95 on the raw
+        // slice used to return NaN. The NaN tail must be ignored.
+        let mut xs = vec![1.0, 2.0, 3.0, f64::NAN];
+        xs.sort_by(f64::total_cmp);
+        assert_eq!(percentile(&xs, 1.0), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert!((percentile(&xs, 0.5) - 2.0).abs() < 1e-12);
+        // Negative NaN sorts to the front; both ends trimmed.
+        let mut ys = vec![-f64::NAN, 5.0, 6.0, f64::NAN];
+        ys.sort_by(f64::total_cmp);
+        assert_eq!(percentile(&ys, 0.0), 5.0);
+        assert_eq!(percentile(&ys, 1.0), 6.0);
+        // All-NaN: nothing left to rank.
+        assert!(percentile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn percentile_between_infinities_stays_infinite() {
+        let xs = [1.0, f64::INFINITY, f64::INFINITY];
+        assert_eq!(percentile(&xs, 0.75), f64::INFINITY, "inf*0 + inf*1 must not produce NaN");
+        assert_eq!(percentile(&xs, 1.0), f64::INFINITY);
     }
 
     #[test]

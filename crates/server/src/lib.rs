@@ -19,6 +19,11 @@
 //!   cascade and the quantized kernels apply per micro-batch, and a
 //!   latency-SLO degradation ladder that shrinks the progressive-sample
 //!   budget under load (tagged [`uae_core::EstimateSource::ModelDegraded`]).
+//! * [`OnlineLearner`] — the background `uae-online` thread closing the
+//!   query-driven loop: it drives [`uae_core::OnlineTrainer`] rounds
+//!   over a shared [`uae_core::QueryPool`] of executed queries and
+//!   publishes shadow-gated promotions (and probation rollbacks)
+//!   through the registry's atomic swap point.
 //!
 //! No async runtime, no executor dependency: plain `std::thread` +
 //! channels + condvars, matching the rest of the workspace.
@@ -33,12 +38,14 @@
 //! single batch bit-identical to [`uae_core::Uae::try_estimate_cards`].
 
 pub mod batcher;
+pub mod online;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{MicroBatcher, Poll};
-pub use registry::{DegradeConfig, Registry, Tenant, UnknownTenant};
+pub use online::{LearnerStats, OnlineLearner};
+pub use registry::{DegradeConfig, LadderState, Registry, Tenant, UnknownTenant};
 pub use server::{
     ServeCallError, Server, ServerConfig, ServerError, ServerFaultPlan, SubmitError, Ticket,
 };

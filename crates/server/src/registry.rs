@@ -15,9 +15,10 @@
 //!   point the online-learning loop (ROADMAP item 2) will drive.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use uae_core::Uae;
 
 /// Latency-SLO degradation ladder for one tenant (or the server default).
@@ -33,6 +34,14 @@ use uae_core::Uae;
 /// Degraded batches run through the same cascade; their results carry
 /// [`uae_core::EstimateSource::ModelDegraded`] and count into
 /// [`uae_core::ServeStats::degraded`].
+///
+/// Engagement is **hysteretic** (via [`DegradeConfig::step`] over a
+/// per-tenant [`LadderState`]): a signal goes hot the moment its metric
+/// crosses the entry threshold, but goes cold only once the metric has
+/// dropped into the exit band (`threshold × exit_fraction`) *and* the
+/// signal has not re-crossed the entry threshold for `cooldown_ns`.
+/// Load oscillating right at a threshold therefore cannot flap the
+/// ladder between rungs every batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DegradeConfig {
     /// In-flight requests (accepted, not yet replied) above which rung 1
@@ -47,6 +56,13 @@ pub struct DegradeConfig {
     pub degraded_fraction: f64,
     /// Rung-2 budget fraction (both signals firing).
     pub floor_fraction: f64,
+    /// A hot signal disengages only below `threshold × exit_fraction` —
+    /// the hysteresis band. Values at or above `1.0` collapse the band
+    /// (exit at the entry threshold, pre-hysteresis behaviour).
+    pub exit_fraction: f64,
+    /// A hot signal additionally stays hot for this long after it last
+    /// crossed its entry threshold, regardless of the exit band.
+    pub cooldown_ns: u64,
 }
 
 impl Default for DegradeConfig {
@@ -56,7 +72,38 @@ impl Default for DegradeConfig {
             p99_target_ms: 0.0,
             degraded_fraction: 0.25,
             floor_fraction: 0.1,
+            exit_fraction: 0.8,
+            cooldown_ns: 100_000_000, // 100ms
         }
+    }
+}
+
+/// One load signal's hysteresis state: whether it is hot, and when it
+/// last crossed its entry threshold (the cooldown clock).
+#[derive(Debug, Clone, Copy, Default)]
+struct SignalState {
+    hot: bool,
+    hot_at_ns: u64,
+}
+
+/// Per-tenant hysteresis state for the two ladder signals. Owned by the
+/// [`Tenant`]; pure state driven by [`DegradeConfig::step`] under the
+/// caller's clock (the dispatcher's batch epoch, or a mock in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LadderState {
+    depth: SignalState,
+    latency: SignalState,
+}
+
+impl LadderState {
+    /// Whether the queue-depth signal is currently hot.
+    pub fn depth_hot(&self) -> bool {
+        self.depth.hot
+    }
+
+    /// Whether the latency signal is currently hot.
+    pub fn latency_hot(&self) -> bool {
+        self.latency.hot
     }
 }
 
@@ -66,12 +113,8 @@ impl DegradeConfig {
         DegradeConfig { queue_depth_threshold: 0, p99_target_ms: 0.0, ..Self::default() }
     }
 
-    /// The per-query sample budget for the current load signals: `None`
-    /// for the full configured budget, `Some(shrunken)` when a rung
-    /// engages. `configured` is the tenant's nominal `estimate_samples`.
-    pub fn budget(&self, configured: usize, queue_depth: usize, p99_ms: f64) -> Option<usize> {
-        let depth_hot = self.queue_depth_threshold > 0 && queue_depth > self.queue_depth_threshold;
-        let lat_hot = self.p99_target_ms > 0.0 && p99_ms > self.p99_target_ms;
+    /// Map hot signals to a shrunken budget (`None` = full budget).
+    fn rung_budget(&self, configured: usize, depth_hot: bool, lat_hot: bool) -> Option<usize> {
         let fraction = match (depth_hot, lat_hot) {
             (false, false) => return None,
             (true, true) => self.floor_fraction,
@@ -79,6 +122,73 @@ impl DegradeConfig {
         };
         let shrunk = ((configured as f64 * fraction).round() as usize).max(1);
         (shrunk < configured).then_some(shrunk)
+    }
+
+    /// Advance one signal's hysteresis state for the current metric
+    /// value, returning whether it is hot.
+    fn update_signal(
+        &self,
+        st: &mut SignalState,
+        enabled: bool,
+        value: f64,
+        threshold: f64,
+        now_ns: u64,
+    ) -> bool {
+        if !enabled {
+            st.hot = false;
+            return false;
+        }
+        if value > threshold {
+            st.hot = true;
+            st.hot_at_ns = now_ns; // every re-cross restarts the cooldown
+        } else if st.hot
+            && value <= threshold * self.exit_fraction
+            && now_ns.saturating_sub(st.hot_at_ns) >= self.cooldown_ns
+        {
+            st.hot = false;
+        }
+        st.hot
+    }
+
+    /// The stateless per-query budget for the current load signals:
+    /// `None` for the full configured budget, `Some(shrunken)` when a
+    /// rung engages on raw entry thresholds. `configured` is the
+    /// tenant's nominal `estimate_samples`. No hysteresis — use
+    /// [`DegradeConfig::step`] with a [`LadderState`] for flap-free
+    /// serving decisions.
+    pub fn budget(&self, configured: usize, queue_depth: usize, p99_ms: f64) -> Option<usize> {
+        let depth_hot = self.queue_depth_threshold > 0 && queue_depth > self.queue_depth_threshold;
+        let lat_hot = self.p99_target_ms > 0.0 && p99_ms > self.p99_target_ms;
+        self.rung_budget(configured, depth_hot, lat_hot)
+    }
+
+    /// The hysteretic per-query budget: advance `state` under the
+    /// current load signals at `now_ns` and return the budget for the
+    /// rung the ladder is now on. Entry is immediate; exit requires the
+    /// metric below the exit band with the cooldown expired.
+    pub fn step(
+        &self,
+        state: &mut LadderState,
+        configured: usize,
+        queue_depth: usize,
+        p99_ms: f64,
+        now_ns: u64,
+    ) -> Option<usize> {
+        let depth_hot = self.update_signal(
+            &mut state.depth,
+            self.queue_depth_threshold > 0,
+            queue_depth as f64,
+            self.queue_depth_threshold as f64,
+            now_ns,
+        );
+        let lat_hot = self.update_signal(
+            &mut state.latency,
+            self.p99_target_ms > 0.0,
+            p99_ms,
+            self.p99_target_ms,
+            now_ns,
+        );
+        self.rung_budget(configured, depth_hot, lat_hot)
     }
 }
 
@@ -91,6 +201,9 @@ pub struct Tenant {
     lane: usize,
     model: RwLock<Arc<Uae>>,
     degrade: Option<DegradeConfig>,
+    /// Hysteresis state for this tenant's degradation ladder (driven at
+    /// flush time by the dispatcher's clock).
+    ladder: Mutex<LadderState>,
 }
 
 impl Tenant {
@@ -114,6 +227,21 @@ impl Tenant {
     pub fn degrade(&self) -> Option<&DegradeConfig> {
         self.degrade.as_ref()
     }
+
+    /// Advance this tenant's hysteretic ladder under the current load
+    /// signals and return the batch's sample budget (`None` = full).
+    /// `default_cfg` applies when the tenant has no override.
+    pub fn degrade_budget(
+        &self,
+        default_cfg: &DegradeConfig,
+        configured: usize,
+        queue_depth: usize,
+        p99_ms: f64,
+        now_ns: u64,
+    ) -> Option<usize> {
+        let cfg = self.degrade.as_ref().unwrap_or(default_cfg);
+        cfg.step(&mut self.ladder.lock(), configured, queue_depth, p99_ms, now_ns)
+    }
 }
 
 /// Error for operations addressing a tenant that was never registered.
@@ -135,6 +263,11 @@ pub struct Registry {
     /// Lane-indexed view (registration order), for dispatchers that key
     /// batches by lane.
     by_lane: RwLock<Vec<Arc<Tenant>>>,
+    /// Bumped on every model publication (swap or re-register). The
+    /// serving front-end watches this to reset its rolling latency
+    /// window: pre-swap samples describe the *old* model and would
+    /// otherwise keep driving the degradation ladder after a hot-swap.
+    swap_epoch: AtomicU64,
 }
 
 impl Registry {
@@ -161,6 +294,7 @@ impl Registry {
         let mut tenants = self.tenants.write();
         if let Some(existing) = tenants.get(&name) {
             *existing.model.write() = Arc::new(model);
+            self.swap_epoch.fetch_add(1, Ordering::SeqCst);
             return existing.clone();
         }
         let mut by_lane = self.by_lane.write();
@@ -169,6 +303,7 @@ impl Registry {
             lane: by_lane.len(),
             model: RwLock::new(Arc::new(model)),
             degrade,
+            ladder: Mutex::new(LadderState::default()),
         });
         by_lane.push(tenant.clone());
         tenants.insert(name, tenant.clone());
@@ -181,7 +316,14 @@ impl Registry {
         let tenants = self.tenants.read();
         let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
         let mut slot = tenant.model.write();
-        Ok(std::mem::replace(&mut *slot, Arc::new(model)))
+        let prior = std::mem::replace(&mut *slot, Arc::new(model));
+        self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(prior)
+    }
+
+    /// Monotone counter of model publications (swaps and re-registers).
+    pub fn swap_epoch(&self) -> u64 {
+        self.swap_epoch.load(Ordering::SeqCst)
     }
 
     /// Look a tenant up by name.
@@ -221,6 +363,7 @@ mod tests {
             p99_target_ms: 5.0,
             degraded_fraction: 0.25,
             floor_fraction: 0.1,
+            ..DegradeConfig::default()
         };
         // Nominal load: full budget.
         assert_eq!(d.budget(1000, 5, 1.0), None);
@@ -237,5 +380,59 @@ mod tests {
         // Disabled signals never engage.
         let off = DegradeConfig::disabled();
         assert_eq!(off.budget(1000, usize::MAX, 1e9), None);
+    }
+
+    /// The flapping regression: load oscillating right at the entry
+    /// threshold must not toggle the ladder between rungs every step.
+    /// Entry is immediate; exit needs the exit band AND the cooldown.
+    #[test]
+    fn degrade_ladder_hysteresis_does_not_flap_on_boundary_straddling_load() {
+        let ms = 1_000_000u64;
+        let d = DegradeConfig {
+            queue_depth_threshold: 10,
+            p99_target_ms: 0.0,
+            exit_fraction: 0.8,
+            cooldown_ns: 50 * ms,
+            ..DegradeConfig::default()
+        };
+        let mut st = LadderState::default();
+
+        // Below threshold: full budget, signal cold.
+        assert_eq!(d.step(&mut st, 1000, 10, 0.0, 0), None);
+        assert!(!st.depth_hot());
+        // Entry is immediate on the first crossing.
+        assert_eq!(d.step(&mut st, 1000, 11, 0.0, ms), Some(250));
+        assert!(st.depth_hot());
+
+        // Boundary-straddling load (11, 10, 11, 10, …): pre-hysteresis
+        // this flapped Some/None every step; now it stays degraded —
+        // 10 is inside the band (exit needs <= 8).
+        for t in 2..100u64 {
+            let depth = if t % 2 == 0 { 11 } else { 10 };
+            assert_eq!(d.step(&mut st, 1000, depth, 0.0, t * ms), Some(250), "flapped at t={t}");
+        }
+        // Drop clearly below the exit band, but within the cooldown of
+        // the last entry-crossing (t=98ms + 50ms): still degraded.
+        assert_eq!(d.step(&mut st, 1000, 2, 0.0, 120 * ms), Some(250));
+        assert!(st.depth_hot());
+        // Same load after the cooldown expires: the ladder disengages.
+        assert_eq!(d.step(&mut st, 1000, 2, 0.0, 149 * ms), None);
+        assert!(!st.depth_hot());
+        // Re-entry is immediate again.
+        assert_eq!(d.step(&mut st, 1000, 11, 0.0, 150 * ms), Some(250));
+    }
+
+    #[test]
+    fn swap_epoch_bumps_on_publication() {
+        let reg = Registry::new();
+        let t = uae_data::census_like(64, 7);
+        let mk = || uae_core::Uae::new(&t, uae_core::UaeConfig::default());
+        assert_eq!(reg.swap_epoch(), 0);
+        reg.register("a", mk());
+        assert_eq!(reg.swap_epoch(), 0, "first registration is not a swap");
+        reg.swap_model("a", mk()).expect("tenant exists");
+        assert_eq!(reg.swap_epoch(), 1);
+        reg.register("a", mk()); // re-register = publication
+        assert_eq!(reg.swap_epoch(), 2);
     }
 }

@@ -330,6 +330,10 @@ struct Shared {
     batch_seq: AtomicU64,
     degrade: DegradeConfig,
     fault: ServerFaultPlan,
+    /// Registry swap epoch last observed at flush time; a bump resets
+    /// the rolling latency window (pre-swap samples describe the old
+    /// model).
+    seen_swap_epoch: AtomicU64,
 }
 
 impl Shared {
@@ -368,6 +372,7 @@ impl Server {
             batch_seq: AtomicU64::new(0),
             degrade: cfg.degrade.clone(),
             fault: cfg.fault.clone(),
+            seen_swap_epoch: AtomicU64::new(registry.swap_epoch()),
         });
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let dispatcher = {
@@ -482,6 +487,13 @@ impl Server {
         self.shared.latency.quantile(q)
     }
 
+    /// Observations currently in the rolling latency window. The window
+    /// resets on a model hot-swap (at the first post-swap flush), so
+    /// this also witnesses swap-time hygiene in tests.
+    pub fn latency_samples(&self) -> usize {
+        self.shared.latency.len()
+    }
+
     /// Current in-flight requests (accepted, not yet replied).
     pub fn queue_depth(&self) -> usize {
         self.shared.stats.depth()
@@ -581,7 +593,7 @@ fn dispatcher_loop(
         match batcher.poll(now_ns(epoch)) {
             Poll::Flush { lane, reason } => {
                 let requests = batcher.take(lane);
-                flush(&shared, lane, requests, reason);
+                flush(&shared, lane, requests, reason, now_ns(epoch));
             }
             Poll::WaitNs(ns) => match rx.recv_timeout(Duration::from_nanos(ns)) {
                 Ok(req) => enqueue(&shared, &mut batcher, req, now_ns(epoch)),
@@ -596,7 +608,7 @@ fn dispatcher_loop(
     }
     // Shutdown drain: every pending lane flushes as one final batch.
     for (lane, requests) in batcher.drain_all() {
-        flush(&shared, lane, requests, FlushReason::Drain);
+        flush(&shared, lane, requests, FlushReason::Drain, now_ns(epoch));
     }
     shared.jobs.close();
 }
@@ -606,22 +618,35 @@ fn enqueue(shared: &Arc<Shared>, batcher: &mut MicroBatcher<Request>, req: Reque
     let lane = req.tenant.lane();
     if let Some(reason) = batcher.push(lane, req, now_ns) {
         let requests = batcher.take(lane);
-        flush(shared, lane, requests, reason);
+        flush(shared, lane, requests, reason, now_ns);
     }
 }
 
 /// Turn a flushed lane into a [`BatchJob`]: pick the degraded budget from
 /// the current load signals, account the flush, hand it to the executors.
-fn flush(shared: &Arc<Shared>, lane: usize, requests: Vec<Request>, reason: FlushReason) {
+fn flush(
+    shared: &Arc<Shared>,
+    lane: usize,
+    requests: Vec<Request>,
+    reason: FlushReason,
+    now_ns: u64,
+) {
     if requests.is_empty() {
         return;
     }
     let tenant = shared.registry.by_lane(lane).unwrap_or_else(|| requests[0].tenant.clone());
+    // A model publication since the last flush invalidates the rolling
+    // latency window: its samples describe the replaced model and would
+    // keep feeding the ladder's p99 signal against the new one.
+    let epoch = shared.registry.swap_epoch();
+    if shared.seen_swap_epoch.swap(epoch, Ordering::SeqCst) != epoch {
+        shared.latency.reset();
+    }
     let queue_depth = shared.stats.depth();
     let p99_ms = shared.latency.quantile(0.99);
-    let ladder = tenant.degrade().unwrap_or(&shared.degrade);
     let configured = tenant.model().estimate_samples();
-    let samples_override = ladder.budget(configured, queue_depth, p99_ms);
+    let samples_override =
+        tenant.degrade_budget(&shared.degrade, configured, queue_depth, p99_ms, now_ns);
     let seq = shared.batch_seq.fetch_add(1, Ordering::SeqCst);
     let stats = &shared.stats;
     stats.batches.fetch_add(1, Ordering::SeqCst);

@@ -81,6 +81,17 @@ impl LatencyWindow {
         xs[rank - 1]
     }
 
+    /// Drop every observation (the window restarts empty). Called on a
+    /// model hot-swap: pre-swap latencies describe the replaced model
+    /// and must not keep steering the degradation ladder against the
+    /// new one.
+    pub fn reset(&self) {
+        let mut st = self.ring.lock();
+        st.buf.clear();
+        st.cursor = 0;
+        st.filled = false;
+    }
+
     /// Observations currently held.
     pub fn len(&self) -> usize {
         self.ring.lock().buf.len()
@@ -259,6 +270,23 @@ mod tests {
         assert_eq!(w.len(), 4);
         assert_eq!(w.quantile(1.0), 5.0);
         assert_eq!(w.quantile(0.25), 2.0);
+    }
+
+    #[test]
+    fn latency_window_reset_restarts_empty_with_full_capacity() {
+        let w = LatencyWindow::new(3);
+        for ms in [1.0, 2.0, 3.0, 4.0] {
+            w.record(ms);
+        }
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.99), 0.0);
+        // The ring refills from scratch after the reset.
+        for ms in [7.0, 8.0, 9.0] {
+            w.record(ms);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.quantile(0.5), 8.0);
     }
 
     #[test]

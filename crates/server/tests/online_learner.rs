@@ -1,0 +1,75 @@
+//! End-to-end test of the background online-learning loop: executed
+//! queries feed the shared pool, the `uae-online` thread trains and
+//! shadow-gates a candidate, and a promotion lands in the registry
+//! through the same atomic swap point serving uses.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uae_core::{
+    OnlineConfig, OnlineTrainer, QueryPool, ResMadeConfig, TrainConfig, Uae, UaeConfig,
+};
+use uae_data::census_like;
+use uae_query::{generate_workload, label_queries, WorkloadSpec};
+use uae_server::{OnlineLearner, Registry};
+
+#[test]
+fn learner_thread_promotes_through_the_registry() {
+    let rows = 400usize;
+    let seed = 0x10ea5;
+    let table = census_like(rows, seed);
+    let cfg = UaeConfig {
+        model: ResMadeConfig { hidden: 24, blocks: 1, seed: 5 },
+        train: TrainConfig { batch_size: 128, ..TrainConfig::default() },
+        estimate_samples: 64,
+        ..UaeConfig::default()
+    };
+    let mut live = Uae::new(&table, cfg);
+    live.train_data(1);
+
+    let registry = Arc::new(Registry::new());
+    let tenant = registry.register("census", live.clone());
+    let before = tenant.model();
+
+    let trainer = OnlineTrainer::new(
+        &live,
+        OnlineConfig { trigger_fresh: 12, holdout: 8, query_epochs: 2, ..OnlineConfig::default() },
+    );
+    let pool = Arc::new(QueryPool::new(256));
+    let learner = OnlineLearner::start(
+        registry.clone(),
+        "census",
+        trainer,
+        pool.clone(),
+        Duration::from_millis(2),
+    );
+
+    // Executed queries with ground truth arrive in waves; the learner
+    // should eventually train a candidate that passes the shadow gate.
+    let queries = generate_workload(&table, &WorkloadSpec::random(120, 0xfeed), &HashSet::new())
+        .into_iter()
+        .map(|lq| lq.query)
+        .collect();
+    let labeled = label_queries(&table, queries);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut fed = 0usize;
+    while learner.stats().promotions == 0 && Instant::now() < deadline {
+        if fed < labeled.len() {
+            let wave = (fed + 20).min(labeled.len());
+            pool.extend(labeled[fed..wave].iter().cloned());
+            fed = wave;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let stats = learner.stats();
+    let trainer = learner.stop();
+    assert!(stats.promotions >= 1, "the learner never promoted: {stats:?}");
+    assert!(registry.swap_epoch() >= stats.promotions, "every promotion is a registry swap");
+    assert!(
+        !Arc::ptr_eq(&before, &tenant.model()),
+        "the tenant must now serve the promoted snapshot"
+    );
+    assert!(trainer.version() >= 1, "the trainer hands back its version history");
+}

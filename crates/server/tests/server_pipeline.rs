@@ -236,3 +236,116 @@ fn swap_model_publishes_new_snapshot() {
     server.shutdown();
     t.wait().expect("estimate from the swapped model");
 }
+
+/// Satellite 3 (this PR) — swap-time hygiene: the rolling latency
+/// window drops its pre-swap samples at the first post-swap flush, so
+/// the degradation ladder's p99 signal never judges the new model by
+/// the old model's latencies.
+#[test]
+fn latency_window_resets_on_hot_swap() {
+    let registry = Arc::new(Registry::new());
+    registry.register("census", quick_uae(400, 53));
+    let server = Server::start(
+        registry.clone(),
+        ServerConfig { degrade: DegradeConfig::disabled(), ..ServerConfig::default() },
+    );
+
+    let warmup = quick_queries(400, 53, 6, 59);
+    let tickets: Vec<_> =
+        warmup.iter().map(|q| server.submit("census", q.clone()).expect("capacity")).collect();
+    for t in tickets {
+        t.wait().expect("warmup completes");
+    }
+    let before = server.latency_samples();
+    assert_eq!(before, warmup.len(), "warmup latencies recorded");
+
+    registry.swap_model("census", quick_uae(400, 61)).expect("registered");
+
+    // The next flush observes the bumped swap epoch, resets the window,
+    // and only then records this batch's end-to-end latency.
+    let t = server.submit("census", quick_queries(400, 61, 1, 67).remove(0)).expect("capacity");
+    t.wait().expect("post-swap request completes");
+    assert_eq!(
+        server.latency_samples(),
+        1,
+        "pre-swap samples must be gone; only the post-swap batch remains"
+    );
+    server.shutdown();
+}
+
+/// Satellite 4 — the hot-swap race drill: one thread swaps the tenant
+/// between two models while submitter threads keep batches in flight.
+/// Every request must be answered by exactly one model version — the
+/// two models sit over tables of 300 vs 301 rows, and an unconstrained
+/// query's estimate is *exactly* the serving table's row count, so a
+/// torn read would be visible as any other value. Counters reconcile.
+#[test]
+fn hot_swap_race_answers_every_request_from_exactly_one_version() {
+    let rows_a = 300usize;
+    let rows_b = 301usize;
+    let registry = Arc::new(Registry::new());
+    registry.register("census", quick_uae(rows_a, 71));
+    let server = Arc::new(Server::start(
+        registry.clone(),
+        ServerConfig {
+            max_batch: 4,
+            degrade: DegradeConfig::disabled(),
+            ..ServerConfig::default()
+        },
+    ));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let swapper = {
+        let registry = registry.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut swaps = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let rows = if swaps % 2 == 0 { rows_b } else { rows_a };
+                registry.swap_model("census", quick_uae(rows, 71 + swaps)).expect("registered");
+                swaps += 1;
+            }
+            swaps
+        })
+    };
+
+    let submitters: Vec<_> = (0..3)
+        .map(|_| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let mut cards = Vec::new();
+                for _ in 0..60 {
+                    // Trivial (unconstrained) queries shortcut to the
+                    // exact row count of whichever snapshot served them.
+                    if let Ok(ticket) = server.submit("census", Query::default()) {
+                        cards.push(ticket.wait().expect("trivial query serves").card);
+                    }
+                }
+                cards
+            })
+        })
+        .collect();
+
+    let mut answered = 0u64;
+    for handle in submitters {
+        for card in handle.join().expect("submitter thread") {
+            assert!(
+                card == rows_a as f64 || card == rows_b as f64,
+                "reply must come from exactly one model version, got card {card}"
+            );
+            answered += 1;
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let swaps = swapper.join().expect("swapper thread");
+    assert!(swaps > 0, "the drill must actually swap");
+
+    let server = Arc::into_inner(server).expect("submitters released their handles");
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, answered, "every accepted request got exactly one reply");
+    assert_eq!(
+        stats.completed + stats.query_errors + stats.failed,
+        stats.accepted,
+        "terminal counters must reconcile with accepted"
+    );
+}
