@@ -42,4 +42,12 @@ cargo run --release --example online_drift_drill -- \
 test -s target/online_promotions.jsonl
 test -s target/BENCH_online.json
 
+echo "== router smoke: model-fleet routing drill (default + scalar) =="
+cargo run --release --example route_drill -- \
+    --metrics-out target/routing_telemetry.jsonl
+test -s target/routing_telemetry.jsonl
+UAE_FORCE_SCALAR=1 cargo run --release --example route_drill -- \
+    --metrics-out target/routing_telemetry_scalar.jsonl
+test -s target/routing_telemetry_scalar.jsonl
+
 echo "CI OK"

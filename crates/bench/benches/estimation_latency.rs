@@ -17,14 +17,14 @@ use uae_join::{
     generate_join_workload, imdb_like, sample_outer_join, JoinQuery, JoinUae, JoinWorkloadSpec,
 };
 use uae_query::{
-    default_bounded_column, generate_workload, CardinalityEstimator, LabeledQuery, WorkloadSpec,
+    default_bounded_column, generate_workload, CardEstimator, LabeledQuery, WorkloadSpec,
 };
 use uae_tensor::simd;
 use uae_tensor::{Backend, QuantMode};
 
 struct Setup {
     queries: Vec<LabeledQuery>,
-    estimators: Vec<Box<dyn CardinalityEstimator>>,
+    estimators: Vec<Box<dyn CardEstimator>>,
 }
 
 fn setup() -> Setup {
@@ -40,7 +40,7 @@ fn setup() -> Setup {
     let mut naru = Uae::new(&table, uae_cfg).with_name("Naru");
     naru.train_data(1);
 
-    let estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+    let estimators: Vec<Box<dyn CardEstimator>> = vec![
         Box::new(LinearRegressionEstimator::new(&table, &train, 1e-3)),
         Box::new(HistogramEstimator::new(&table, 64)),
         Box::new(MscnEstimator::new(

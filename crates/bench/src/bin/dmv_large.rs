@@ -14,8 +14,7 @@ use uae_core::Uae;
 use uae_estimators::{BayesNetEstimator, SpnConfig, SpnEstimator};
 use uae_query::estimator::format_size;
 use uae_query::{
-    default_bounded_column, evaluate, fingerprints, generate_workload, CardinalityEstimator,
-    WorkloadSpec,
+    default_bounded_column, evaluate, fingerprints, generate_workload, CardEstimator, WorkloadSpec,
 };
 
 fn main() {
@@ -48,7 +47,7 @@ fn main() {
         "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "Model", "Size", "mean", "median", "95th", "max"
     );
-    let report = |name: &str, est: &dyn CardinalityEstimator| {
+    let report = |name: &str, est: &dyn CardEstimator| {
         let ev = evaluate(est, &test);
         println!(
             "{:<28} {:>9} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",

@@ -13,7 +13,7 @@ use uae_estimators::{
     BayesNetEstimator, KdeEstimator, LinearRegressionEstimator, MscnConfig, MscnEstimator,
     SamplingEstimator, SpnConfig, SpnEstimator,
 };
-use uae_query::{evaluate, CardinalityEstimator};
+use uae_query::{evaluate, CardEstimator};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -41,7 +41,7 @@ fn main() {
 
     println!("\n=== Figure 5(2): estimation latency (ms/query, DMV) ===");
     println!("{:<15} {:>12}", "Model", "ms/query");
-    let report = |est: &dyn CardinalityEstimator| {
+    let report = |est: &dyn CardEstimator| {
         let ev = evaluate(est, &dmv.test_in);
         println!("{:<15} {:>12.3}", ev.name, ev.mean_latency_ms);
     };

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use uae_bench::{attach_metrics, metrics_out_arg, BenchScale};
 use uae_core::Uae;
-use uae_query::{evaluate, generate_workload, CardinalityEstimator, WorkloadSpec};
+use uae_query::{evaluate, generate_workload, CardEstimator, WorkloadSpec};
 
 fn main() {
     let scale = BenchScale::from_env();

@@ -11,13 +11,13 @@ use uae_core::{DpsConfig, ResMadeConfig, TrainConfig, UaeConfig};
 use uae_estimators::{MscnConfig, SpnConfig};
 use uae_join::workload::fingerprints;
 use uae_join::{
-    generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinMscn,
-    JoinSpn, JoinUae, JoinWorkloadSpec, LabeledJoinQuery,
+    generate_join_workload, imdb_like, sample_outer_join, JoinCardEstimator, JoinMscn, JoinSpn,
+    JoinUae, JoinWorkloadSpec, LabeledJoinQuery,
 };
 use uae_query::estimator::format_size;
 use uae_query::metrics::{format_err, percentile, q_error};
 
-fn summarize(est: &dyn JoinCardinalityEstimator, workload: &[LabeledJoinQuery]) -> String {
+fn summarize(est: &dyn JoinCardEstimator, workload: &[LabeledJoinQuery]) -> String {
     // One batched call: UAE-family estimators amortize the per-column
     // forwards across the whole workload (baselines fall back to a loop).
     let queries: Vec<_> = workload.iter().map(|lq| lq.query.clone()).collect();

@@ -34,7 +34,7 @@ use uae_estimators::{
 };
 use uae_query::estimator::{evaluate, format_size, Evaluation};
 use uae_query::{
-    default_bounded_column, fingerprints, generate_workload, CardinalityEstimator, LabeledQuery,
+    default_bounded_column, fingerprints, generate_workload, CardEstimator, LabeledQuery,
     WorkloadSpec,
 };
 
@@ -230,7 +230,7 @@ pub struct TableRow {
 }
 
 /// Evaluate one estimator on both test workloads.
-pub fn eval_estimator(est: &dyn CardinalityEstimator, bench: &SingleTableBench) -> TableRow {
+pub fn eval_estimator(est: &dyn CardEstimator, bench: &SingleTableBench) -> TableRow {
     let in_workload = evaluate(est, &bench.test_in);
     let random = evaluate(est, &bench.test_random);
     TableRow {
@@ -368,7 +368,7 @@ fn run_and_print<'a>(
     bench: &SingleTableBench,
     rows: &mut Vec<TableRow>,
     label: &str,
-    build: impl FnOnce() -> Box<dyn CardinalityEstimator + 'a>,
+    build: impl FnOnce() -> Box<dyn CardEstimator + 'a>,
 ) {
     let t0 = Instant::now();
     let est = build();

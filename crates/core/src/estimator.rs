@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use uae_data::Table;
 use uae_estimators::HistogramEstimator;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query};
+use uae_query::{CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost};
 use uae_tensor::{
     Adam, AdamState, GradStore, Optimizer, ParamStore, QuantMode, Tape, TapeWorkspace,
 };
@@ -1349,9 +1349,20 @@ fn shuffle(xs: &mut [usize], rng: &mut StdRng) {
     }
 }
 
-impl CardinalityEstimator for Uae {
+impl CardEstimator for Uae {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn num_rows(&self) -> f64 {
+        self.table.num_rows() as f64
+    }
+
+    /// Routes through the hardened serving cascade (validation, retry,
+    /// baseline fallback, clamping) — same as the inherent
+    /// [`Uae::estimate_selectivity`].
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.try_estimate_card(query).map_or(0.0, |e| e.selectivity)
     }
 
     fn estimate_card(&self, query: &Query) -> f64 {
@@ -1364,6 +1375,14 @@ impl CardinalityEstimator for Uae {
 
     fn size_bytes(&self) -> usize {
         self.store.size_bytes()
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Autoregressive
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Expensive
     }
 }
 

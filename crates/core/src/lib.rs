@@ -23,7 +23,7 @@
 //!
 //! ```no_run
 //! use uae_core::{Uae, UaeConfig};
-//! use uae_query::{generate_workload, WorkloadSpec, CardinalityEstimator};
+//! use uae_query::{generate_workload, WorkloadSpec, CardEstimator};
 //! use std::collections::HashSet;
 //!
 //! let table = uae_data::census_like(10_000, 42);
@@ -45,6 +45,7 @@ pub mod infer_batch;
 pub mod model;
 pub mod online;
 pub mod ordering;
+pub mod route;
 pub mod serialize;
 pub mod serve;
 pub mod sf;
@@ -63,6 +64,10 @@ pub use online::{
     PoolStats, QueryPool, RoundOutcome, RoundReport, ShadowScore,
 };
 pub use ordering::ColumnOrder;
+pub use route::{
+    BackendChoice, QueryShape, RouteConfig, RouteDecision, RouteFeaturizer, RoutePolicy,
+    RoutedFleet, Router, SelClass,
+};
 pub use serialize::{CheckpointError, LoadError};
 pub use serve::{
     validate_query, Estimate, EstimateError, EstimateSource, FaultPlan, ServeConfig, Validation,

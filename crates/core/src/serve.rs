@@ -24,7 +24,7 @@
 //!   CI fault drill, never discovered in production first.
 
 use uae_data::Table;
-use uae_query::{Query, QueryRegion};
+use uae_query::{EstimatorFamily, Query, QueryRegion};
 use uae_tensor::QuantMode;
 
 /// A query the serving layer refuses to estimate. Unknown columns are the
@@ -122,6 +122,30 @@ pub enum EstimateSource {
     /// The model stayed unhealthy through the retry; the histogram (AVI)
     /// baseline answered instead.
     Baseline,
+    /// A routing policy sent the query to a fleet backend *instead of* the
+    /// deep model — a deliberate, shape-based choice made before any
+    /// sampling, not a degradation. The tag records which model family
+    /// answered. Distinct from [`Self::Baseline`], which is the cascade's
+    /// last-resort tier after the model failed.
+    Routed(EstimatorFamily),
+}
+
+impl EstimateSource {
+    /// Stable lowercase label for telemetry lines and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EstimateSource::Model => "model",
+            EstimateSource::ModelDegraded => "model_degraded",
+            EstimateSource::Validation => "validation",
+            EstimateSource::Baseline => "baseline",
+            EstimateSource::Routed(family) => family.label(),
+        }
+    }
+
+    /// Whether this estimate came from a routed fleet backend.
+    pub fn is_routed(&self) -> bool {
+        matches!(self, EstimateSource::Routed(_))
+    }
 }
 
 /// One served estimate, with its degradation provenance. The cardinality

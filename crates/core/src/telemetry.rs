@@ -261,6 +261,12 @@ pub struct ServeStats {
     /// queue drain under load; results carry
     /// [`crate::serve::EstimateSource::ModelDegraded`]).
     pub degraded: u64,
+    /// Queries a routing policy sent to a fleet backend instead of the
+    /// deep model (results carry
+    /// [`crate::serve::EstimateSource::Routed`]). Deliberate shape-based
+    /// choices, **not** counted in `fallbacks` — a routed answer is not a
+    /// degradation.
+    pub routed: u64,
 }
 
 /// Why the serving front-end closed a micro-batch and handed it to an
@@ -365,6 +371,19 @@ pub enum ServeEvent {
         /// Requests still queued (submitted, not yet executed) at flush.
         queue_depth: usize,
     },
+    /// A routing policy sent the query to a fleet backend instead of the
+    /// deep model.
+    Routed {
+        /// Serving index (or server-wide request sequence number when
+        /// emitted by the concurrent front-end).
+        index: u64,
+        /// Name of the backend that answered (e.g. `"DeepDB"`).
+        backend: String,
+        /// Stable family label of the backend (e.g. `"spn"`).
+        family: &'static str,
+        /// Discretized query-shape class id the decision keyed on.
+        class: u16,
+    },
     /// One request finished its trip through the concurrent front-end.
     RequestServed {
         /// Server-wide request sequence number.
@@ -457,6 +476,15 @@ impl ServeObserver for JsonlObserver {
                 json_str(reason.label()),
                 queue_depth,
             ),
+            ServeEvent::Routed { index, backend, family, class } => format!(
+                "{{\"event\":\"routed\",\"model\":{},\"query\":{},\"backend\":{},\
+                 \"family\":{},\"class\":{}}}",
+                label,
+                index,
+                json_str(backend),
+                json_str(family),
+                class,
+            ),
             ServeEvent::RequestServed { index, tenant, queue_ms, execute_ms } => format!(
                 "{{\"event\":\"request_served\",\"model\":{},\"request\":{},\"tenant\":{},\
                  \"queue_ms\":{},\"execute_ms\":{}}}",
@@ -472,7 +500,12 @@ impl ServeObserver for JsonlObserver {
         // Degradation events are rare; flush each so a crashing process
         // still leaves the evidence on disk. The per-request/per-batch
         // front-end events are high-rate and stay buffered.
-        if !matches!(event, ServeEvent::RequestServed { .. } | ServeEvent::BatchFlushed { .. }) {
+        if !matches!(
+            event,
+            ServeEvent::RequestServed { .. }
+                | ServeEvent::BatchFlushed { .. }
+                | ServeEvent::Routed { .. }
+        ) {
             let _ = self.out.flush();
         }
     }

@@ -9,7 +9,7 @@ use uae_core::{
     EstimateError, EstimateSource, ResMadeConfig, TrainConfig, Uae, UaeConfig, Validation,
 };
 use uae_data::{Table, Value};
-use uae_query::{CardinalityEstimator, Predicate, Query};
+use uae_query::{CardEstimator, Predicate, Query};
 
 fn table() -> Table {
     Table::from_columns(

@@ -6,8 +6,7 @@ use std::collections::HashSet;
 use uae_core::{ColumnOrder, Uae, UaeConfig};
 use uae_data::census_like;
 use uae_query::{
-    evaluate, generate_workload, CardinalityEstimator, Executor, PredOp, Predicate, Query,
-    WorkloadSpec,
+    evaluate, generate_workload, CardEstimator, Executor, PredOp, Predicate, Query, WorkloadSpec,
 };
 
 fn quick_cfg(order: ColumnOrder) -> UaeConfig {

@@ -224,6 +224,55 @@ mod tests {
     }
 
     #[test]
+    fn ncc_degenerate_columns_read_as_independent() {
+        // Constant columns carry zero entropy: correlation against them
+        // is undefined, and the router must not read them as a
+        // correlated subspace. Same for the empty and single-row cases.
+        let c_const = int_col("k", &[7; 500]);
+        let c_vary = int_col("x", &(0..500).collect::<Vec<i64>>());
+        assert_eq!(ncc(&c_const, &c_vary, 10), 0.0, "constant vs varying");
+        assert_eq!(ncc(&c_vary, &c_const, 10), 0.0, "varying vs constant");
+        assert_eq!(ncc(&c_const, &c_const, 10), 0.0, "constant vs itself");
+
+        let empty = int_col("e", &[]);
+        assert_eq!(ncc(&empty, &int_col("e2", &[]), 10), 0.0, "empty columns");
+
+        let one_a = int_col("a", &[3]);
+        let one_b = int_col("b", &[9]);
+        assert_eq!(ncc(&one_a, &one_b, 10), 0.0, "single-row columns");
+
+        // Fewer than two bins cannot hold a joint distribution.
+        assert_eq!(ncc(&c_vary, &c_vary, 1), 0.0, "degenerate bin count");
+        assert_eq!(ncc(&c_vary, &c_vary, 0), 0.0, "zero bins");
+    }
+
+    #[test]
+    fn ncc_near_constant_column_stays_finite_and_bounded() {
+        // One stray value in an otherwise-constant column: the marginal
+        // entropy is tiny but nonzero — the normalization must not blow
+        // past the [0, 1] contract or go non-finite.
+        let mut xs = vec![5i64; 1000];
+        xs[500] = 6;
+        let near_const = int_col("nc", &xs);
+        let vary = int_col("x", &(0..1000).map(|i| i % 40).collect::<Vec<i64>>());
+        let v = ncc(&near_const, &vary, 10);
+        assert!(v.is_finite(), "near-constant ncc must be finite, got {v}");
+        assert!((0.0..=1.0).contains(&v), "ncc out of [0,1]: {v}");
+        // A near-constant column says almost nothing about an
+        // independent counter — correlation should stay low.
+        assert!(v < 0.5, "near-constant vs independent ncc = {v}");
+    }
+
+    #[test]
+    fn skewness_of_constant_and_tiny_samples_is_zero() {
+        assert_eq!(skewness(&[4.0; 100]), 0.0, "zero variance");
+        assert_eq!(skewness(&[]), 0.0, "empty");
+        assert_eq!(skewness(&[1.0]), 0.0, "single observation");
+        assert_eq!(skewness(&[1.0, 2.0]), 0.0, "two observations");
+        assert_eq!(column_skewness(&int_col("k", &[7; 50])), 0.0, "constant column");
+    }
+
+    #[test]
     fn ncie_orders_correlated_above_independent() {
         let n = 3000usize;
         let base: Vec<i64> = (0..n as i64).map(|i| (i * i + 17) % 40).collect();

@@ -8,7 +8,7 @@
 //! when intersecting regions (the usual histogram assumption).
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, Query, QueryRegion, Region};
+use uae_query::{CardEstimator, EstimatorFamily, Query, QueryCost, QueryRegion, Region};
 
 /// Chow–Liu tree estimator.
 #[derive(Debug)]
@@ -168,8 +168,8 @@ impl BayesNetEstimator {
         }
     }
 
-    /// Estimated selectivity via exact tree message passing over regions.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
+    /// Exact tree message passing over the query's per-column regions.
+    fn message_passing_selectivity(&self, query: &Query) -> f64 {
         let qr = QueryRegion::build(&self.table, query);
         if qr.is_empty() {
             return 0.0;
@@ -245,17 +245,29 @@ fn pairwise_mi(xs: &[u32], ys: &[u32], nx: u32, ny: u32, rows: usize) -> f64 {
     mi
 }
 
-impl CardinalityEstimator for BayesNetEstimator {
+impl CardEstimator for BayesNetEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.message_passing_selectivity(query)
     }
 
     fn size_bytes(&self) -> usize {
         self.cpt.iter().map(|t| t.len() * 8).sum::<usize>() + self.parent.len() * 8
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::BayesNet
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Cheap
     }
 }
 

@@ -3,7 +3,7 @@
 //! "PostgreSQL-like" baseline of the optimizer study, Figure 6).
 
 use uae_data::{Column, Table};
-use uae_query::{CardinalityEstimator, Query, QueryRegion, Region};
+use uae_query::{CardEstimator, EstimatorFamily, Query, QueryCost, QueryRegion, Region};
 
 /// One column's equi-depth histogram over dictionary codes.
 #[derive(Debug, Clone)]
@@ -89,9 +89,18 @@ impl HistogramEstimator {
             table: table.clone(),
         }
     }
+}
 
-    /// Estimated selectivity.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
+impl CardEstimator for HistogramEstimator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
         let region = QueryRegion::build(&self.table, query);
         if region.is_empty() {
             return 0.0;
@@ -104,19 +113,17 @@ impl HistogramEstimator {
         }
         p
     }
-}
-
-impl CardinalityEstimator for HistogramEstimator {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
-    }
 
     fn size_bytes(&self) -> usize {
         self.columns.iter().map(|h| h.num_scalars() * 8).sum()
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Histogram
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Trivial
     }
 }
 

@@ -4,7 +4,9 @@
 //! optimizes the bandwidths against a labeled workload.
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query, QueryRegion, Region};
+use uae_query::{
+    CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost, QueryRegion, Region,
+};
 
 /// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
 pub fn erf(x: f64) -> f64 {
@@ -75,8 +77,7 @@ impl KdeEstimator {
         self.points.first().map_or(0, Vec::len)
     }
 
-    /// Estimated selectivity of a query.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
+    fn kernel_selectivity(&self, query: &Query) -> f64 {
         let qr = QueryRegion::build(&self.table, query);
         if qr.is_empty() {
             return 0.0;
@@ -140,17 +141,29 @@ fn sample_table(table: &Table, ratio: f64, seed: u64) -> Table {
     table.take_rows(&idx)
 }
 
-impl CardinalityEstimator for KdeEstimator {
+impl CardEstimator for KdeEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.kernel_selectivity(query)
     }
 
     fn size_bytes(&self) -> usize {
         self.sample_size() * self.table.num_cols() * 4 + self.bandwidths.len() * 8
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Kde
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Moderate
     }
 }
 
@@ -242,17 +255,29 @@ impl KdeEstimator {
     }
 }
 
-impl CardinalityEstimator for FeedbackKdeEstimator {
+impl CardEstimator for FeedbackKdeEstimator {
     fn name(&self) -> &str {
         &self.inner.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.inner.estimate_card(query)
+    fn num_rows(&self) -> f64 {
+        self.inner.num_rows()
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.inner.estimate_selectivity(query)
     }
 
     fn size_bytes(&self) -> usize {
         self.inner.size_bytes()
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Kde
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Moderate
     }
 }
 

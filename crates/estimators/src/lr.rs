@@ -3,7 +3,7 @@
 //! via the normal equations and a Cholesky factorization.
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query};
+use uae_query::{CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost};
 
 use crate::features::QueryFeaturizer;
 
@@ -98,18 +98,29 @@ pub fn cholesky_solve(a: &mut [f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
     Some(w)
 }
 
-impl CardinalityEstimator for LinearRegressionEstimator {
+impl CardEstimator for LinearRegressionEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        let sel = self.predict_log_sel(query).exp().clamp(0.0, 1.0);
-        sel * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.predict_log_sel(query).exp().clamp(0.0, 1.0)
     }
 
     fn size_bytes(&self) -> usize {
         self.weights.len() * 8
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Regression
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Trivial
     }
 }
 

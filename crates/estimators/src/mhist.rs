@@ -5,7 +5,7 @@
 //! frequency gap; estimation assumes uniformity inside buckets.
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, Query, QueryRegion};
+use uae_query::{CardEstimator, EstimatorFamily, Query, QueryCost, QueryRegion};
 
 /// One axis-aligned bucket.
 #[derive(Debug, Clone)]
@@ -80,8 +80,7 @@ impl MhistEstimator {
         self.counts.len()
     }
 
-    /// Estimated selectivity.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
+    fn selectivity_from_buckets(&self, query: &Query) -> f64 {
         let qr = QueryRegion::build(&self.table, query);
         if qr.is_empty() {
             return 0.0;
@@ -154,18 +153,30 @@ fn split_maxdiff(table: &Table, bucket: &Bucket) -> Option<(Bucket, Bucket)> {
     Some((left, right))
 }
 
-impl CardinalityEstimator for MhistEstimator {
+impl CardEstimator for MhistEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        self.selectivity_from_buckets(query)
     }
 
     fn size_bytes(&self) -> usize {
         // bounds (2 u32 per dim) + count per bucket
         self.bounds.iter().map(|b| b.len() * 8 + 8).sum()
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::MultiDimHistogram
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Cheap
     }
 }
 

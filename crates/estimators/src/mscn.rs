@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query};
+use uae_query::{CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost};
 use uae_tensor::rng::he_uniform;
 use uae_tensor::{Adam, GradStore, Optimizer, ParamId, ParamStore, Tape, Tensor};
 
@@ -181,23 +181,34 @@ impl MscnEstimator {
     }
 }
 
-impl CardinalityEstimator for MscnEstimator {
+impl CardEstimator for MscnEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
         let f = self.features(query);
         let mut tape = Tape::new(&self.store);
         let x = tape.input(Tensor::from_vec(1, f.len(), f));
         let y = self.forward(&mut tape, x);
-        let sel = self.inverse_target(tape.value(y).scalar_value() as f64);
-        sel * self.total_rows as f64
+        self.inverse_target(tape.value(y).scalar_value() as f64)
     }
 
     fn size_bytes(&self) -> usize {
         self.store.size_bytes()
             + self.sample.as_ref().map_or(0, |s| s.num_rows() * s.num_cols() * 4)
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Regression
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Moderate
     }
 }
 

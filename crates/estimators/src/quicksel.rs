@@ -6,7 +6,7 @@
 //! training query's probability matches its observed selectivity.
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query, QueryRegion};
+use uae_query::{CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost, QueryRegion};
 
 /// QuickSel-style estimator.
 #[derive(Debug)]
@@ -89,18 +89,6 @@ impl QuickSelEstimator {
     pub fn num_components(&self) -> usize {
         self.boxes.len()
     }
-
-    /// Estimated selectivity: `Σ_j w_j · P_j(q)`.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
-        let qb = query_box(&self.table, query);
-        let mut sel = 0.0f64;
-        for (cb, &w) in self.boxes.iter().zip(&self.weights) {
-            if w > 0.0 {
-                sel += w * box_overlap_mass(cb, &qb);
-            }
-        }
-        sel.clamp(0.0, 1.0)
-    }
 }
 
 /// Bounding box of a query's per-column regions.
@@ -142,17 +130,37 @@ fn box_overlap_mass(component: &[(u32, u32)], query: &[(u32, u32)]) -> f64 {
     mass
 }
 
-impl CardinalityEstimator for QuickSelEstimator {
+impl CardEstimator for QuickSelEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    /// Estimated selectivity: `Σ_j w_j · P_j(q)`.
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        let qb = query_box(&self.table, query);
+        let mut sel = 0.0f64;
+        for (cb, &w) in self.boxes.iter().zip(&self.weights) {
+            if w > 0.0 {
+                sel += w * box_overlap_mass(cb, &qb);
+            }
+        }
+        sel.clamp(0.0, 1.0)
     }
 
     fn size_bytes(&self) -> usize {
         self.boxes.iter().map(|b| b.len() * 8).sum::<usize>() + self.weights.len() * 8
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Mixture
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Cheap
     }
 }
 

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, Query, QueryRegion};
+use uae_query::{CardEstimator, EstimatorFamily, Query, QueryCost, QueryRegion};
 
 /// Uniform-sample estimator.
 #[derive(Debug)]
@@ -41,12 +41,16 @@ impl SamplingEstimator {
     }
 }
 
-impl CardinalityEstimator for SamplingEstimator {
+impl CardEstimator for SamplingEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
         let region = QueryRegion::build(&self.sample, query);
         if region.is_empty() {
             return 0.0;
@@ -63,7 +67,15 @@ impl CardinalityEstimator for SamplingEstimator {
             }
             hits += 1;
         }
-        hits as f64 * self.total_rows as f64 / m as f64
+        hits as f64 / m as f64
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Sampling
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Moderate
     }
 
     fn size_bytes(&self) -> usize {

@@ -16,7 +16,7 @@
 //! attributes are strongly correlated (DMV).
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, Query, QueryRegion, Region};
+use uae_query::{CardEstimator, EstimatorFamily, Query, QueryCost, QueryRegion, Region};
 
 /// SPN hyper-parameters.
 #[derive(Debug, Clone)]
@@ -71,12 +71,6 @@ impl SpnEstimator {
             total_rows: table.num_rows(),
             num_scalars,
         }
-    }
-
-    /// Estimated selectivity.
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
-        let none = vec![None; self.table.num_cols()];
-        self.estimate_constrained(query, &none)
     }
 
     /// Estimated expectation `E[ Π_c w_c(X_c) · 1[X ∈ R] ]` — selectivity
@@ -317,17 +311,30 @@ fn count_scalars(node: &Node) -> usize {
     }
 }
 
-impl CardinalityEstimator for SpnEstimator {
+impl CardEstimator for SpnEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.total_rows as f64
+    fn num_rows(&self) -> f64 {
+        self.total_rows as f64
+    }
+
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        let none = vec![None; self.table.num_cols()];
+        self.estimate_constrained(query, &none)
     }
 
     fn size_bytes(&self) -> usize {
         self.num_scalars * 8
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::Spn
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Cheap
     }
 }
 

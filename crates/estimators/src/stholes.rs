@@ -12,7 +12,7 @@
 //! original system's scan instrumentation.
 
 use uae_data::Table;
-use uae_query::{CardinalityEstimator, LabeledQuery, Query, QueryRegion};
+use uae_query::{CardEstimator, EstimatorFamily, LabeledQuery, Query, QueryCost, QueryRegion};
 
 /// Axis-aligned box over dictionary codes, `[lo, hi)` per column.
 type BBox = Vec<(u32, u32)>;
@@ -255,12 +255,6 @@ impl StHolesEstimator {
         }
         count
     }
-
-    /// Estimated selectivity (bounding-box semantics, like the original).
-    pub fn estimate_selectivity(&self, query: &Query) -> f64 {
-        let Some(qbox) = self.query_box(query) else { return 0.0 };
-        (self.root.estimate(&qbox) / self.table.num_rows().max(1) as f64).clamp(0.0, 1.0)
-    }
 }
 
 fn collect_holes(bucket: &Bucket, qbox: &BBox, out: &mut Vec<BBox>) {
@@ -272,18 +266,32 @@ fn collect_holes(bucket: &Bucket, qbox: &BBox, out: &mut Vec<BBox>) {
     }
 }
 
-impl CardinalityEstimator for StHolesEstimator {
+impl CardEstimator for StHolesEstimator {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn estimate_card(&self, query: &Query) -> f64 {
-        self.estimate_selectivity(query) * self.table.num_rows() as f64
+    fn num_rows(&self) -> f64 {
+        self.table.num_rows() as f64
+    }
+
+    /// Estimated selectivity (bounding-box semantics, like the original).
+    fn estimate_selectivity(&self, query: &Query) -> f64 {
+        let Some(qbox) = self.query_box(query) else { return 0.0 };
+        (self.root.estimate(&qbox) / self.table.num_rows().max(1) as f64).clamp(0.0, 1.0)
     }
 
     fn size_bytes(&self) -> usize {
         // Per bucket: bbox (2 u32 per dim) + frequency.
         self.num_buckets() * (self.table.num_cols() * 8 + 8)
+    }
+
+    fn family(&self) -> EstimatorFamily {
+        EstimatorFamily::WorkloadHistogram
+    }
+
+    fn cost_class(&self) -> QueryCost {
+        QueryCost::Cheap
     }
 }
 

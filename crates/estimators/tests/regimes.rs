@@ -10,8 +10,7 @@ use uae_estimators::{
     SamplingEstimator, SpnConfig, SpnEstimator, StHolesEstimator,
 };
 use uae_query::{
-    evaluate, generate_workload, label_queries, CardinalityEstimator, Predicate, Query,
-    WorkloadSpec,
+    evaluate, generate_workload, label_queries, CardEstimator, Predicate, Query, WorkloadSpec,
 };
 
 /// Two perfectly correlated columns: AVI's nightmare.
@@ -39,7 +38,7 @@ fn avi_histograms_break_on_correlation_while_structure_learners_do_not() {
     assert!(avi_est < truth / 5.0, "AVI must underestimate: {avi_est} vs {truth}");
 
     for est in [
-        &BayesNetEstimator::new(&t, 64) as &dyn CardinalityEstimator,
+        &BayesNetEstimator::new(&t, 64) as &dyn CardEstimator,
         &SpnEstimator::new(&t, &SpnConfig::default()),
     ] {
         let e = est.estimate_card(&q);

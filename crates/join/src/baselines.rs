@@ -5,7 +5,7 @@
 use uae_estimators::{MscnConfig, MscnEstimator, SpnConfig, SpnEstimator};
 use uae_query::LabeledQuery;
 
-use crate::estimator::{fanout_weights, flat_query, JoinCardinalityEstimator};
+use crate::estimator::{fanout_weights, flat_query, JoinCardEstimator};
 use crate::sampler::JoinSample;
 use crate::schema::{JoinQuery, LabeledJoinQuery};
 
@@ -25,7 +25,7 @@ impl JoinSpn {
     }
 }
 
-impl JoinCardinalityEstimator for JoinSpn {
+impl JoinCardEstimator for JoinSpn {
     fn name(&self) -> &str {
         "DeepDB"
     }
@@ -40,7 +40,7 @@ impl JoinCardinalityEstimator for JoinSpn {
     }
 
     fn size_bytes(&self) -> usize {
-        use uae_query::CardinalityEstimator as _;
+        use uae_query::CardEstimator as _;
         self.spn.size_bytes()
     }
 }
@@ -72,13 +72,13 @@ impl JoinMscn {
     }
 }
 
-impl JoinCardinalityEstimator for JoinMscn {
+impl JoinCardEstimator for JoinMscn {
     fn name(&self) -> &str {
         "MSCN+sampling"
     }
 
     fn estimate_join_card(&self, query: &JoinQuery) -> f64 {
-        use uae_query::CardinalityEstimator as _;
+        use uae_query::CardEstimator as _;
         let flat = flat_query(&self.sample.layout, query);
         // The inner MSCN was trained on J-normalized selectivities; its
         // "cardinality" is relative to the sample's row count.
@@ -87,7 +87,7 @@ impl JoinCardinalityEstimator for JoinMscn {
     }
 
     fn size_bytes(&self) -> usize {
-        use uae_query::CardinalityEstimator as _;
+        use uae_query::CardEstimator as _;
         self.mscn.size_bytes()
     }
 }

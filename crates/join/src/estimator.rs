@@ -11,13 +11,13 @@ use crate::sampler::JoinSample;
 use crate::schema::{JoinQuery, LabeledJoinQuery};
 
 /// Estimators over a star schema.
-pub trait JoinCardinalityEstimator {
+pub trait JoinCardEstimator {
     /// Display name.
     fn name(&self) -> &str;
     /// Estimated cardinality of a join query.
     fn estimate_join_card(&self, query: &JoinQuery) -> f64;
     /// Estimated cardinalities of a batch of join queries. The default
-    /// loops over [`JoinCardinalityEstimator::estimate_join_card`];
+    /// loops over [`JoinCardEstimator::estimate_join_card`];
     /// [`JoinUae`] overrides it with the cross-query batched sampler.
     fn estimate_join_cards(&self, queries: &[JoinQuery]) -> Vec<f64> {
         queries.iter().map(|q| self.estimate_join_card(q)).collect()
@@ -217,7 +217,7 @@ fn single_vcol(uae: &Uae, table_col: usize) -> usize {
     }
 }
 
-impl JoinCardinalityEstimator for JoinUae {
+impl JoinCardEstimator for JoinUae {
     fn name(&self) -> &str {
         &self.name
     }
@@ -231,7 +231,7 @@ impl JoinCardinalityEstimator for JoinUae {
     }
 
     fn size_bytes(&self) -> usize {
-        use uae_query::CardinalityEstimator as _;
+        use uae_query::CardEstimator as _;
         self.uae.size_bytes()
     }
 }

@@ -26,7 +26,7 @@ pub mod synth;
 pub mod workload;
 
 pub use baselines::{JoinMscn, JoinSpn};
-pub use estimator::{fanout_weights, flat_query, JoinCardinalityEstimator, JoinUae};
+pub use estimator::{fanout_weights, flat_query, JoinCardEstimator, JoinUae};
 pub use executor::{label_join_queries, JoinExecutor};
 pub use optimizer::{best_plan, plan_cost, study_query, Plan, PostgresLike, SubplanEstimator};
 pub use sampler::{sample_outer_join, JoinSample};

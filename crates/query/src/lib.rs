@@ -21,12 +21,13 @@ pub mod region;
 pub mod report;
 pub mod workload;
 
-pub use estimator::{evaluate, CardinalityEstimator, Evaluation};
+pub use estimator::{evaluate, CardEstimator, EstimatorFamily, Evaluation, QueryCost};
 pub use executor::{label_queries, Executor, LabeledQuery};
 pub use metrics::{q_error, ErrorSummary};
 pub use parse::{parse_disjunction, parse_query};
 pub use predicate::{PredOp, Predicate, Query};
 pub use region::{predicate_region, QueryRegion, Region};
 pub use workload::{
-    default_bounded_column, fingerprints, generate_workload, BoundedSpec, WorkloadSpec,
+    default_bounded_column, fingerprints, generate_correlated_workload, generate_workload,
+    BoundedSpec, CorrelatedSpec, WorkloadSpec,
 };

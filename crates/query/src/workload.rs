@@ -201,6 +201,106 @@ fn sample_op(
     }
 }
 
+/// Specification of a **correlated-pair** workload: every query pins
+/// `eq_column` by equality, upper-bounds `le_column` with a little
+/// slack, and windows `window_column` — all literals anchored at a
+/// randomly sampled tuple, so every query sits squarely on the table's
+/// cross-column dependencies (e.g. dmv's `county ≈ f(state)` and
+/// `date ≈ f(state, class)`). Estimators that factor these columns
+/// independently (per-column histograms, SPNs whose row clustering is
+/// coarser than the value-level dependency patterns) err on this
+/// workload by construction, while query-trained models and row
+/// samples answer it well — the heterogeneity the model-fleet router
+/// exploits.
+#[derive(Debug, Clone)]
+pub struct CorrelatedSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// How many (satisfiable, deduplicated) queries to produce.
+    pub num_queries: usize,
+    /// Column pinned by equality at the anchor tuple's value.
+    pub eq_column: usize,
+    /// Column upper-bounded at the anchor's code plus some slack.
+    pub le_column: usize,
+    /// Column constrained to a code window around the anchor.
+    pub window_column: usize,
+    /// Inclusive range of the `le_column` slack, in dictionary codes.
+    pub slack: (u32, u32),
+    /// Inclusive range of the `window_column` half-window, in codes.
+    pub window: (u32, u32),
+}
+
+impl CorrelatedSpec {
+    /// Defaults for a dmv-like table: queries on (`state`, `county`,
+    /// `reg_valid_date`) with mild slack and a moderate date window.
+    pub fn dmv(table: &Table, num_queries: usize, seed: u64) -> Option<Self> {
+        Some(CorrelatedSpec {
+            seed,
+            num_queries,
+            eq_column: table.column_index("state")?,
+            le_column: table.column_index("county")?,
+            window_column: table.column_index("reg_valid_date")?,
+            slack: (1, 4),
+            window: (30, 150),
+        })
+    }
+}
+
+/// Generate a labeled correlated-pair workload (see [`CorrelatedSpec`]).
+/// Queries are satisfiable, mutually distinct and distinct from
+/// `exclude`, like [`generate_workload`].
+pub fn generate_correlated_workload(
+    table: &Table,
+    spec: &CorrelatedSpec,
+    exclude: &HashSet<u64>,
+) -> Vec<LabeledQuery> {
+    assert!(table.num_rows() > 0, "cannot generate workload over an empty table");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut seen: HashSet<u64> = exclude.clone();
+    let mut out: Vec<LabeledQuery> = Vec::with_capacity(spec.num_queries);
+    let mut stall_guard = 0usize;
+    let le_col = table.column(spec.le_column);
+    let win_col = table.column(spec.window_column);
+    while out.len() < spec.num_queries {
+        stall_guard += 1;
+        assert!(
+            stall_guard < 200,
+            "correlated workload generation stalled; table too small for {} distinct queries",
+            spec.num_queries
+        );
+        let want = spec.num_queries - out.len();
+        let candidates: Vec<Query> = (0..(want * 2).max(16))
+            .map(|_| {
+                let row = rng.random_range(0..table.num_rows());
+                let slack = rng.random_range(spec.slack.0..=spec.slack.1);
+                let half = rng.random_range(spec.window.0..=spec.window.1);
+                let le_code = (le_col.code(row) + slack).min(le_col.domain_size() as u32 - 1);
+                let wc = win_col.code(row);
+                let wlo = wc.saturating_sub(half);
+                let whi = (wc + half).min(win_col.domain_size() as u32 - 1);
+                Query::new(vec![
+                    Predicate::eq(spec.eq_column, table.column(spec.eq_column).value(row).clone()),
+                    Predicate::le(spec.le_column, le_col.dict()[le_code as usize].clone()),
+                    Predicate::ge(spec.window_column, win_col.dict()[wlo as usize].clone()),
+                    Predicate::le(spec.window_column, win_col.dict()[whi as usize].clone()),
+                ])
+            })
+            .collect();
+        for lq in label_queries(table, candidates) {
+            if lq.cardinality == 0 {
+                continue;
+            }
+            if seen.insert(lq.query.fingerprint()) {
+                out.push(lq);
+                if out.len() == spec.num_queries {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// The `k` shifted center windows used by the incremental-workload
 /// experiment (§5.4): partition `i` draws its bounded centers from
 /// `[i/k, (i+1)/k)` of the domain, so each partition focuses on a
@@ -257,6 +357,26 @@ mod tests {
         let col = default_bounded_column(&t);
         let widest = t.domain_sizes().into_iter().max().unwrap();
         assert_eq!(t.column(col).domain_size(), widest);
+    }
+
+    #[test]
+    fn correlated_workload_pins_dependency_columns() {
+        let t = dmv_like(2000, 9);
+        let spec = CorrelatedSpec::dmv(&t, 40, 3).expect("dmv columns present");
+        let w = generate_correlated_workload(&t, &spec, &HashSet::new());
+        assert_eq!(w.len(), 40);
+        assert!(w.iter().all(|lq| lq.cardinality >= 1));
+        assert_eq!(fingerprints(&w).len(), 40, "queries must be distinct");
+        // Every query constrains the full (eq, le, window) triple.
+        for lq in &w {
+            let touched = lq.query.touched_columns();
+            for c in [spec.eq_column, spec.le_column, spec.window_column] {
+                assert!(touched.contains(&c), "missing dependency column {c}");
+            }
+        }
+        // And the generation replays deterministically.
+        let again = generate_correlated_workload(&t, &spec, &HashSet::new());
+        assert_eq!(fingerprints(&w), fingerprints(&again));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use uae_core::Uae;
+use uae_core::{QueryPool, Router, Uae};
 
 /// Latency-SLO degradation ladder for one tenant (or the server default).
 ///
@@ -204,6 +204,14 @@ pub struct Tenant {
     /// Hysteresis state for this tenant's degradation ladder (driven at
     /// flush time by the dispatcher's clock).
     ladder: Mutex<LadderState>,
+    /// Optional model fleet: a shape-aware router over baseline backends.
+    /// `None` (the default) serves every query through the primary model,
+    /// bit-identically to a pre-fleet server. Swappable like the model.
+    router: RwLock<Option<Arc<Router>>>,
+    /// Optional shared label stream: served queries whose true
+    /// cardinalities arrive later are pushed here, feeding the online
+    /// trainer and future router recalibration from one pool.
+    pool: RwLock<Option<Arc<QueryPool>>>,
 }
 
 impl Tenant {
@@ -226,6 +234,17 @@ impl Tenant {
     /// This tenant's degradation ladder, if it overrides the server's.
     pub fn degrade(&self) -> Option<&DegradeConfig> {
         self.degrade.as_ref()
+    }
+
+    /// The tenant's fleet router, if one is installed (cheap `Arc`
+    /// clone, same discipline as [`Tenant::model`]).
+    pub fn router(&self) -> Option<Arc<Router>> {
+        self.router.read().clone()
+    }
+
+    /// The tenant's shared label pool, if one is attached.
+    pub fn pool(&self) -> Option<Arc<QueryPool>> {
+        self.pool.read().clone()
     }
 
     /// Advance this tenant's hysteretic ladder under the current load
@@ -304,6 +323,8 @@ impl Registry {
             model: RwLock::new(Arc::new(model)),
             degrade,
             ladder: Mutex::new(LadderState::default()),
+            router: RwLock::new(None),
+            pool: RwLock::new(None),
         });
         by_lane.push(tenant.clone());
         tenants.insert(name, tenant.clone());
@@ -319,6 +340,35 @@ impl Registry {
         let prior = std::mem::replace(&mut *slot, Arc::new(model));
         self.swap_epoch.fetch_add(1, Ordering::SeqCst);
         Ok(prior)
+    }
+
+    /// Install (or replace, or with `None` remove) a fleet router for
+    /// `name`. Routing engages at the next batch flush — in-flight
+    /// batches finish under the routing they started with. Counts as a
+    /// publication: the swap epoch bumps so the front-end resets its
+    /// rolling latency window (pre-fleet samples describe a different
+    /// serving mix).
+    pub fn set_router(&self, name: &str, router: Option<Arc<Router>>) -> Result<(), UnknownTenant> {
+        let tenants = self.tenants.read();
+        let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
+        *tenant.router.write() = router;
+        self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Attach (or with `None` detach) the shared label pool for `name`.
+    /// Once attached, the server records served queries and joins
+    /// later-arriving true cardinalities into this pool (see
+    /// `Server::resolve_truth`).
+    pub fn attach_pool(
+        &self,
+        name: &str,
+        pool: Option<Arc<QueryPool>>,
+    ) -> Result<(), UnknownTenant> {
+        let tenants = self.tenants.read();
+        let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
+        *tenant.pool.write() = pool;
+        Ok(())
     }
 
     /// Monotone counter of model publications (swaps and re-registers).

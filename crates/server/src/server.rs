@@ -27,7 +27,7 @@
 //! batches, runs them to completion and joins all threads — every
 //! accepted request is answered before `shutdown` returns.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -36,8 +36,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
-use uae_core::{Estimate, EstimateError, EstimateSource, FlushReason, ServeEvent, ServeObserver};
-use uae_query::Query;
+use uae_core::{
+    BackendChoice, Estimate, EstimateError, EstimateSource, FlushReason, ServeEvent, ServeObserver,
+};
+use uae_query::{CardEstimator, LabeledQuery, Query};
 
 use crate::batcher::{MicroBatcher, Poll};
 use crate::registry::{DegradeConfig, Registry, Tenant};
@@ -100,6 +102,10 @@ pub struct ServerConfig {
     /// `Drain`-reason batches. Tests use this to build exact batches
     /// without timing races.
     pub start_paused: bool,
+    /// How many served queries to keep waiting for a true cardinality
+    /// (tenants with an attached [`uae_core::QueryPool`]). When full,
+    /// the oldest pending entry is evicted (`labels_dropped`).
+    pub label_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +120,7 @@ impl Default for ServerConfig {
             latency_window: 512,
             fault: ServerFaultPlan::default(),
             start_paused: false,
+            label_buffer: 4096,
         }
     }
 }
@@ -224,16 +231,23 @@ impl ReplySlot {
 
 /// Handle to one in-flight request's eventual reply.
 pub struct Ticket {
+    id: u64,
     slot: Arc<ReplySlot>,
 }
 
 impl std::fmt::Debug for Ticket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ticket").finish_non_exhaustive()
+        f.debug_struct("Ticket").field("id", &self.id).finish_non_exhaustive()
     }
 }
 
 impl Ticket {
+    /// The server-wide request id, the key [`Server::resolve_truth`]
+    /// accepts once the query's true cardinality becomes known.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Block until the reply arrives. Every accepted request is
     /// answered — [`Server::shutdown`] drains the backlog before
     /// returning, so `wait` cannot hang on a clean shutdown.
@@ -317,6 +331,47 @@ struct PauseGate {
     cv: Condvar,
 }
 
+/// Bounded store of served-but-unlabeled queries, keyed by request id,
+/// waiting for [`Server::resolve_truth`]. FIFO eviction: truths that
+/// never arrive must not pin memory forever.
+struct PendingLabels {
+    map: HashMap<u64, (Arc<Tenant>, Query)>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl PendingLabels {
+    fn new(cap: usize) -> Self {
+        PendingLabels { map: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    /// Record one entry; returns how many old entries were evicted.
+    fn record(&mut self, id: u64, tenant: Arc<Tenant>, query: Query) -> u64 {
+        let mut evicted = 0;
+        if self.cap == 0 {
+            return 1;
+        }
+        while self.map.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    if self.map.remove(&old).is_some() {
+                        evicted += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.map.insert(id, (tenant, query));
+        self.order.push_back(id);
+        evicted
+    }
+
+    fn remove(&mut self, id: u64) -> Option<(Arc<Tenant>, Query)> {
+        // `order` is lazily cleaned: stale ids fail the map lookup above.
+        self.map.remove(&id)
+    }
+}
+
 /// Shared state every pipeline thread sees.
 struct Shared {
     registry: Arc<Registry>,
@@ -334,6 +389,9 @@ struct Shared {
     /// the rolling latency window (pre-swap samples describe the old
     /// model).
     seen_swap_epoch: AtomicU64,
+    /// Served queries awaiting their true cardinality (only for tenants
+    /// with an attached `QueryPool`).
+    labels: parking_lot::Mutex<PendingLabels>,
 }
 
 impl Shared {
@@ -373,6 +431,7 @@ impl Server {
             degrade: cfg.degrade.clone(),
             fault: cfg.fault.clone(),
             seen_swap_epoch: AtomicU64::new(registry.swap_epoch()),
+            labels: parking_lot::Mutex::new(PendingLabels::new(cfg.label_buffer)),
         });
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let dispatcher = {
@@ -434,18 +493,14 @@ impl Server {
             return Err(SubmitError::ShuttingDown);
         };
         let reply = Arc::new(ReplySlot::new());
-        let request = Request {
-            id: self.shared.request_seq.fetch_add(1, Ordering::SeqCst),
-            tenant,
-            query,
-            reply: reply.clone(),
-            submitted: Instant::now(),
-        };
+        let id = self.shared.request_seq.fetch_add(1, Ordering::SeqCst);
+        let request =
+            Request { id, tenant, query, reply: reply.clone(), submitted: Instant::now() };
         match tx.try_send(request) {
             Ok(()) => {
                 self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
                 self.shared.stats.enter();
-                Ok(Ticket { slot: reply })
+                Ok(Ticket { id, slot: reply })
             }
             Err(TrySendError::Full(_)) => {
                 self.shared.stats.rejected_overloaded.fetch_add(1, Ordering::SeqCst);
@@ -459,6 +514,32 @@ impl Server {
     pub fn estimate(&self, tenant: &str, query: Query) -> Result<Estimate, ServeCallError> {
         let ticket = self.submit(tenant, query).map_err(ServeCallError::Submit)?;
         ticket.wait().map_err(ServeCallError::Serve)
+    }
+
+    /// Deliver the true cardinality for an earlier request (identified
+    /// by [`Ticket::id`]), closing the online-learning loop: the label
+    /// joins the tenant's attached [`uae_core::QueryPool`] — the same
+    /// pool an `OnlineLearner` trains from — as a [`LabeledQuery`].
+    /// Returns `false` if the request was never recorded (no pool
+    /// attached when it was served), already resolved, or evicted.
+    pub fn resolve_truth(&self, request_id: u64, true_card: u64) -> bool {
+        let entry = self.shared.labels.lock().remove(request_id);
+        let Some((tenant, query)) = entry else {
+            return false;
+        };
+        let Some(pool) = tenant.pool() else {
+            return false;
+        };
+        let rows = tenant.model().num_rows();
+        let selectivity = if rows > 0.0 { (true_card as f64 / rows).clamp(0.0, 1.0) } else { 0.0 };
+        pool.push(LabeledQuery { query, cardinality: true_card, selectivity });
+        self.shared.stats.labels_resolved.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Served queries currently waiting for [`Server::resolve_truth`].
+    pub fn pending_labels(&self) -> usize {
+        self.shared.labels.lock().map.len()
     }
 
     /// Pause the dispatcher: accepted requests queue up (to capacity)
@@ -672,36 +753,123 @@ fn executor_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Execute one micro-batch end to end: model call (panic-isolated),
-/// replies, latency accounting, telemetry.
+/// Execute one micro-batch end to end: route (when the tenant holds a
+/// fleet), model call (panic-isolated), replies, latency accounting,
+/// telemetry.
+///
+/// Without a router the batch runs exactly as before — one
+/// `try_estimate_cards_with` call over every query. With one, each
+/// query's [`RouteDecision`](uae_core::RouteDecision) partitions the
+/// batch: the primary subset still goes through the model's full
+/// cascade (in batch order, so the sampler's RNG stream matches a
+/// router-replay of the same workload), while routed queries are
+/// answered by the chosen baseline backend and tagged
+/// [`EstimateSource::Routed`].
+/// Per-request batch outcome: the estimate (or error) plus, when a
+/// router served it, the `(backend index, shape class)` it was routed to.
+type BatchOutcome = (Result<Estimate, ServerError>, Option<(usize, u16)>);
+
 fn run_batch(shared: &Arc<Shared>, job: BatchJob) {
     let n = job.requests.len();
     let queries: Vec<Query> = job.requests.iter().map(|r| r.query.clone()).collect();
     let model = job.tenant.model();
+    let router = job.tenant.router();
     let exec_start = Instant::now();
-    let attempt = catch_unwind(AssertUnwindSafe(|| {
+    // Each slot: the estimate plus, for routed queries, the backend
+    // index and shape class (for the `Routed` telemetry event).
+    type Slot = (Result<Estimate, EstimateError>, Option<(usize, u16)>);
+    let attempt = catch_unwind(AssertUnwindSafe(|| -> Vec<Slot> {
         if shared.fault.panics(job.seq) {
             panic!("uae-server: fault-plan panic (batch {})", job.seq);
         }
-        model.try_estimate_cards_with(&queries, job.samples_override)
+        match router.as_deref() {
+            None => model
+                .try_estimate_cards_with(&queries, job.samples_override)
+                .into_iter()
+                .map(|r| (r, None))
+                .collect(),
+            Some(router) => {
+                let decisions = router.decide_batch(&queries);
+                let primary_queries: Vec<Query> = decisions
+                    .iter()
+                    .zip(&queries)
+                    .filter(|(d, _)| d.choice == BackendChoice::Primary)
+                    .map(|(_, q)| q.clone())
+                    .collect();
+                let mut primary = model
+                    .try_estimate_cards_with(&primary_queries, job.samples_override)
+                    .into_iter();
+                decisions
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| match d.choice {
+                        BackendChoice::Primary => {
+                            (primary.next().expect("one result per primary query"), None)
+                        }
+                        BackendChoice::Backend(b) => {
+                            (router.estimate_routed(b, &queries[i]), Some((b, d.class)))
+                        }
+                    })
+                    .collect()
+            }
+        }
     }));
     let execute_ms = exec_start.elapsed().as_secs_f64() * 1e3;
     let stats = &shared.stats;
-    let results: Vec<Result<Estimate, ServerError>> = match attempt {
-        Ok(results) => results.into_iter().map(|r| r.map_err(ServerError::from)).collect(),
+    let results: Vec<BatchOutcome> = match attempt {
+        Ok(results) => {
+            results.into_iter().map(|(r, routed)| (r.map_err(ServerError::from), routed)).collect()
+        }
         Err(_) => {
             stats.executor_panics.fetch_add(1, Ordering::SeqCst);
-            (0..n).map(|_| Err(ServerError::ExecutorPanic)).collect()
+            (0..n).map(|_| (Err(ServerError::ExecutorPanic), None)).collect()
         }
     };
+    // Record served queries for later truth resolution *before* any
+    // reply is filled: once `Ticket::wait` returns, the caller may
+    // immediately call `resolve_truth` with the ticket id.
+    if job.tenant.pool().is_some() {
+        let pending: Vec<(u64, Query)> = job
+            .requests
+            .iter()
+            .zip(&results)
+            .filter(|(_, (r, _))| r.is_ok())
+            .map(|(req, _)| (req.id, req.query.clone()))
+            .collect();
+        if !pending.is_empty() {
+            let recorded = pending.len() as u64;
+            let mut dropped = 0u64;
+            let mut labels = shared.labels.lock();
+            for (id, query) in pending {
+                dropped += labels.record(id, job.tenant.clone(), query);
+            }
+            drop(labels);
+            stats.labels_recorded.fetch_add(recorded, Ordering::SeqCst);
+            if dropped > 0 {
+                stats.labels_dropped.fetch_add(dropped, Ordering::SeqCst);
+            }
+        }
+    }
     let mut queue_ns_total = 0u64;
     let mut exec_ns_total = 0u64;
-    for (req, result) in job.requests.into_iter().zip(results) {
+    for (req, (result, routed)) in job.requests.into_iter().zip(results) {
         match &result {
             Ok(est) => {
                 stats.completed.fetch_add(1, Ordering::SeqCst);
                 if est.source == EstimateSource::ModelDegraded {
                     stats.degraded_requests.fetch_add(1, Ordering::SeqCst);
+                }
+                if let Some((b, class)) = routed {
+                    stats.routed_requests.fetch_add(1, Ordering::SeqCst);
+                    if let Some(router) = router.as_deref() {
+                        let backend = &router.backends()[b];
+                        shared.emit(ServeEvent::Routed {
+                            index: req.id,
+                            backend: backend.name().to_owned(),
+                            family: backend.family().label(),
+                            class,
+                        });
+                    }
                 }
             }
             Err(ServerError::Estimate(_)) => {

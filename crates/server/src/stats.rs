@@ -114,6 +114,10 @@ pub struct ServerStatsCell {
     pub(crate) query_errors: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) degraded_requests: AtomicU64,
+    pub(crate) routed_requests: AtomicU64,
+    pub(crate) labels_recorded: AtomicU64,
+    pub(crate) labels_resolved: AtomicU64,
+    pub(crate) labels_dropped: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) flush_size: AtomicU64,
     pub(crate) flush_deadline: AtomicU64,
@@ -159,6 +163,10 @@ impl ServerStatsCell {
             query_errors: ld(&self.query_errors),
             failed: ld(&self.failed),
             degraded_requests: ld(&self.degraded_requests),
+            routed_requests: ld(&self.routed_requests),
+            labels_recorded: ld(&self.labels_recorded),
+            labels_resolved: ld(&self.labels_resolved),
+            labels_dropped: ld(&self.labels_dropped),
             batches: ld(&self.batches),
             flush_size: ld(&self.flush_size),
             flush_deadline: ld(&self.flush_deadline),
@@ -195,6 +203,20 @@ pub struct ServerStats {
     pub failed: u64,
     /// Requests served under a degraded (shrunken) sample budget.
     pub degraded_requests: u64,
+    /// Requests a tenant's fleet router sent to a baseline backend
+    /// instead of the primary model (results carry
+    /// `EstimateSource::Routed`). Deliberate choices, not degradations —
+    /// never double-counted in `failed` or the model's fallback tallies.
+    pub routed_requests: u64,
+    /// Served queries recorded as awaiting a true cardinality (tenants
+    /// with an attached label pool).
+    pub labels_recorded: u64,
+    /// Recorded queries whose true cardinality arrived and was joined
+    /// into the tenant's shared `QueryPool`.
+    pub labels_resolved: u64,
+    /// Recorded queries evicted before their truth arrived (pending-label
+    /// buffer full — oldest first).
+    pub labels_dropped: u64,
     /// Micro-batches executed.
     pub batches: u64,
     /// Batches closed because they reached `max_batch`.

@@ -13,7 +13,7 @@ use uae::estimators::{
 };
 use uae::query::estimator::format_size;
 use uae::query::{
-    default_bounded_column, evaluate, generate_workload, CardinalityEstimator, WorkloadSpec,
+    default_bounded_column, evaluate, generate_workload, CardEstimator, WorkloadSpec,
 };
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
         "\n{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
         "model", "size", "mean", "median", "95th", "max"
     );
-    let report = |est: &dyn CardinalityEstimator| {
+    let report = |est: &dyn CardEstimator| {
         let ev = evaluate(est, &test);
         println!(
             "{:<12} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",

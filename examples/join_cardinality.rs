@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use uae::join::optimizer::{best_plan, plan_cost, PostgresLike, TruthEstimator};
 use uae::join::{
-    generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinExecutor,
+    generate_join_workload, imdb_like, sample_outer_join, JoinCardEstimator, JoinExecutor,
     JoinQuery, JoinUae, JoinWorkloadSpec,
 };
 use uae::query::Predicate;

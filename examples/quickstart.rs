@@ -9,8 +9,7 @@ use std::collections::HashSet;
 
 use uae::core::{Uae, UaeConfig};
 use uae::query::{
-    default_bounded_column, evaluate, generate_workload, CardinalityEstimator, Executor,
-    WorkloadSpec,
+    default_bounded_column, evaluate, generate_workload, CardEstimator, Executor, WorkloadSpec,
 };
 
 fn main() {

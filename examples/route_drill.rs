@@ -1,0 +1,299 @@
+//! The model-fleet routing drill (ROADMAP item 4): two workload regimes
+//! with *different* best estimators — dmv-like data under a correlated
+//! query distribution that sits on value-level dependencies no
+//! independence-factoring model can capture, and kddcup-like
+//! high-dimensional mutually-independent data under narrow random
+//! queries (the paper's finding (6) regime, where the autoregressive
+//! tail degrades and SPN/histogram models thrive while tiny
+//! selectivities starve row samples). A per-regime calibrated
+//! [`Router`] must:
+//!
+//! 1. route **deterministically** — rebuilding the router from the same
+//!    seeds and replaying the workload reproduces every decision and
+//!    every fleet estimate bit for bit;
+//! 2. be **no worse** than the best single estimator on each regime
+//!    (median q-error);
+//! 3. be **strictly better** than every single estimator on the blended
+//!    (both regimes pooled) median *and* p95 q-error.
+//!
+//! Routing telemetry (one `routed` JSONL line per backend-served query)
+//! goes to `--metrics-out`; CI runs the drill in the default and
+//! `UAE_FORCE_SCALAR=1` modes and fails the build on any miss.
+//!
+//! ```sh
+//! cargo run --release --example route_drill -- \
+//!     --metrics-out target/routing_telemetry.jsonl
+//! ```
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use uae::core::{
+    JsonlObserver, ResMadeConfig, RouteConfig, RoutedFleet, Router, TrainConfig, Uae, UaeConfig,
+};
+use uae::data::{dmv_like, kddcup_like, Table};
+use uae::estimators::{HistogramEstimator, SamplingEstimator, SpnConfig, SpnEstimator};
+use uae::query::{
+    fingerprints, generate_correlated_workload, generate_workload, q_error, CardEstimator,
+    CorrelatedSpec, LabeledQuery, Query, WorkloadSpec,
+};
+
+const DMV_ROWS: usize = 2500;
+const KDD_ROWS: usize = 2000;
+const KDD_COLS: usize = 32;
+const TRAIN_QUERIES: usize = 400;
+const HOLDOUT_QUERIES: usize = 90;
+const TEST_QUERIES: usize = 90;
+/// "No worse" per regime, with a small grace for quantile noise at
+/// drill scale.
+const REGIME_GRACE: f64 = 1.05;
+/// Per-regime uniform row-sample kept by the sampling backend,
+/// mirroring uae-bench's per-dataset sample budgets: generous on the
+/// small correlated table (moderate-selectivity queries are then
+/// near-exact), starved on the wide table whose narrow queries defeat
+/// sampling.
+const DMV_SAMPLE_RATIO: f64 = 0.7;
+const KDD_SAMPLE_RATIO: f64 = 0.02;
+
+fn metrics_out() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        } else if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return PathBuf::from(p);
+        }
+    }
+    PathBuf::from("target/routing_telemetry.jsonl")
+}
+
+fn quantile(errs: &[f64], q: f64) -> f64 {
+    if errs.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut s = errs.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[((s.len() - 1) as f64 * q).round() as usize]
+}
+
+fn qerrs(est: &dyn CardEstimator, test: &[LabeledQuery]) -> Vec<f64> {
+    let queries: Vec<Query> = test.iter().map(|lq| lq.query.clone()).collect();
+    est.estimate_cards(&queries)
+        .iter()
+        .zip(test)
+        .map(|(&e, lq)| q_error(lq.cardinality as f64, e))
+        .collect()
+}
+
+/// One workload regime: table, holdout/test workloads, trained primary.
+struct Regime {
+    name: &'static str,
+    table: Table,
+    holdout: Vec<LabeledQuery>,
+    test: Vec<LabeledQuery>,
+    uae: Uae,
+    sample_ratio: f64,
+}
+
+impl Regime {
+    fn backends(&self) -> Vec<Arc<dyn CardEstimator>> {
+        vec![
+            Arc::new(HistogramEstimator::new(&self.table, 64)),
+            Arc::new(SpnEstimator::new(&self.table, &SpnConfig::default())),
+            Arc::new(SamplingEstimator::new(&self.table, self.sample_ratio, 0x5A17)),
+        ]
+    }
+
+    fn router(&self) -> Router {
+        Router::calibrate(
+            &self.table,
+            &self.uae.clone(),
+            self.backends(),
+            &self.holdout,
+            RouteConfig::default(),
+        )
+    }
+
+    fn singles(&self) -> Vec<(String, Box<dyn CardEstimator>)> {
+        vec![
+            ("UAE".into(), Box::new(self.uae.clone())),
+            ("Histogram".into(), Box::new(HistogramEstimator::new(&self.table, 64))),
+            ("DeepDB".into(), Box::new(SpnEstimator::new(&self.table, &SpnConfig::default()))),
+            (
+                "Sampling".into(),
+                Box::new(SamplingEstimator::new(&self.table, self.sample_ratio, 0x5A17)),
+            ),
+        ]
+    }
+}
+
+fn build_regime(
+    name: &'static str,
+    table: Table,
+    workload: impl Fn(&Table, usize, u64, &HashSet<u64>) -> Vec<LabeledQuery>,
+    seed: u64,
+    epochs: usize,
+    sample_ratio: f64,
+) -> Regime {
+    let train = workload(&table, TRAIN_QUERIES, seed, &HashSet::new());
+    let excl = fingerprints(&train);
+    let holdout = workload(&table, HOLDOUT_QUERIES, seed ^ 0x44, &excl);
+    let test = workload(&table, TEST_QUERIES, seed ^ 0x55, &excl);
+    let cfg = UaeConfig {
+        model: ResMadeConfig { hidden: 48, blocks: 1, seed: 7 },
+        train: TrainConfig { batch_size: 128, ..TrainConfig::default() },
+        estimate_samples: 256,
+        ..UaeConfig::default()
+    };
+    let mut uae = Uae::new(&table, cfg);
+    eprintln!("[route] [{name}] training hybrid UAE ({epochs} epochs)…");
+    uae.train_hybrid(&train, epochs);
+    Regime { name, table, holdout, test, uae, sample_ratio }
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let metrics = metrics_out();
+    if let Some(dir) = metrics.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+
+    // Regime A: strongly correlated table, with every query sitting on
+    // the value-level dependencies (county ≈ f(state), date ≈ f(state,
+    // class)) that the SPN's coarse row clustering and the histogram's
+    // per-column factorization both model as independent — while a
+    // generous row sample answers them near-exactly.
+    let dmv = dmv_like(DMV_ROWS, 0xCE05);
+    let regime_a = build_regime(
+        "dmv/correlated",
+        dmv,
+        |t, n, s, excl| {
+            let spec = CorrelatedSpec::dmv(t, n, s).expect("dmv dependency columns");
+            generate_correlated_workload(t, &spec, excl)
+        },
+        0xA11A,
+        12,
+        DMV_SAMPLE_RATIO,
+    );
+    // Regime B: wide mutually-independent table, random narrow queries
+    // (5–9 filters) — where the autoregressive tail degrades (paper
+    // finding 6) and tiny selectivities starve the row sample.
+    let kdd = kddcup_like(KDD_ROWS, KDD_COLS, 0x5EED);
+    let regime_b = build_regime(
+        "kddcup/random",
+        kdd,
+        |t, n, s, excl| {
+            generate_workload(
+                t,
+                &WorkloadSpec { seed: s, num_queries: n, bounded: None, nf_range: (5, 9) },
+                excl,
+            )
+        },
+        0xB22B,
+        2,
+        KDD_SAMPLE_RATIO,
+    );
+    let regimes = [regime_a, regime_b];
+
+    // ---- determinism: same seeds ⇒ same policy, decisions, estimates --
+    for r in &regimes {
+        let ra = r.router();
+        let rb = r.router();
+        assert_eq!(ra.policy(), rb.policy(), "[{}] calibration must be deterministic", r.name);
+        let queries: Vec<Query> = r.test.iter().map(|lq| lq.query.clone()).collect();
+        assert_eq!(
+            ra.decide_batch(&queries),
+            rb.decide_batch(&queries),
+            "[{}] decisions must replay identically",
+            r.name
+        );
+        let fa = RoutedFleet::new(Arc::new(r.uae.clone()), Arc::new(ra));
+        let fb = RoutedFleet::new(Arc::new(r.uae.clone()), Arc::new(rb));
+        assert_eq!(
+            fa.try_estimate_cards(&queries),
+            fb.try_estimate_cards(&queries),
+            "[{}] fleet estimates must replay bit-identically",
+            r.name
+        );
+    }
+    println!("[route] determinism: policies, decisions and fleet estimates replay identically");
+
+    // ---- accuracy: fleet vs every single candidate --------------------
+    let mut singles_errs: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+    let mut fleet_errs: Vec<Vec<f64>> = Vec::new();
+    let mut ok = true;
+
+    for r in &regimes {
+        let fleet = RoutedFleet::new(Arc::new(r.uae.clone()), Arc::new(r.router()));
+        match JsonlObserver::append(&metrics, r.name) {
+            Ok(obs) => fleet.set_serve_observer(Box::new(obs)),
+            Err(e) => eprintln!("warning: cannot open {}: {e}", metrics.display()),
+        }
+
+        let mut best_median = f64::INFINITY;
+        for (name, est) in &r.singles() {
+            let errs = qerrs(est.as_ref(), &r.test);
+            let med = quantile(&errs, 0.5);
+            best_median = best_median.min(med);
+            eprintln!(
+                "[route] [{}] {name:<10} median {med:.2}  p95 {:.1}",
+                r.name,
+                quantile(&errs, 0.95)
+            );
+            match singles_errs.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => v.push(errs),
+                None => singles_errs.push((name.clone(), vec![errs])),
+            }
+        }
+        let errs = qerrs(&fleet, &r.test);
+        let fleet_med = quantile(&errs, 0.5);
+        let stats = fleet.serve_stats();
+        eprintln!(
+            "[route] [{}] {:<10} median {fleet_med:.2}  p95 {:.1}  ({} routed / {} served)",
+            r.name,
+            "Fleet",
+            quantile(&errs, 0.95),
+            stats.routed,
+            stats.served,
+        );
+        drop(fleet.take_serve_observer()); // flush JSONL
+
+        let pass = fleet_med <= best_median * REGIME_GRACE;
+        println!(
+            "[route] [{}] fleet median {fleet_med:.2} vs best single {best_median:.2} — {}",
+            r.name,
+            if pass { "no worse (ok)" } else { "WORSE (fail)" }
+        );
+        if !pass {
+            ok = false;
+        }
+        fleet_errs.push(errs);
+    }
+
+    // ---- blended strict dominance -------------------------------------
+    let fb: Vec<f64> = fleet_errs.iter().flatten().copied().collect();
+    let (fm, fp) = (quantile(&fb, 0.5), quantile(&fb, 0.95));
+    for (name, per_regime) in &singles_errs {
+        let blended: Vec<f64> = per_regime.iter().flatten().copied().collect();
+        let (m, p) = (quantile(&blended, 0.5), quantile(&blended, 0.95));
+        let pass = fm < m && fp < p;
+        println!(
+            "[route] blended vs {name:<10}: fleet {fm:.2}/{fp:.1} vs {m:.2}/{p:.1} — {}",
+            if pass { "strictly better (ok)" } else { "NOT strictly better (fail)" }
+        );
+        if !pass {
+            ok = false;
+        }
+    }
+
+    println!("[route] telemetry: {} ({:.0}s total)", metrics.display(), t0.elapsed().as_secs_f64());
+    if !ok {
+        eprintln!("[route] FAILED: the fleet did not meet the routing acceptance inequalities");
+        std::process::exit(1);
+    }
+    println!("[route] PASS: fleet dominates on both regimes and blended");
+}

@@ -1,5 +1,5 @@
 //! End-to-end integration: every estimator trains on the same dataset and
-//! produces sane estimates through the shared `CardinalityEstimator`
+//! produces sane estimates through the shared `CardEstimator`
 //! interface (a miniature of the Tables 2–4 protocol).
 
 use std::collections::HashSet;
@@ -11,8 +11,8 @@ use uae::estimators::{
     SpnEstimator,
 };
 use uae::query::{
-    default_bounded_column, evaluate, fingerprints, generate_workload, CardinalityEstimator,
-    LabeledQuery, WorkloadSpec,
+    default_bounded_column, evaluate, fingerprints, generate_workload, CardEstimator, LabeledQuery,
+    WorkloadSpec,
 };
 
 struct Fixture {
@@ -30,7 +30,7 @@ fn fixture() -> Fixture {
     Fixture { table, train, test }
 }
 
-fn check(est: &dyn CardinalityEstimator, fx: &Fixture, median_bound: f64) {
+fn check(est: &dyn CardEstimator, fx: &Fixture, median_bound: f64) {
     let ev = evaluate(est, &fx.test);
     assert!(
         ev.errors.median <= median_bound,

@@ -7,7 +7,7 @@ use std::collections::HashSet;
 use uae::core::UaeConfig;
 use uae::join::optimizer::{study_query, SubplanEstimator, TruthEstimator};
 use uae::join::{
-    generate_join_workload, imdb_like, sample_outer_join, JoinCardinalityEstimator, JoinExecutor,
+    generate_join_workload, imdb_like, sample_outer_join, JoinCardEstimator, JoinExecutor,
     JoinQuery, JoinSpn, JoinUae, JoinWorkloadSpec,
 };
 use uae::query::metrics::q_error;
@@ -43,7 +43,7 @@ fn neurocard_and_deepdb_estimate_joins() {
     ];
     for q in &queries {
         let truth = exec.cardinality(q) as f64;
-        for est in [&nc as &dyn JoinCardinalityEstimator, &spn] {
+        for est in [&nc as &dyn JoinCardEstimator, &spn] {
             let e = est.estimate_join_card(q);
             let err = q_error(truth, e);
             assert!(
