@@ -1,0 +1,28 @@
+use std::sync::Arc;
+
+use uae_data::{Table, Value};
+use uae_estimators::HistogramEstimator;
+use uae_query::{CardEstimator, Predicate, Query};
+use uae_core::{RouteConfig, Router};
+
+fn table() -> Table {
+    Table::from_columns(
+        "t",
+        vec![
+            ("x".into(), (0..100i64).map(|v| Value::Int(v % 10)).collect()),
+            ("y".into(), (0..100i64).map(|v| Value::Int(v % 5)).collect()),
+        ],
+    )
+}
+
+#[test]
+fn decide_on_unknown_column_does_not_panic() {
+    let t = table();
+    let hist: Arc<dyn CardEstimator> = Arc::new(HistogramEstimator::new(&t, 16));
+    let router = Router::threshold(&t, vec![hist], RouteConfig::default());
+    // Column 9 does not exist — the serving contract says this should be
+    // a typed error, never a panic.
+    let q = Query::new(vec![Predicate::eq(9, 1i64)]);
+    let d = router.decide(&q);
+    let _ = d;
+}
