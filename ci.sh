@@ -42,6 +42,14 @@ cargo run --release --example online_drift_drill -- \
 test -s target/online_promotions.jsonl
 test -s target/BENCH_online.json
 
+echo "== chaos drill: crash-safety matrix (default + scalar) =="
+cargo run --release --example chaos_drill
+test -s target/chaos_drill.jsonl
+test -s target/chaos_recovery.jsonl
+test -s target/BENCH_recovery.json
+UAE_FORCE_SCALAR=1 cargo run --release --example chaos_drill
+test -s target/BENCH_recovery.json
+
 echo "== router smoke: model-fleet routing drill (default + scalar) =="
 cargo run --release --example route_drill -- \
     --metrics-out target/routing_telemetry.jsonl

@@ -817,6 +817,11 @@ impl Uae {
         self.est.lock().serve.stats.clone()
     }
 
+    /// Serving configuration (read-only view).
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.cfg.serve
+    }
+
     /// Mutable serving configuration — cascade knobs and the fault plan.
     pub fn serve_config_mut(&mut self) -> &mut ServeConfig {
         &mut self.cfg.serve
@@ -1235,10 +1240,23 @@ impl Uae {
     }
 
     /// Atomically persist a checkpoint to `path`: write + fsync a sibling
-    /// temp file, then rename. A crash mid-write leaves the previous
-    /// checkpoint intact, never a truncated file.
-    pub fn write_checkpoint_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        crate::serialize::write_atomic(path, &self.save_checkpoint())
+    /// temp file, rename, fsync the parent directory. A crash mid-write
+    /// leaves the previous checkpoint intact, never a truncated file.
+    pub fn write_checkpoint_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::persist::PersistError> {
+        self.write_checkpoint_file_with(path, None)
+    }
+
+    /// [`Uae::write_checkpoint_file`] with deterministic disk-fault
+    /// injection — claims one write index from `faults`.
+    pub fn write_checkpoint_file_with(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        faults: Option<&crate::persist::DiskFaults>,
+    ) -> Result<(), crate::persist::PersistError> {
+        crate::persist::persist_bytes(path, &self.save_checkpoint(), faults)
     }
 
     /// Restore from a file written by [`Uae::write_checkpoint_file`].

@@ -45,6 +45,7 @@ pub mod infer_batch;
 pub mod model;
 pub mod online;
 pub mod ordering;
+pub mod persist;
 pub mod route;
 pub mod serialize;
 pub mod serve;
@@ -64,6 +65,10 @@ pub use online::{
     PoolStats, QueryPool, RoundOutcome, RoundReport, ShadowScore,
 };
 pub use ordering::ColumnOrder;
+pub use persist::{
+    append_bytes, persist_bytes, quarantine, DiskFaultKind, DiskFaultPlan, DiskFaults, Journal,
+    JournalRecord, JournalReplay, PersistError, JOURNAL_FILE,
+};
 pub use route::{
     BackendChoice, QueryShape, RouteConfig, RouteDecision, RouteFeaturizer, RoutePolicy,
     RoutedFleet, Router, SelClass,
@@ -74,8 +79,8 @@ pub use serve::{
 };
 pub use telemetry::{
     EpochMetrics, FlushReason, JsonlObserver, MemoryObserver, OnlineEvent, OnlineMemoryObserver,
-    OnlineObserver, ServeEvent, ServeMemoryObserver, ServeObserver, ServeStats, TrainEvent,
-    TrainObserver, TrainStats,
+    OnlineObserver, RecoveryEvent, RecoveryMemoryObserver, RecoveryObserver, ServeEvent,
+    ServeMemoryObserver, ServeObserver, ServeStats, TrainEvent, TrainObserver, TrainStats,
 };
 pub use train::{TrainConfig, TrainQuery};
 pub use uae_tensor::QuantMode;

@@ -38,12 +38,16 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use uae_data::Table;
 use uae_query::{q_error, ErrorSummary, LabeledQuery, Query};
 
 use crate::estimator::Uae;
+use crate::persist::{
+    persist_bytes, DiskFaults, Journal, JournalRecord, PersistError, JOURNAL_FILE,
+};
 use crate::telemetry::{OnlineEvent, OnlineObserver};
 
 /// Lifetime counters of one [`QueryPool`].
@@ -356,11 +360,22 @@ pub struct OnlineConfig {
     pub data_epochs: usize,
     /// Promotion thresholds.
     pub gate: GateConfig,
-    /// Directory receiving one `uae_v{N}.uaec` checkpoint per promoted
-    /// version (`None` keeps checkpoints in memory only).
+    /// Directory receiving one `{label}_v{N}.uaec` checkpoint per
+    /// published version plus the write-ahead promotion journal
+    /// (`None` keeps checkpoints in memory only and disables the WAL).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Tenant label: names the checkpoint files and is carried by every
+    /// journal record, tying promotions to a manifest tenant.
+    pub label: String,
+    /// Version the trainer starts counting from. Cold-start recovery
+    /// seeds this with the recovered version so new promotions continue
+    /// the surviving lineage instead of re-issuing old version numbers.
+    pub start_version: u64,
     /// Deterministic fault injection (inert by default).
     pub fault: OnlineFaultPlan,
+    /// Deterministic disk faults, shared (same write counter) with every
+    /// other writer of the pipeline. `None` disables injection.
+    pub disk: Option<Arc<DiskFaults>>,
 }
 
 impl Default for OnlineConfig {
@@ -372,7 +387,10 @@ impl Default for OnlineConfig {
             data_epochs: 1,
             gate: GateConfig::default(),
             checkpoint_dir: None,
+            label: "uae".to_owned(),
+            start_version: 0,
             fault: OnlineFaultPlan::default(),
+            disk: None,
         }
     }
 }
@@ -394,6 +412,10 @@ pub enum RoundOutcome {
         version: u64,
         /// Its serialized trainer state.
         checkpoint: Vec<u8>,
+        /// Where the checkpoint was durably written (`None` when the
+        /// trainer has no `checkpoint_dir`). The journal committed this
+        /// path before the outcome was returned.
+        checkpoint_path: Option<PathBuf>,
     },
     /// Post-promotion regression: republish `model` (the prior version)
     /// as `version`.
@@ -404,6 +426,20 @@ pub enum RoundOutcome {
         version: u64,
         /// The version whose model this is.
         restored_version: u64,
+        /// Where the rollback checkpoint was durably written (`None`
+        /// without a `checkpoint_dir`, or if persistence failed — the
+        /// rollback still publishes: serving correctness beats
+        /// durability when the live model is regressing).
+        checkpoint_path: Option<PathBuf>,
+    },
+    /// The gate passed but the write-ahead persistence sequence failed;
+    /// the promotion was withheld and the branch rewound. The caller
+    /// should treat this as a crash point (the chaos drill does).
+    PersistFailed {
+        /// The version that failed to persist (never published).
+        version: u64,
+        /// What the persistence layer reported.
+        error: PersistError,
     },
 }
 
@@ -424,6 +460,9 @@ impl std::fmt::Debug for RoundOutcome {
                 f,
                 "RolledBack {{ version: {version}, restored_version: {restored_version} }}"
             ),
+            RoundOutcome::PersistFailed { version, error } => {
+                write!(f, "PersistFailed {{ version: {version}, error: {error} }}")
+            }
         }
     }
 }
@@ -473,16 +512,30 @@ pub struct OnlineTrainer {
     last_good: Vec<u8>,
     watch: Option<Watch>,
     observer: Option<Box<dyn OnlineObserver>>,
+    /// Write-ahead promotion journal, opened lazily on the first durable
+    /// publication (the checkpoint dir may not exist before that).
+    journal: Option<Journal>,
 }
 
 impl OnlineTrainer {
-    /// A trainer branched off `live` (version 0). The branch's RNG
-    /// streams are reseeded deterministically by [`Uae::clone`], so two
-    /// trainers built from the same live model replay identically.
+    /// A trainer branched off `live` (at `cfg.start_version`, 0 by
+    /// default). The branch's RNG streams are reseeded deterministically
+    /// by [`Uae::clone`], so two trainers built from the same live model
+    /// replay identically.
     pub fn new(live: &Uae, cfg: OnlineConfig) -> Self {
         let branch = live.clone();
         let last_good = branch.save_checkpoint();
-        OnlineTrainer { branch, cfg, version: 0, round: 0, last_good, watch: None, observer: None }
+        let version = cfg.start_version;
+        OnlineTrainer {
+            branch,
+            cfg,
+            version,
+            round: 0,
+            last_good,
+            watch: None,
+            observer: None,
+            journal: None,
+        }
     }
 
     /// Version of the most recently published model (0 = the initial
@@ -598,11 +651,33 @@ impl OnlineTrainer {
 
         self.version += 1;
         let checkpoint = candidate.save_checkpoint();
-        if let Some(dir) = &self.cfg.checkpoint_dir {
-            let _ = std::fs::create_dir_all(dir);
-            let _ =
-                candidate.write_checkpoint_file(dir.join(format!("uae_v{}.uaec", self.version)));
-        }
+        // Write-ahead discipline: journal the intent (fsync), write the
+        // checkpoint atomically, journal the commit (fsync). Only a
+        // version whose commit record is on disk is considered published
+        // by recovery — so a persistence failure here must withhold the
+        // promotion entirely, or a crash would silently revert it.
+        let checkpoint_path = match self.persist_version(self.version, &checkpoint) {
+            Ok(path) => path,
+            Err(error) => {
+                let version = self.version;
+                self.version -= 1;
+                self.branch
+                    .load_checkpoint(&self.last_good)
+                    .expect("last-good checkpoint restores");
+                self.emit(OnlineEvent::PersistFailed {
+                    round,
+                    t_ns: now_ns,
+                    version,
+                    error: error.to_string(),
+                });
+                return RoundReport {
+                    round,
+                    outcome: RoundOutcome::PersistFailed { version, error },
+                    candidate: Some(cand_score),
+                    live: Some(live_score),
+                };
+            }
+        };
         let prior_checkpoint =
             std::mem::replace(&mut self.last_good, self.branch.save_checkpoint());
         self.watch = Some(Watch {
@@ -619,10 +694,84 @@ impl OnlineTrainer {
         });
         RoundReport {
             round,
-            outcome: RoundOutcome::Promoted { model: candidate, version: self.version, checkpoint },
+            outcome: RoundOutcome::Promoted {
+                model: candidate,
+                version: self.version,
+                checkpoint,
+                checkpoint_path,
+            },
             candidate: Some(cand_score),
             live: Some(live_score),
         }
+    }
+
+    /// File name of version `version`'s checkpoint, relative to the
+    /// checkpoint directory.
+    pub fn checkpoint_name(&self, version: u64) -> String {
+        format!("{}_v{}.uaec", self.cfg.label, version)
+    }
+
+    /// Run the write-ahead persistence sequence for one published
+    /// version: intent record (fsynced) → atomic checkpoint write →
+    /// commit record (fsynced). Returns the checkpoint path, or `None`
+    /// when the trainer has no `checkpoint_dir`.
+    fn persist_version(
+        &mut self,
+        version: u64,
+        checkpoint: &[u8],
+    ) -> Result<Option<PathBuf>, PersistError> {
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::Io {
+            op: "create-dir",
+            path: dir.clone(),
+            source: e,
+        })?;
+        if self.journal.is_none() {
+            self.journal = Some(Journal::open(dir.join(JOURNAL_FILE), self.cfg.disk.clone())?);
+        }
+        let file = self.checkpoint_name(version);
+        let path = dir.join(&file);
+        let journal = self.journal.as_ref().expect("journal opened above");
+        journal.append(&JournalRecord::Intent {
+            tenant: self.cfg.label.clone(),
+            version,
+            checkpoint: file,
+        })?;
+        persist_bytes(&path, checkpoint, self.cfg.disk.as_deref())?;
+        journal.append(&JournalRecord::Commit { tenant: self.cfg.label.clone(), version })?;
+        Ok(Some(path))
+    }
+
+    /// Flush the durability tail on clean shutdown: re-append a `Commit`
+    /// record for the current version so the journal's final record
+    /// provably names the published lineage head (idempotent — recovery
+    /// treats a repeated commit as a no-op). The `uae-server` learner
+    /// thread calls this from its stop path, followed by a manifest
+    /// sync, so a clean shutdown and a `recover` round-trip are
+    /// bit-identical.
+    pub fn finalize(&mut self) -> Result<Option<u64>, PersistError> {
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else {
+            return Ok(None);
+        };
+        if self.version == 0 {
+            return Ok(None);
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::Io {
+            op: "create-dir",
+            path: dir.clone(),
+            source: e,
+        })?;
+        if self.journal.is_none() {
+            self.journal = Some(Journal::open(dir.join(JOURNAL_FILE), self.cfg.disk.clone())?);
+        }
+        let journal = self.journal.as_ref().expect("journal opened above");
+        journal.append(&JournalRecord::Commit {
+            tenant: self.cfg.label.clone(),
+            version: self.version,
+        })?;
+        Ok(Some(self.version))
     }
 
     /// The probation check at the top of a round. `Some` means the
@@ -658,6 +807,23 @@ impl OnlineTrainer {
             .expect("prior checkpoint restores the branch");
         self.last_good = watch.prior_checkpoint;
         self.version += 1;
+        // Persist the rollback publication too — otherwise a crash after
+        // a rollback would recover the *rolled-back* (regressing) version
+        // as the newest committed one. Unlike a promotion, a rollback is
+        // published even if persistence fails: serving correctness beats
+        // durability when the live model is regressing in the wild.
+        let checkpoint_path = match self.persist_version(self.version, &self.last_good.clone()) {
+            Ok(path) => path,
+            Err(error) => {
+                self.emit(OnlineEvent::PersistFailed {
+                    round,
+                    t_ns: now_ns,
+                    version: self.version,
+                    error: error.to_string(),
+                });
+                None
+            }
+        };
         self.emit(OnlineEvent::RolledBack {
             round,
             t_ns: now_ns,
@@ -670,6 +836,7 @@ impl OnlineTrainer {
                 model: watch.prior,
                 version: self.version,
                 restored_version: watch.prior_version,
+                checkpoint_path,
             },
             candidate: Some(live_score),
             live: Some(prior_score),

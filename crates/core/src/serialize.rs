@@ -91,7 +91,7 @@ impl From<LoadError> for CheckpointError {
 /// FNV-1a over a byte slice — the blob integrity hash. Not cryptographic;
 /// it exists to catch accidental corruption (bit rot, torn copies), not
 /// adversaries.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -131,6 +131,33 @@ fn open_envelope<'a>(
         return Err(LoadError::BadVersion(v));
     }
     Ok(&bytes[..bytes.len() - 8])
+}
+
+/// Frame `payload` in the standard sealed-blob envelope: `magic + version
+/// + payload + trailing FNV-1a checksum`. The write-side twin of
+/// [`open_blob`], shared by every small on-disk format (the tenant
+/// manifest uses it; `UAEW`/`UAEC` predate it but follow the same layout).
+pub fn seal_blob(magic: &[u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(payload);
+    seal(&mut out);
+    out
+}
+
+/// Validate a sealed blob (magic, version, checksum) and return the inner
+/// payload. Unlike the two-phase `UAEW`/`UAEC` loaders, the checksum is
+/// verified *before* the caller parses, so any truncation or bit flip in
+/// the body surfaces as a typed error here.
+pub fn open_blob<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    version: u32,
+) -> Result<&'a [u8], LoadError> {
+    let payload = open_envelope(bytes, magic, version)?;
+    verify_checksum(bytes, payload)?;
+    Ok(&payload[8..])
 }
 
 /// Compare the trailing checksum of `bytes` against a fresh hash of
@@ -322,30 +349,39 @@ pub fn load_checkpoint(bytes: &[u8]) -> Result<CheckpointState, LoadError> {
 }
 
 /// Write `bytes` to `path` atomically: write + fsync a sibling temp file,
-/// then rename over the destination. A crash mid-write leaves either the
-/// old checkpoint or none — never a truncated one.
+/// rename over the destination, fsync the parent directory. A crash
+/// mid-write leaves either the old checkpoint or none — never a truncated
+/// one. Thin `io::Result` wrapper over [`crate::persist::persist_bytes`];
+/// new code should call that directly for the typed error and fault
+/// injection.
 pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let path = path.as_ref();
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    crate::persist::persist_bytes(path, bytes, None).map_err(|e| match e {
+        crate::persist::PersistError::Io { source, .. } => source,
+        other => unreachable!("no faults injected: {other}"),
+    })
 }
 
-struct Reader<'a> {
+/// Sequential little-endian reader over a sealed-blob payload. Public so
+/// sibling crates parsing their own sealed formats (the `uae-server`
+/// tenant manifest) reuse the same bounds-checked primitives.
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+    /// A reader over `bytes`, starting at offset zero.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
         if self.pos + n > self.bytes.len() {
             return Err(LoadError::Corrupt("unexpected end of blob"));
         }
@@ -354,19 +390,33 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, LoadError> {
+    /// Take one byte.
+    pub fn u8(&mut self) -> Result<u8, LoadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Take a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, LoadError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, LoadError> {
+    /// Take a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, LoadError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
-    fn f32(&mut self) -> Result<f32, LoadError> {
+    /// Take a little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, LoadError> {
         let b = self.take(4)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Take a `u32`-length-prefixed UTF-8 string.
+    pub fn str_field(&mut self) -> Result<&'a str, LoadError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| LoadError::Corrupt("non-utf8 string"))
     }
 
     fn tensor(&mut self) -> Result<Tensor, LoadError> {

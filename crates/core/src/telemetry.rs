@@ -583,6 +583,20 @@ pub enum OnlineEvent {
         /// The version whose model was restored.
         restored_version: u64,
     },
+    /// The gate passed but the write-ahead persistence sequence (intent →
+    /// checkpoint → commit) failed, so the promotion was withheld: a
+    /// version the journal cannot prove committed would silently vanish
+    /// on recovery.
+    PersistFailed {
+        /// Round counter.
+        round: u64,
+        /// Loop clock at the round.
+        t_ns: u64,
+        /// The version that failed to persist (not published).
+        version: u64,
+        /// Rendered [`crate::persist::PersistError`].
+        error: String,
+    },
 }
 
 /// Consumer of online-loop events; `Send` for the same reason as
@@ -664,11 +678,131 @@ impl OnlineObserver for JsonlObserver {
                 "{{\"event\":\"online_rolled_back\",\"model\":{label},\"round\":{round},\
                  \"t_ns\":{t_ns},\"version\":{version},\"restored_version\":{restored_version}}}"
             ),
+            OnlineEvent::PersistFailed { round, t_ns, version, error } => format!(
+                "{{\"event\":\"online_persist_failed\",\"model\":{},\"round\":{},\"t_ns\":{},\
+                 \"version\":{},\"error\":{}}}",
+                label,
+                round,
+                t_ns,
+                version,
+                json_str(error),
+            ),
         };
         // Telemetry must never take the trainer down: swallow I/O errors.
         let _ = writeln!(self.out, "{line}");
         // Promotion decisions are rare and load-bearing; keep them on
         // disk even if the process dies mid-drill.
+        let _ = self.out.flush();
+    }
+}
+
+/// A cold-start recovery event (see the `uae-server` recovery module).
+/// Wall-clock durations are measured by the recovery driver; everything
+/// else is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// Recovery began scanning a state directory.
+    Started {
+        /// The state directory being recovered.
+        dir: String,
+    },
+    /// A corrupt or untrusted artifact was renamed aside (never deleted).
+    Quarantined {
+        /// The quarantined file's *new* path.
+        path: String,
+        /// Why it was distrusted (torn journal tail, checksum mismatch,
+        /// uncommitted intent, ...).
+        reason: String,
+    },
+    /// One tenant's last provably-good version was republished.
+    TenantRecovered {
+        /// The tenant.
+        tenant: String,
+        /// The version restored.
+        version: u64,
+        /// Where the version was proven: `journal`, `manifest`, or `seed`
+        /// (nothing recoverable — fresh model at version 0).
+        source: String,
+        /// Artifacts quarantined while walking this tenant's candidates.
+        quarantined: usize,
+    },
+    /// Recovery finished and the manifest was rewritten.
+    Finished {
+        /// Tenants republished.
+        tenants: usize,
+        /// Total artifacts quarantined.
+        quarantined: usize,
+        /// Whether the journal had a torn tail.
+        journal_torn: bool,
+        /// Wall-clock recovery time (the unavailability window).
+        ms: f64,
+    },
+}
+
+/// Consumer of recovery events; `Send` for the same reason as
+/// [`TrainObserver`].
+pub trait RecoveryObserver: Send {
+    /// Called synchronously from the recovery driver for every event.
+    fn on_recovery_event(&mut self, event: &RecoveryEvent);
+}
+
+/// In-memory recovery observer — the recovery analogue of
+/// [`MemoryObserver`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryMemoryObserver {
+    /// The captured events, in emission order.
+    pub events: Arc<Mutex<Vec<RecoveryEvent>>>,
+}
+
+impl RecoveryMemoryObserver {
+    /// A fresh observer plus the shared handle to its event log.
+    pub fn new() -> (Self, Arc<Mutex<Vec<RecoveryEvent>>>) {
+        let obs = RecoveryMemoryObserver::default();
+        let handle = Arc::clone(&obs.events);
+        (obs, handle)
+    }
+}
+
+impl RecoveryObserver for RecoveryMemoryObserver {
+    fn on_recovery_event(&mut self, event: &RecoveryEvent) {
+        self.events.lock().expect("event log poisoned").push(event.clone());
+    }
+}
+
+impl RecoveryObserver for JsonlObserver {
+    fn on_recovery_event(&mut self, event: &RecoveryEvent) {
+        let label = json_str(&self.label);
+        let line = match event {
+            RecoveryEvent::Started { dir } => format!(
+                "{{\"event\":\"recovery_started\",\"model\":{},\"dir\":{}}}",
+                label,
+                json_str(dir),
+            ),
+            RecoveryEvent::Quarantined { path, reason } => format!(
+                "{{\"event\":\"recovery_quarantined\",\"model\":{},\"path\":{},\"reason\":{}}}",
+                label,
+                json_str(path),
+                json_str(reason),
+            ),
+            RecoveryEvent::TenantRecovered { tenant, version, source, quarantined } => format!(
+                "{{\"event\":\"recovery_tenant\",\"model\":{},\"tenant\":{},\"version\":{},\
+                 \"source\":{},\"quarantined\":{}}}",
+                label,
+                json_str(tenant),
+                version,
+                json_str(source),
+                quarantined,
+            ),
+            RecoveryEvent::Finished { tenants, quarantined, journal_torn, ms } => format!(
+                "{{\"event\":\"recovery_finished\",\"model\":{label},\"tenants\":{tenants},\
+                 \"quarantined\":{quarantined},\"journal_torn\":{journal_torn},\
+                 \"recover_ms\":{}}}",
+                json_f64(*ms),
+            ),
+        };
+        // Recovery telemetry is the drill's artifact: flush every line so
+        // a crash directly after recovery still leaves the record.
+        let _ = writeln!(self.out, "{line}");
         let _ = self.out.flush();
     }
 }

@@ -248,6 +248,42 @@ fn truncated_checkpoint_file_is_rejected_with_a_typed_error() {
 }
 
 #[test]
+fn checkpoint_corruption_matrix_always_yields_typed_errors() {
+    // The exhaustive reader-robustness drill: every prefix truncation and
+    // a dense stride of single-byte flips over a real UAEC blob must come
+    // back as a typed LoadError — never a panic, never a partial load —
+    // and the pristine blob must still load afterwards (recovery from the
+    // last good artifact).
+    let (t, w) = setup();
+    let mut a = Uae::new(&t, quick_cfg(12));
+    a.train_hybrid(&w, 1);
+    let blob = a.save_checkpoint();
+
+    let mut b = Uae::new(&t, quick_cfg(12));
+    let pristine = b.save_weights();
+
+    for cut in 0..blob.len() {
+        assert!(
+            b.load_checkpoint(&blob[..cut]).is_err(),
+            "truncation at byte {cut} must be rejected"
+        );
+    }
+    // Dense stride over the body (co-prime with typical field sizes so
+    // every alignment class is hit), plus both ends exactly.
+    let stride = 97usize;
+    let offsets = (0..blob.len()).step_by(stride).chain([blob.len() - 1]);
+    for off in offsets {
+        let mut bad = blob.clone();
+        bad[off] ^= 0x20;
+        assert!(b.load_checkpoint(&bad).is_err(), "bit flip at byte {off} must be rejected");
+    }
+
+    assert_eq!(b.save_weights(), pristine, "no rejection may touch the model");
+    b.load_checkpoint(&blob).expect("the pristine blob still loads");
+    assert_eq!(b.save_weights(), a.save_weights());
+}
+
+#[test]
 fn injected_nan_steps_are_skipped_and_weights_stay_finite() {
     let (t, w) = setup();
     let mut cfg = quick_cfg(6);

@@ -75,6 +75,9 @@ fn replay_is_deterministic_and_checkpoints_bit_identical() {
                 RoundOutcome::RolledBack { version, restored_version, .. } => {
                     decisions.push(format!("rolledback:v{version}<-v{restored_version}"))
                 }
+                RoundOutcome::PersistFailed { version, .. } => {
+                    panic!("no disk faults configured, yet v{version} failed to persist")
+                }
             }
         }
         (decisions, checkpoints)
@@ -164,7 +167,7 @@ fn post_promotion_regression_rolls_back_to_prior() {
     pool.extend(stream.iter().skip(32).cloned());
     let report = trainer.round(&pool, &promoted, 2_000_000);
     match report.outcome {
-        RoundOutcome::RolledBack { model, version, restored_version } => {
+        RoundOutcome::RolledBack { model, version, restored_version, .. } => {
             assert_eq!(version, 2, "a rollback publishes a new version");
             assert_eq!(restored_version, 0);
             assert_eq!(

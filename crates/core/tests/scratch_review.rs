@@ -1,9 +1,9 @@
 use std::sync::Arc;
 
+use uae_core::{RouteConfig, Router};
 use uae_data::{Table, Value};
 use uae_estimators::HistogramEstimator;
 use uae_query::{CardEstimator, Predicate, Query};
-use uae_core::{RouteConfig, Router};
 
 fn table() -> Table {
     Table::from_columns(

@@ -77,8 +77,12 @@ impl JoinUae {
         self.uae.load_checkpoint(bytes)
     }
 
-    /// Atomically persist a checkpoint file (temp write + rename).
-    pub fn write_checkpoint_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Atomically persist a checkpoint file (temp write + fsync + rename
+    /// + parent-directory fsync).
+    pub fn write_checkpoint_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), uae_core::PersistError> {
         self.uae.write_checkpoint_file(path)
     }
 

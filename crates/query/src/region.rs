@@ -179,9 +179,18 @@ pub struct QueryRegion {
 
 impl QueryRegion {
     /// Compute the per-column regions of `query` against `table`.
+    ///
+    /// Predicates naming a column the table does not have are ignored
+    /// here (treated as unconstrained): region building runs in paths
+    /// that may precede query validation — e.g. route featurization —
+    /// and must never panic. Validation is where an unknown column
+    /// becomes a typed error.
     pub fn build(table: &Table, query: &Query) -> Self {
         let mut regions: Vec<Option<Region>> = vec![None; table.num_cols()];
         for pred in &query.predicates {
+            if pred.column >= table.num_cols() {
+                continue;
+            }
             let col = table.column(pred.column);
             let r = predicate_region(col, pred);
             let slot = &mut regions[pred.column];

@@ -38,13 +38,17 @@
 //! single batch bit-identical to [`uae_core::Uae::try_estimate_cards`].
 
 pub mod batcher;
+pub mod manifest;
 pub mod online;
+pub mod recover;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{MicroBatcher, Poll};
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE};
 pub use online::{LearnerStats, OnlineLearner};
+pub use recover::{recover_registry, RecoveryReport, RecoverySource, TenantRecovery};
 pub use registry::{DegradeConfig, LadderState, Registry, Tenant, UnknownTenant};
 pub use server::{
     ServeCallError, Server, ServerConfig, ServerError, ServerFaultPlan, SubmitError, Ticket,

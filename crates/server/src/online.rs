@@ -27,6 +27,12 @@ use uae_core::{OnlineTrainer, QueryPool, RoundOutcome};
 
 use crate::registry::Registry;
 
+/// File name component of a checkpoint path, as stored in the manifest
+/// (checkpoints live flat inside the state directory).
+fn rel_name(path: &std::path::Path) -> Option<String> {
+    path.file_name().map(|n| n.to_string_lossy().into_owned())
+}
+
 /// Counters of what the learner thread has published so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LearnerStats {
@@ -38,6 +44,10 @@ pub struct LearnerStats {
     pub rejections: u64,
     /// Post-promotion regressions rolled back.
     pub rollbacks: u64,
+    /// Promotions withheld (or rollbacks left un-checkpointed) because
+    /// the write-ahead persistence sequence failed. The loop keeps
+    /// running and retries on later rounds.
+    pub persist_failures: u64,
 }
 
 struct LearnerShared {
@@ -90,15 +100,22 @@ impl OnlineLearner {
                     let mut stats = thread_shared.stats.lock();
                     stats.rounds += 1;
                     match report.outcome {
-                        RoundOutcome::Promoted { model, .. } => {
+                        RoundOutcome::Promoted { model, version, checkpoint_path, .. } => {
                             stats.promotions += 1;
                             drop(stats);
-                            let _ = registry.swap_model(&tenant, model);
+                            let ck = checkpoint_path.as_deref().and_then(rel_name);
+                            let _ = registry.publish(&tenant, model, Some(version), ck);
                         }
-                        RoundOutcome::RolledBack { model, .. } => {
+                        RoundOutcome::RolledBack { model, version, checkpoint_path, .. } => {
                             stats.rollbacks += 1;
                             drop(stats);
-                            let _ = registry.swap_model(&tenant, model);
+                            let ck = checkpoint_path.as_deref().and_then(rel_name);
+                            let _ = registry.publish(&tenant, model, Some(version), ck);
+                        }
+                        RoundOutcome::PersistFailed { .. } => {
+                            stats.persist_failures += 1;
+                            drop(stats);
+                            std::thread::sleep(poll);
                         }
                         RoundOutcome::Rejected(_) => {
                             stats.rejections += 1;
@@ -111,6 +128,13 @@ impl OnlineLearner {
                         }
                     }
                 }
+                // Clean-shutdown flush: a final idempotent journal commit
+                // for the current version plus a manifest rewrite, so a
+                // clean stop and a `recover` round-trip are bit-identical.
+                if trainer.finalize().is_err() {
+                    thread_shared.stats.lock().persist_failures += 1;
+                }
+                let _ = registry.sync_manifest();
                 trainer
             })
             .expect("spawn uae-online");

@@ -15,11 +15,14 @@
 //!   point the online-learning loop (ROADMAP item 2) will drive.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use uae_core::{QueryPool, Router, Uae};
+use uae_core::{DiskFaults, PersistError, QueryPool, Router, Uae};
+
+use crate::manifest::{Manifest, ManifestEntry};
 
 /// Latency-SLO degradation ladder for one tenant (or the server default).
 ///
@@ -212,6 +215,12 @@ pub struct Tenant {
     /// cardinalities arrive later are pushed here, feeding the online
     /// trainer and future router recalibration from one pool.
     pool: RwLock<Option<Arc<QueryPool>>>,
+    /// Published model version (0 = the seed registration). Promotions
+    /// and rollbacks set it explicitly; unversioned swaps increment it.
+    version: AtomicU64,
+    /// Checkpoint file (relative to the manifest's state directory) of
+    /// the published version, if it was durably written.
+    checkpoint: Mutex<Option<String>>,
 }
 
 impl Tenant {
@@ -247,6 +256,27 @@ impl Tenant {
         self.pool.read().clone()
     }
 
+    /// The published model version (0 = the seed registration).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoint file (relative to the state directory) backing the
+    /// published version, if it was durably written.
+    pub fn checkpoint(&self) -> Option<String> {
+        self.checkpoint.lock().clone()
+    }
+
+    /// Snapshot this tenant's durable state as a manifest entry.
+    fn manifest_entry(&self) -> ManifestEntry {
+        ManifestEntry {
+            version: self.version(),
+            checkpoint: self.checkpoint(),
+            quant: self.model().serve_config().quant,
+            router: self.router().map(|r| r.policy().clone()),
+        }
+    }
+
     /// Advance this tenant's hysteretic ladder under the current load
     /// signals and return the batch's sample budget (`None` = full).
     /// `default_cfg` applies when the tenant has no override.
@@ -275,6 +305,15 @@ impl std::fmt::Display for UnknownTenant {
 
 impl std::error::Error for UnknownTenant {}
 
+/// The registry's attachment to a durable state directory: the in-memory
+/// manifest image plus where (and with what fault injection) to rewrite
+/// it.
+struct PersistHandle {
+    dir: PathBuf,
+    faults: Option<Arc<DiskFaults>>,
+    manifest: Mutex<Manifest>,
+}
+
 /// Name → tenant map. Registration order assigns dense lane indices.
 #[derive(Default)]
 pub struct Registry {
@@ -287,6 +326,14 @@ pub struct Registry {
     /// window: pre-swap samples describe the *old* model and would
     /// otherwise keep driving the degradation ladder after a hot-swap.
     swap_epoch: AtomicU64,
+    /// Durable manifest attachment (`None` = in-memory registry only).
+    persist: RwLock<Option<PersistHandle>>,
+    /// Manifest rewrites that failed. Publications never block on a
+    /// failed manifest write — serving stays up and recovery falls back
+    /// to the journal — but the failure is counted and kept.
+    persist_failures: AtomicU64,
+    /// Rendered error of the most recent failed manifest rewrite.
+    last_persist_error: Mutex<Option<String>>,
 }
 
 impl Registry {
@@ -309,36 +356,89 @@ impl Registry {
         model: Uae,
         degrade: Option<DegradeConfig>,
     ) -> Arc<Tenant> {
+        self.register_full(name, model, degrade, 0, None)
+    }
+
+    /// Register with explicit durable state — the recovery path uses
+    /// this to republish a tenant at its recovered version rather than
+    /// restarting the lineage at 0. Re-registering an existing name
+    /// swaps the model and adopts the given version/checkpoint.
+    pub fn register_full(
+        &self,
+        name: impl Into<String>,
+        model: Uae,
+        degrade: Option<DegradeConfig>,
+        version: u64,
+        checkpoint: Option<String>,
+    ) -> Arc<Tenant> {
         let name = name.into();
-        let mut tenants = self.tenants.write();
-        if let Some(existing) = tenants.get(&name) {
-            *existing.model.write() = Arc::new(model);
-            self.swap_epoch.fetch_add(1, Ordering::SeqCst);
-            return existing.clone();
-        }
-        let mut by_lane = self.by_lane.write();
-        let tenant = Arc::new(Tenant {
-            name: name.clone(),
-            lane: by_lane.len(),
-            model: RwLock::new(Arc::new(model)),
-            degrade,
-            ladder: Mutex::new(LadderState::default()),
-            router: RwLock::new(None),
-            pool: RwLock::new(None),
-        });
-        by_lane.push(tenant.clone());
-        tenants.insert(name, tenant.clone());
+        let tenant = {
+            let mut tenants = self.tenants.write();
+            if let Some(existing) = tenants.get(&name) {
+                *existing.model.write() = Arc::new(model);
+                existing.version.store(version, Ordering::SeqCst);
+                *existing.checkpoint.lock() = checkpoint;
+                self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+                existing.clone()
+            } else {
+                let mut by_lane = self.by_lane.write();
+                let tenant = Arc::new(Tenant {
+                    name: name.clone(),
+                    lane: by_lane.len(),
+                    model: RwLock::new(Arc::new(model)),
+                    degrade,
+                    ladder: Mutex::new(LadderState::default()),
+                    router: RwLock::new(None),
+                    pool: RwLock::new(None),
+                    version: AtomicU64::new(version),
+                    checkpoint: Mutex::new(checkpoint),
+                });
+                by_lane.push(tenant.clone());
+                tenants.insert(name.clone(), tenant.clone());
+                tenant
+            }
+        };
+        self.sync_tenant_best_effort(&name);
         tenant
     }
 
     /// Atomically publish a new model for `name`, returning the previous
-    /// snapshot (which in-flight batches may still be using).
+    /// snapshot (which in-flight batches may still be using). The
+    /// tenant's version increments; use [`Registry::publish`] when the
+    /// publication carries an explicit version and checkpoint (online
+    /// promotions do).
     pub fn swap_model(&self, name: &str, model: Uae) -> Result<Arc<Uae>, UnknownTenant> {
-        let tenants = self.tenants.read();
-        let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
-        let mut slot = tenant.model.write();
-        let prior = std::mem::replace(&mut *slot, Arc::new(model));
-        self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        self.publish(name, model, None, None)
+    }
+
+    /// Atomically publish a new model for `name` with its durable
+    /// identity: the version number (`None` = increment the tenant's
+    /// counter) and the checkpoint file backing it, if any. Syncs the
+    /// manifest when the registry is attached to a state directory.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: Uae,
+        version: Option<u64>,
+        checkpoint: Option<String>,
+    ) -> Result<Arc<Uae>, UnknownTenant> {
+        let prior = {
+            let tenants = self.tenants.read();
+            let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
+            let mut slot = tenant.model.write();
+            let prior = std::mem::replace(&mut *slot, Arc::new(model));
+            drop(slot);
+            match version {
+                Some(v) => tenant.version.store(v, Ordering::SeqCst),
+                None => {
+                    tenant.version.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            *tenant.checkpoint.lock() = checkpoint;
+            self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+            prior
+        };
+        self.sync_tenant_best_effort(name);
         Ok(prior)
     }
 
@@ -349,10 +449,13 @@ impl Registry {
     /// rolling latency window (pre-fleet samples describe a different
     /// serving mix).
     pub fn set_router(&self, name: &str, router: Option<Arc<Router>>) -> Result<(), UnknownTenant> {
-        let tenants = self.tenants.read();
-        let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
-        *tenant.router.write() = router;
-        self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        {
+            let tenants = self.tenants.read();
+            let tenant = tenants.get(name).ok_or_else(|| UnknownTenant(name.to_owned()))?;
+            *tenant.router.write() = router;
+            self.swap_epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        self.sync_tenant_best_effort(name);
         Ok(())
     }
 
@@ -399,6 +502,70 @@ impl Registry {
     /// Registered tenant names, in lane order.
     pub fn names(&self) -> Vec<String> {
         self.by_lane.read().iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Attach the registry to a durable state directory: load (or
+    /// create) `manifest.uaem` there, fold the current tenants in, and
+    /// rewrite it atomically. From here on every register / publish /
+    /// router change rewrites the manifest; failures are counted in
+    /// [`Registry::persist_failures`] rather than failing the
+    /// publication (recovery falls back to the journal).
+    pub fn persist_to(
+        &self,
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<DiskFaults>>,
+    ) -> Result<(), PersistError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::Io {
+            op: "create-dir",
+            path: dir.clone(),
+            source: e,
+        })?;
+        let manifest = Manifest::load(&dir)?.unwrap_or_default();
+        *self.persist.write() = Some(PersistHandle { dir, faults, manifest: Mutex::new(manifest) });
+        self.sync_manifest()
+    }
+
+    /// Whether the registry is attached to a durable state directory.
+    pub fn is_persistent(&self) -> bool {
+        self.persist.read().is_some()
+    }
+
+    /// Rewrite the manifest from the full current registry state.
+    /// A no-op without a persistence attachment.
+    pub fn sync_manifest(&self) -> Result<(), PersistError> {
+        let persist = self.persist.read();
+        let Some(handle) = persist.as_ref() else {
+            return Ok(());
+        };
+        let entries: Vec<(String, ManifestEntry)> =
+            self.by_lane.read().iter().map(|t| (t.name.clone(), t.manifest_entry())).collect();
+        let mut manifest = handle.manifest.lock();
+        for (name, entry) in entries {
+            manifest.entries.insert(name, entry);
+        }
+        let result = manifest.save(&handle.dir, handle.faults.as_deref());
+        if let Err(e) = &result {
+            self.persist_failures.fetch_add(1, Ordering::SeqCst);
+            *self.last_persist_error.lock() = Some(e.to_string());
+        }
+        result
+    }
+
+    /// Manifest rewrite attempts that failed since attachment.
+    pub fn persist_failures(&self) -> u64 {
+        self.persist_failures.load(Ordering::SeqCst)
+    }
+
+    /// Rendered error of the most recent failed manifest rewrite.
+    pub fn last_persist_error(&self) -> Option<String> {
+        self.last_persist_error.lock().clone()
+    }
+
+    /// Best-effort manifest sync after a publication touching `name`:
+    /// never fails the publication, only counts the failure.
+    fn sync_tenant_best_effort(&self, _name: &str) {
+        let _ = self.sync_manifest();
     }
 }
 

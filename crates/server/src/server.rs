@@ -175,6 +175,12 @@ pub enum ServerError {
     /// The executor panicked while running this request's batch; the
     /// panic was isolated to the batch.
     ExecutorPanic,
+    /// The request's [`Server::submit_with_deadline`] deadline passed
+    /// while it waited in the queue; it was dropped before execution
+    /// (the estimate would have arrived too late to be useful). Counted
+    /// in [`ServerStats::deadline_exceeded`] — distinct from the
+    /// [`SubmitError::Overloaded`] shed, which never enters the queue.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServerError {
@@ -182,6 +188,9 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Estimate(e) => write!(f, "estimate error: {e}"),
             ServerError::ExecutorPanic => write!(f, "executor panicked while running the batch"),
+            ServerError::DeadlineExceeded => {
+                write!(f, "request deadline passed while queued")
+            }
         }
     }
 }
@@ -269,6 +278,9 @@ struct Request {
     query: Query,
     reply: Arc<ReplySlot>,
     submitted: Instant,
+    /// Drop-dead time: past it the request is answered
+    /// [`ServerError::DeadlineExceeded`] at flush instead of executing.
+    deadline: Option<Instant>,
 }
 
 /// A flushed micro-batch awaiting an executor.
@@ -461,6 +473,26 @@ impl Server {
         }
     }
 
+    /// Cold-start the server from a durable state directory: run
+    /// [`crate::recover::recover_registry`] over `dir` — replaying the
+    /// promotion journal against the tenant manifest, quarantining
+    /// anything corrupt, republishing the last provably-good version per
+    /// tenant — then start serving on the recovered fleet.
+    ///
+    /// `builder` produces each tenant's base (seed) model, exactly as at
+    /// first registration; see [`crate::recover::recover_registry`] for
+    /// the full contract. The returned [`RecoveryReport`] carries the
+    /// per-tenant verdicts and the recovery-time (unavailability) window.
+    pub fn recover(
+        dir: &std::path::Path,
+        cfg: ServerConfig,
+        builder: &mut dyn FnMut(&str) -> Option<uae_core::Uae>,
+        observer: Option<&mut dyn uae_core::RecoveryObserver>,
+    ) -> Result<(Server, crate::recover::RecoveryReport), uae_core::PersistError> {
+        let (registry, report) = crate::recover::recover_registry(dir, builder, None, observer)?;
+        Ok((Server::start(registry, cfg), report))
+    }
+
     /// The tenant registry this server serves from.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
@@ -483,6 +515,31 @@ impl Server {
     /// is accepted (a [`Ticket`] for the eventual reply) or it is
     /// rejected right now with a typed reason.
     pub fn submit(&self, tenant: &str, query: Query) -> Result<Ticket, SubmitError> {
+        self.submit_inner(tenant, query, None)
+    }
+
+    /// [`Server::submit`] with a drop-dead budget: if the request is
+    /// still queued when `deadline` (measured from now) has elapsed, the
+    /// dispatcher drops it at flush time and the ticket resolves to
+    /// [`ServerError::DeadlineExceeded`] instead of waiting on a batch
+    /// whose answer would arrive too late. Requests already handed to an
+    /// executor run to completion — the deadline bounds *queueing*, not
+    /// execution.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        query: Query,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(tenant, query, Some(Instant::now() + deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        query: Query,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
         self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
         let Some(tenant) = self.shared.registry.get(tenant) else {
             self.shared.stats.rejected_unknown_tenant.fetch_add(1, Ordering::SeqCst);
@@ -494,8 +551,14 @@ impl Server {
         };
         let reply = Arc::new(ReplySlot::new());
         let id = self.shared.request_seq.fetch_add(1, Ordering::SeqCst);
-        let request =
-            Request { id, tenant, query, reply: reply.clone(), submitted: Instant::now() };
+        let request = Request {
+            id,
+            tenant,
+            query,
+            reply: reply.clone(),
+            submitted: Instant::now(),
+            deadline,
+        };
         match tx.try_send(request) {
             Ok(()) => {
                 self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
@@ -708,10 +771,32 @@ fn enqueue(shared: &Arc<Shared>, batcher: &mut MicroBatcher<Request>, req: Reque
 fn flush(
     shared: &Arc<Shared>,
     lane: usize,
-    requests: Vec<Request>,
+    mut requests: Vec<Request>,
     reason: FlushReason,
     now_ns: u64,
 ) {
+    if requests.is_empty() {
+        return;
+    }
+    // Expired-in-queue requests never reach an executor: answering them
+    // would burn batch budget on estimates the caller has already given
+    // up on. Dropped here (the single point every request passes through
+    // on its way to a batch), counted separately from the `Overloaded`
+    // shed — these were *accepted* and then timed out.
+    let now = Instant::now();
+    let expired: Vec<Request> = {
+        let (expired, live): (Vec<Request>, Vec<Request>) =
+            requests.drain(..).partition(|r| r.deadline.is_some_and(|d| now > d));
+        requests = live;
+        expired
+    };
+    if !expired.is_empty() {
+        shared.stats.deadline_exceeded.fetch_add(expired.len() as u64, Ordering::SeqCst);
+        shared.stats.exit(expired.len());
+        for req in expired {
+            req.reply.fill(Err(ServerError::DeadlineExceeded));
+        }
+    }
     if requests.is_empty() {
         return;
     }
@@ -878,6 +963,8 @@ fn run_batch(shared: &Arc<Shared>, job: BatchJob) {
             Err(ServerError::ExecutorPanic) => {
                 stats.failed.fetch_add(1, Ordering::SeqCst);
             }
+            // Deadline drops happen at flush and never reach a batch.
+            Err(ServerError::DeadlineExceeded) => unreachable!("dropped before execution"),
         }
         let queue_ms = exec_start.duration_since(req.submitted).as_secs_f64() * 1e3;
         let total_ms = req.submitted.elapsed().as_secs_f64() * 1e3;

@@ -110,6 +110,7 @@ pub struct ServerStatsCell {
     pub(crate) accepted: AtomicU64,
     pub(crate) rejected_overloaded: AtomicU64,
     pub(crate) rejected_unknown_tenant: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) query_errors: AtomicU64,
     pub(crate) failed: AtomicU64,
@@ -159,6 +160,7 @@ impl ServerStatsCell {
             accepted: ld(&self.accepted),
             rejected_overloaded: ld(&self.rejected_overloaded),
             rejected_unknown_tenant: ld(&self.rejected_unknown_tenant),
+            deadline_exceeded: ld(&self.deadline_exceeded),
             completed: ld(&self.completed),
             query_errors: ld(&self.query_errors),
             failed: ld(&self.failed),
@@ -194,6 +196,11 @@ pub struct ServerStats {
     pub rejected_overloaded: u64,
     /// Submissions bounced with `UnknownTenant`.
     pub rejected_unknown_tenant: u64,
+    /// Accepted requests dropped at flush because their
+    /// `submit_with_deadline` budget expired while they queued. Distinct
+    /// from `rejected_overloaded`: these entered the queue and timed
+    /// out; the overload shed never entered at all.
+    pub deadline_exceeded: u64,
     /// Requests answered with an estimate.
     pub completed: u64,
     /// Requests answered with a typed per-query `EstimateError`.

@@ -162,6 +162,7 @@ fn main() {
                 registry.swap_model("census", model).expect("tenant registered");
                 format!("rolledback:v{version}")
             }
+            RoundOutcome::PersistFailed { version, .. } => format!("persistfail:v{version}"),
         };
         let t_ms = drift_at.elapsed().as_secs_f64() * 1e3;
         let median = median_q(&tenant.model(), &eval_post);
